@@ -1,0 +1,30 @@
+"""Table 1: the benchmark programs — classes and source statements.
+
+Regenerates the table for *our* mini-Java models, side by side with the
+paper's numbers (which describe the real Java benchmarks; ours are
+scaled-down models, so the columns differ in magnitude by design).
+"""
+
+from repro.benchmarks import all_benchmarks
+from repro.benchmarks.paper import TABLE1
+from repro.benchmarks.runner import benchmark_metrics
+
+
+def bench_table1(benchmark, emit, benchmark_names):
+    benches = all_benchmarks()
+
+    def measure():
+        return {name: benchmark_metrics(benches[name]) for name in benchmark_names}
+
+    metrics = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit()
+    emit("=== Table 1: benchmark programs ===")
+    emit(f"{'Benchmark':10s} {'Classes':>8s} {'Stmts':>7s}   "
+         f"{'(paper cls)':>11s} {'(paper stmts)':>13s}   Description")
+    for name in benchmark_names:
+        ours = metrics[name]
+        paper = TABLE1[name]
+        emit(
+            f"{name:10s} {ours['classes']:8d} {ours['stmts']:7d}   "
+            f"{paper['classes']:11d} {paper['stmts']:13d}   {paper['description']}"
+        )

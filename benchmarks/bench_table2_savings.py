@@ -1,0 +1,44 @@
+"""Table 2: drag and space savings for the primary inputs.
+
+For every benchmark, profiles the original and revised versions,
+computes the reachable/in-use space-time integrals (MByte²), and the
+paper's two ratios — drag saving and space saving — printing measured
+vs published values.
+"""
+
+from repro.benchmarks.paper import TABLE2
+
+
+def bench_table2(benchmark, emit, pairs, benchmark_names):
+    def measure():
+        return {name: pairs.get(name, "primary") for name in benchmark_names}
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit()
+    emit("=== Table 2: drag and space savings (primary inputs) ===")
+    emit(
+        f"{'Benchmark':10s} {'RedIn-Use':>10s} {'RedReach':>10s} "
+        f"{'OrigIn-Use':>11s} {'OrigReach':>10s} "
+        f"{'Drag%':>7s} {'(paper)':>8s} {'Space%':>7s} {'(paper)':>8s}"
+    )
+    for name in benchmark_names:
+        run = runs[name]
+        s = run.savings
+        paper = TABLE2[name]
+        assert run.outputs_match(), f"{name}: revised output differs"
+        emit(
+            f"{name:10s} {s.reduced_in_use:10.4f} {s.reduced_reachable:10.4f} "
+            f"{s.original_in_use:11.4f} {s.original_reachable:10.4f} "
+            f"{s.drag_saving_pct:7.1f} {paper['drag_saving_pct'] or 0:8.2f} "
+            f"{s.space_saving_pct:7.1f} {paper['space_saving_pct'] or 0:8.2f}"
+        )
+    avg_space = sum(runs[n].savings.space_saving_pct for n in benchmark_names) / len(
+        benchmark_names
+    )
+    avg_drag = sum(runs[n].savings.drag_saving_pct for n in benchmark_names) / len(
+        benchmark_names
+    )
+    emit(f"{'average':10s} {'':10s} {'':10s} {'':11s} {'':10s} "
+         f"{avg_drag:7.1f} {51.0:8.2f} {avg_space:7.1f} {14.0:8.2f}")
+    emit("(integrals are MByte^2 on scaled-down workloads; ratios are the "
+         "comparable quantity)")

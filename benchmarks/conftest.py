@@ -1,0 +1,57 @@
+"""Shared fixtures for the table/figure benches.
+
+Profiled original/revised pairs are expensive, so they are computed
+once per session and shared across bench modules. ``emit`` prints
+through pytest's capture so the regenerated table rows appear in the
+``pytest benchmarks/ --benchmark-only`` output (and are also appended
+to benchmarks/out/report.txt).
+"""
+
+import os
+
+import pytest
+
+from repro.benchmarks import all_benchmarks, run_pair
+
+REPORT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+@pytest.fixture(scope="session")
+def emit(request):
+    """Print a line through (and past) pytest's output capture."""
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    report_path = os.path.join(REPORT_DIR, "report.txt")
+
+    def _emit(line: str = "") -> None:
+        with open(report_path, "a", encoding="utf-8") as f:
+            f.write(line + "\n")
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(line)
+        else:
+            print(line)
+
+    return _emit
+
+
+class _PairCache:
+    def __init__(self) -> None:
+        self._runs = {}
+
+    def get(self, name: str, which: str = "primary"):
+        key = (name, which)
+        if key not in self._runs:
+            self._runs[key] = run_pair(all_benchmarks()[name], which)
+        return self._runs[key]
+
+
+@pytest.fixture(scope="session")
+def pairs():
+    return _PairCache()
+
+
+@pytest.fixture(scope="session")
+def benchmark_names():
+    # paper's presentation order (Tables 2-5)
+    return ["javac", "jack", "raytrace", "jess", "euler", "mc", "juru", "analyzer", "db"]

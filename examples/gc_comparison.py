@@ -1,0 +1,64 @@
+"""GC strategy comparison on one workload.
+
+Runs the same program under (a) whole-heap mark-sweep, (b) the
+generational collector (the Table-4 configuration), and (c) mark-sweep
+with liveness-aided roots (the Agesen-style alternative §5.1 cites for
+assigning null), and compares collector work and what survives.
+
+Run:  python examples/gc_comparison.py
+"""
+
+from repro import Interpreter, compile_program, link
+from repro.runtime.generational import GenerationalCollector
+
+SOURCE = """
+class Main {
+    static Object[] tenured = new Object[150];
+    public static void main(String[] args) {
+        for (int i = 0; i < 150; i = i + 1) { tenured[i] = new char[200]; }
+        for (int round = 0; round < 12; round = round + 1) {
+            char[] buffer = new char[8000];
+            buffer[0] = 'x';
+            churn();
+        }
+        System.println("done");
+    }
+    static void churn() {
+        for (int i = 0; i < 120; i = i + 1) { char[] junk = new char[100]; }
+    }
+}
+"""
+
+
+def run(label, **kwargs):
+    program = compile_program(link(SOURCE), main_class="Main")
+    interp = Interpreter(program, max_heap=96 * 1024, **kwargs)
+    result = interp.run([])
+    stats = interp.heap.stats
+    print(
+        f"{label:22s} gc_runs={stats.gc_runs:3d} "
+        f"(minor {stats.minor_gc_runs}, major {stats.major_gc_runs})  "
+        f"marked={stats.objects_marked:6d}  swept={stats.objects_swept:6d}  "
+        f"live_end={interp.heap.object_count():4d}"
+    )
+    return result
+
+
+def main() -> None:
+    print(f"{'collector':22s} work")
+    a = run("mark-sweep")
+    b = run(
+        "generational",
+        collector_factory=lambda heap, program: GenerationalCollector(
+            heap, program, young_threshold=32 * 1024
+        ),
+    )
+    c = run("mark-sweep + liveness", liveness_roots=True)
+    assert a.stdout == b.stdout == c.stdout
+    print("\nall three configurations produce identical program output;")
+    print("generational marks far fewer objects per collection, and")
+    print("liveness-aided roots let dead locals' buffers die early.")
+
+
+if __name__ == "__main__":
+    main()

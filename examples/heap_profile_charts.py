@@ -1,0 +1,46 @@
+"""Figure 2 as ASCII charts: reachable vs in-use heap curves, original
+vs revised, for any benchmark.
+
+Run:  python examples/heap_profile_charts.py [benchmark ...]
+      (default: juru euler analyzer)
+"""
+
+import sys
+
+from repro.benchmarks import get_benchmark, run_pair
+from repro.benchmarks.runner import figure2_series
+from repro.core.report import heap_profile_chart
+
+
+def chart(name: str) -> None:
+    bench = get_benchmark(name)
+    run = run_pair(bench, "primary")
+    curves = figure2_series(run)
+    print(f"\n=== {name}: original run ===")
+    print(
+        heap_profile_chart(
+            {"#": curves["original_reachable"], ".": curves["original_in_use"]},
+            end_time=run.original.end_time,
+        )
+    )
+    print("legend: # reachable   . in-use")
+    print(f"\n=== {name}: revised run ===")
+    print(
+        heap_profile_chart(
+            {"#": curves["revised_reachable"], ".": curves["revised_in_use"]},
+            end_time=run.revised.end_time,
+        )
+    )
+    print("legend: # reachable   . in-use")
+    s = run.savings
+    print(f"drag saving {s.drag_saving_pct:.1f}%   space saving {s.space_saving_pct:.1f}%")
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["juru", "euler", "analyzer"]
+    for name in names:
+        chart(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools predates the
+wheel merge (offline editable installs fall back to ``setup.py develop``,
+which needs no wheel package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,53 @@
+"""Static analyses (§5) that justify the space-saving transformations.
+
+The paper identifies the analyses an optimizing compiler would need to
+automate its manual rewrites:
+
+* usage analysis — variables/fields set but never used (§5.1),
+* indirect-usage analysis — objects none of whose references is ever
+  dereferenced (§5.1),
+* liveness analysis for locals, and the harder array-element liveness
+  (§5.1, §5.2),
+* minimal code insertion for lazy allocation (§5.1),
+* call-graph dependence — unreachable methods invalidate "possible
+  uses" (§5.4),
+* exception analysis — removed code must not throw exceptions the
+  program could catch (§5.5),
+
+plus the class-hierarchy and call-graph information the authors got
+from JAN (§3.2).
+"""
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dataflow import solve_backward, solve_forward
+from repro.analysis.liveness import LivenessResult, liveness
+from repro.analysis.usage import FieldUsage, field_usage
+from repro.analysis.callgraph import CallGraph, build_call_graph
+from repro.analysis.hierarchy import ClassHierarchy
+from repro.analysis.exceptions import ThrownExceptions
+from repro.analysis.purity import ctor_purity, PurityResult
+from repro.analysis.array_liveness import logical_size_pairs, removal_points
+from repro.analysis.indirect_usage import indirectly_unused_fields
+from repro.analysis.lazy_points import FirstUseSite, first_use_sites
+
+__all__ = [
+    "ControlFlowGraph",
+    "build_cfg",
+    "solve_backward",
+    "solve_forward",
+    "LivenessResult",
+    "liveness",
+    "FieldUsage",
+    "field_usage",
+    "CallGraph",
+    "build_call_graph",
+    "ClassHierarchy",
+    "ThrownExceptions",
+    "ctor_purity",
+    "PurityResult",
+    "logical_size_pairs",
+    "removal_points",
+    "indirectly_unused_fields",
+    "FirstUseSite",
+    "first_use_sites",
+]

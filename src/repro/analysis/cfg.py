@@ -1,0 +1,90 @@
+"""Instruction-level control-flow graphs over compiled bytecode.
+
+Successors include fall-through, jump targets, and exception edges (an
+instruction inside a protected region may transfer to the handler).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import CompiledMethod
+
+_BRANCH_OPS = {Op.JUMP, Op.JIF, Op.JIT}
+_TERMINAL_OPS = {Op.RET, Op.RETV, Op.THROW}
+
+# Ops that can raise a mini-Java exception and therefore have edges to
+# covering handlers.
+_MAY_THROW = {
+    Op.GETFIELD,
+    Op.PUTFIELD,
+    Op.ALOAD,
+    Op.ASTORE,
+    Op.ARRAYLEN,
+    Op.INVOKEV,
+    Op.INVOKESTATIC,
+    Op.INVOKESUPER,
+    Op.NEWINIT,
+    Op.SUPERINIT,
+    Op.NEWARRAY,
+    Op.DIV,
+    Op.MOD,
+    Op.CHECKCAST,
+    Op.THROW,
+    Op.MONENTER,
+    Op.MONEXIT,
+    Op.TOSTR,
+    Op.CONCAT,
+    Op.CONST_STRING,
+}
+
+
+class ControlFlowGraph:
+    """Per-instruction successor/predecessor sets for one method."""
+
+    def __init__(self, method: CompiledMethod) -> None:
+        self.method = method
+        n = len(method.code)
+        self.succs: List[Set[int]] = [set() for _ in range(n)]
+        self.preds: List[Set[int]] = [set() for _ in range(n)]
+        self.exits: List[int] = []
+        self.handler_entries: Dict[int, int] = {}  # handler pc -> var slot
+        self._build()
+
+    def _build(self) -> None:
+        code = self.method.code
+        n = len(code)
+        for pc, instr in enumerate(code):
+            op = instr.op
+            if op == Op.JUMP:
+                self._edge(pc, instr.args[0])
+            elif op in (Op.JIF, Op.JIT):
+                self._edge(pc, instr.args[0])
+                if pc + 1 < n:
+                    self._edge(pc, pc + 1)
+            elif op in _TERMINAL_OPS:
+                self.exits.append(pc)
+            else:
+                if pc + 1 < n:
+                    self._edge(pc, pc + 1)
+            if op in _MAY_THROW:
+                for entry in self.method.exception_table:
+                    if entry.kind == "catch" and entry.covers(pc):
+                        self._edge(pc, entry.handler)
+        for entry in self.method.exception_table:
+            if entry.kind == "catch":
+                self.handler_entries[entry.handler] = entry.var_slot
+
+    def _edge(self, src: int, dst: int) -> None:
+        if 0 <= dst < len(self.succs):
+            self.succs[src].add(dst)
+            self.preds[dst].add(src)
+
+    def __len__(self) -> int:
+        return len(self.succs)
+
+
+def build_cfg(method: CompiledMethod) -> ControlFlowGraph:
+    """Build the instruction-level CFG for one compiled method."""
+    return ControlFlowGraph(method)

@@ -1,0 +1,81 @@
+"""A small worklist dataflow framework over instruction-level CFGs.
+
+Facts are frozensets; transfer functions are per-instruction gen/kill.
+Both directions use union as the merge operator (may analyses), which is
+all the Section-5 analyses need.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, FrozenSet, List, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+
+GenKill = Tuple[FrozenSet, FrozenSet]  # (gen, kill)
+
+EMPTY: FrozenSet = frozenset()
+
+
+def solve_backward(
+    cfg: ControlFlowGraph,
+    gen_kill: Callable[[int], GenKill],
+    boundary: FrozenSet = EMPTY,
+) -> Tuple[List[FrozenSet], List[FrozenSet]]:
+    """Backward may-analysis: returns (in_facts, out_facts) per pc.
+
+    out[pc] = union of in[s] for s in succs(pc)   (boundary at exits)
+    in[pc]  = gen(pc) | (out[pc] - kill(pc))
+    """
+    n = len(cfg)
+    ins: List[FrozenSet] = [EMPTY] * n
+    outs: List[FrozenSet] = [EMPTY] * n
+    worklist = deque(range(n - 1, -1, -1))
+    queued = [True] * n
+    while worklist:
+        pc = worklist.popleft()
+        queued[pc] = False
+        out = boundary if not cfg.succs[pc] else EMPTY
+        for succ in cfg.succs[pc]:
+            out = out | ins[succ]
+        gen, kill = gen_kill(pc)
+        new_in = gen | (out - kill)
+        outs[pc] = out
+        if new_in != ins[pc]:
+            ins[pc] = new_in
+            for pred in cfg.preds[pc]:
+                if not queued[pred]:
+                    queued[pred] = True
+                    worklist.append(pred)
+    return ins, outs
+
+
+def solve_forward(
+    cfg: ControlFlowGraph,
+    gen_kill: Callable[[int], GenKill],
+    entry: FrozenSet = EMPTY,
+) -> Tuple[List[FrozenSet], List[FrozenSet]]:
+    """Forward may-analysis: returns (in_facts, out_facts) per pc."""
+    n = len(cfg)
+    ins: List[FrozenSet] = [EMPTY] * n
+    outs: List[FrozenSet] = [EMPTY] * n
+    if n == 0:
+        return ins, outs
+    worklist = deque(range(n))
+    queued = [True] * n
+    while worklist:
+        pc = worklist.popleft()
+        queued[pc] = False
+        in_fact = entry if pc == 0 else EMPTY
+        for pred in cfg.preds[pc]:
+            in_fact = in_fact | outs[pred]
+        gen, kill = gen_kill(pc)
+        new_out = gen | (in_fact - kill)
+        ins[pc] = in_fact
+        if new_out != outs[pc]:
+            outs[pc] = new_out
+            for succ in cfg.succs[pc]:
+                if not queued[succ]:
+                    queued[succ] = True
+                    worklist.append(succ)
+    return ins, outs

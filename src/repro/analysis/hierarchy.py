@@ -1,0 +1,58 @@
+"""Class-hierarchy graph — the first kind of information JAN provided
+(§3.2): used "for accelerating source browsing, e.g., locating
+overloaded methods", and by CHA to bound virtual-call targets."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.mjava.sema import ClassTable
+
+
+class ClassHierarchy:
+    """Parent/children view over a class table."""
+
+    def __init__(self, table: ClassTable) -> None:
+        self.table = table
+        self.children: Dict[str, List[str]] = {name: [] for name in table.classes}
+        for name, info in table.classes.items():
+            if info.super_name is not None:
+                self.children[info.super_name].append(name)
+        for kids in self.children.values():
+            kids.sort()
+
+    def parent(self, name: str) -> Optional[str]:
+        return self.table.get(name).super_name
+
+    def ancestors(self, name: str) -> List[str]:
+        return self.table.superclass_chain(name)[1:]
+
+    def subtree(self, name: str) -> Set[str]:
+        """``name`` and all its transitive subclasses."""
+        out: Set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self.children.get(current, ()))
+        return out
+
+    def roots(self) -> List[str]:
+        return sorted(
+            name for name, info in self.table.classes.items() if info.super_name is None
+        )
+
+    def overriders_of(self, class_name: str, method_name: str) -> List[str]:
+        """Subclasses that override ``method_name`` — the virtual-call
+        target set CHA uses."""
+        out = []
+        for sub in sorted(self.subtree(class_name)):
+            if sub != class_name and method_name in self.table.get(sub).methods:
+                out.append(sub)
+        return out
+
+    def defining_class(self, class_name: str, method_name: str) -> Optional[str]:
+        resolved = self.table.resolve_method(class_name, method_name)
+        return resolved[0].name if resolved else None

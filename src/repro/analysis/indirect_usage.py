@@ -1,0 +1,120 @@
+"""Indirect-usage analysis (§5.1).
+
+"The main idea is that an object is never-used if none of its
+references is ever dereferenced." The paper's example: a string in
+javac assigned to an instance field; the field is never used *except
+for assigning its value to other reference variables*, and those
+variables are never used either — so the allocation can be removed.
+
+We find fields whose every read feeds a *dead copy*: a bytecode
+``GETFIELD f`` (or ``GETSTATIC``) immediately consumed by a store into
+a local that is never subsequently loaded, or into another field that
+is itself written-but-never-read. Any other read (argument passing,
+receiver of a call, return, comparison, ...) counts as a potential
+dereference and disqualifies the field.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.analysis.usage import FieldUsage, FieldKey
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import CompiledMethod, CompiledProgram
+
+
+def _slot_ever_loaded(method: CompiledMethod, slot: int) -> bool:
+    return any(i.op == Op.LOAD and i.args == (slot,) for i in method.code)
+
+
+def _read_is_dead_copy(
+    method: CompiledMethod,
+    pc: int,
+    dead_fields: Set[str],
+    dead_statics: Set[FieldKey],
+) -> bool:
+    """Does the field read at ``pc`` only feed an unused variable?"""
+    if pc + 1 >= len(method.code):
+        return False
+    nxt = method.code[pc + 1]
+    if nxt.op == Op.STORE:
+        return not _slot_ever_loaded(method, nxt.args[0])
+    if nxt.op == Op.PUTFIELD:
+        return nxt.args[0] in dead_fields
+    if nxt.op == Op.PUTSTATIC:
+        return (nxt.args[0], nxt.args[1]) in dead_statics
+    return False
+
+
+def indirectly_unused_fields(
+    program: CompiledProgram,
+    usage: FieldUsage = None,
+) -> List[FieldKey]:
+    """Fields that are written but only ever read into unused variables.
+
+    Runs to a fixpoint: discovering that field g is (indirectly) unused
+    can make a copy ``f -> g`` dead, which can make f unused too.
+    """
+    usage = usage or FieldUsage(program)
+    # Start from directly-unused fields.
+    dead_statics: Set[FieldKey] = set(usage.written_never_read_statics())
+    dead_instance: Set[FieldKey] = set(usage.written_never_read_instance_fields())
+
+    methods = [m for m in program.all_methods() if not m.is_native]
+
+    def instance_candidates() -> List[FieldKey]:
+        out = []
+        for name, cls in program.classes.items():
+            for field, declaring in cls.layout.declaring.items():
+                if declaring == name and usage.instance_writes.get(field):
+                    out.append((name, field))
+        return out
+
+    changed = True
+    while changed:
+        changed = False
+        dead_names = {f for (_, f) in dead_instance}
+        for key in instance_candidates():
+            if key in dead_instance:
+                continue
+            _, field = key
+            reads = []
+            for method in methods:
+                for pc, instr in enumerate(method.code):
+                    if instr.op == Op.GETFIELD and instr.args[0] == field:
+                        reads.append((method, pc))
+            if not reads:
+                continue  # handled by direct usage analysis
+            if all(
+                _read_is_dead_copy(m, pc, dead_names, dead_statics) for m, pc in reads
+            ):
+                dead_instance.add(key)
+                changed = True
+        for name, cls in program.classes.items():
+            for field in cls.static_fields:
+                key = (name, field)
+                if key in dead_statics or not usage.static_writes.get(key):
+                    continue
+                reads = []
+                for method in methods:
+                    for pc, instr in enumerate(method.code):
+                        if instr.op == Op.GETSTATIC and (
+                            usage._canonical_static(*instr.args),
+                            instr.args[1],
+                        ) == key:
+                            reads.append((method, pc))
+                if not reads:
+                    continue
+                dead_names = {f for (_, f) in dead_instance}
+                if all(
+                    _read_is_dead_copy(m, pc, dead_names, dead_statics)
+                    for m, pc in reads
+                ):
+                    dead_statics.add(key)
+                    changed = True
+
+    direct = set(usage.written_never_read_instance_fields()) | set(
+        usage.written_never_read_statics()
+    )
+    indirect = (dead_instance | dead_statics) - direct
+    return sorted(indirect)

@@ -1,0 +1,118 @@
+"""Minimal code insertion for lazy allocation (§5.1).
+
+"Minimal code insertion: this analysis helps to determine where lazy
+allocation could be used. ... At first, possible references to that
+object are identified using alias analysis. Then, possible uses of a
+reference are identified using use-def chains. Finally, the code for
+lazy allocating the object is inserted before every possible use."
+
+Our variant works on the field level the jack rewrite needs: for a
+candidate field it enumerates every *possible first use* — each read of
+the field in its visibility scope — which are exactly the program
+points the null-check-then-allocate test must guard. The transformation
+in :mod:`repro.transform.lazy_alloc` factors all of them through one
+accessor (a simple but safe instance of PRE-style placement: the checks
+are inserted at use sites rather than hoisted, trading a test per use
+for correctness on all paths).
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple
+
+from repro.mjava import ast
+from repro.mjava.sema import ClassTable
+
+
+class FirstUseSite(NamedTuple):
+    """A possible first use of a lazily-allocated field."""
+
+    class_name: str
+    member: str  # method name or "<init>"
+    line: int
+    kind: str  # 'name' (bare f) or 'this-field' (this.f) or 'field-access'
+
+
+def _reads_in_member(class_name: str, member_name: str, body: ast.Block, field: str):
+    out: List[FirstUseSite] = []
+
+    def note(expr: ast.Expr, kind: str) -> None:
+        out.append(FirstUseSite(class_name, member_name, expr.pos.line, kind))
+
+    def scan_expr(expr: ast.Expr) -> None:
+        if isinstance(expr, ast.Name) and expr.ident == field:
+            note(expr, "name")
+            return
+        if isinstance(expr, ast.FieldAccess) and expr.name == field:
+            if isinstance(expr.target, ast.This):
+                note(expr, "this-field")
+            else:
+                note(expr, "field-access")
+            scan_expr(expr.target)
+            return
+        for name in expr._fields:
+            value = getattr(expr, name)
+            if isinstance(value, ast.Expr):
+                scan_expr(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.Expr):
+                        scan_expr(item)
+
+    def scan_stmt(stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            # a plain write "f = ..." is not a use; reads in the RHS and
+            # inside compound targets are
+            target = stmt.target
+            if isinstance(target, ast.Index):
+                scan_expr(target.array)
+                scan_expr(target.index)
+            elif isinstance(target, ast.FieldAccess):
+                scan_expr(target.target)
+            scan_expr(stmt.value)
+            return
+        for name in stmt._fields:
+            value = getattr(stmt, name)
+            if isinstance(value, ast.Expr):
+                scan_expr(value)
+            elif isinstance(value, ast.Stmt):
+                scan_stmt(value)
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.Stmt):
+                        scan_stmt(item)
+                    elif isinstance(item, ast.Expr):
+                        scan_expr(item)
+                    elif isinstance(item, ast.CatchClause):
+                        scan_stmt(item.body)
+
+    scan_stmt(body)
+    return out
+
+
+def first_use_sites(table: ClassTable, class_name: str, field: str) -> List[FirstUseSite]:
+    """Every possible first use of ``class_name.field``, scanning the
+    field's visibility scope (private → declaring class only; otherwise
+    every class, reads through any receiver counted by field name)."""
+    info = table.get(class_name)
+    decl = info.fields.get(field)
+    if decl is None:
+        return []
+    if decl.mods.visibility == "private":
+        scope = [info.decl]
+    else:
+        scope = [c.decl for c in table.classes.values()]
+    out: List[FirstUseSite] = []
+    for cls in scope:
+        members = [("<init>", ctor.body) for ctor in cls.ctors]
+        members += [(m.name, m.body) for m in cls.methods if m.body is not None]
+        for member_name, body in members:
+            for site in _reads_in_member(cls.name, member_name, body, field):
+                # only name-reads bind to this field in foreign classes
+                # when the class actually inherits it
+                if site.kind == "name" and cls.name != class_name:
+                    resolved = table.resolve_field(cls.name, field)
+                    if resolved is None or resolved[0].name != class_name:
+                        continue
+                out.append(site)
+    return out

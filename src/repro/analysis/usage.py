@@ -1,0 +1,117 @@
+"""Usage analysis (§5.1): fields that are set but never used.
+
+"Finding variables that are set using side-effect free expressions, but
+never used. This helps to find assignment statements that can be safely
+eliminated." The paper's flagship example is java.util.Locale's table
+of static variables assigned newly allocated objects that a given
+program never reads.
+
+The analysis scans bytecode reads/writes, scoped by visibility (§3.3.1):
+a private field is only visible inside its declaring class, so only that
+class's code is scanned; package/protected/public fields require the
+whole program (we have a single "package"). Static field accesses carry
+their declaring class in the bytecode; instance field accesses are
+matched by name, which is exact because field shadowing is rejected at
+compile time and name collisions across unrelated classes only make the
+analysis more conservative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import CompiledMethod, CompiledProgram
+
+FieldKey = Tuple[str, str]  # (declaring class, field name)
+
+
+class FieldUsage:
+    """Read/write facts for every field in a program."""
+
+    def __init__(self, program: CompiledProgram, reachable_methods=None) -> None:
+        self.program = program
+        # Instance-field reads/writes by *name* (declaring class unknown
+        # at the access), static ones by exact (class, name).
+        self.instance_reads: Dict[str, List[CompiledMethod]] = {}
+        self.instance_writes: Dict[str, List[CompiledMethod]] = {}
+        self.static_reads: Dict[FieldKey, List[CompiledMethod]] = {}
+        self.static_writes: Dict[FieldKey, List[CompiledMethod]] = {}
+        methods = (
+            list(reachable_methods) if reachable_methods is not None
+            else program.all_methods()
+        )
+        for method in methods:
+            if method.is_native:
+                continue
+            for instr in method.code:
+                if instr.op == Op.GETFIELD:
+                    self.instance_reads.setdefault(instr.args[0], []).append(method)
+                elif instr.op == Op.PUTFIELD:
+                    self.instance_writes.setdefault(instr.args[0], []).append(method)
+                elif instr.op == Op.GETSTATIC:
+                    key = (self._canonical_static(*instr.args), instr.args[1])
+                    self.static_reads.setdefault(key, []).append(method)
+                elif instr.op == Op.PUTSTATIC:
+                    key = (self._canonical_static(*instr.args), instr.args[1])
+                    self.static_writes.setdefault(key, []).append(method)
+
+    def _canonical_static(self, class_name: str, field: str) -> str:
+        """Resolve a static access to the declaring class."""
+        current = class_name
+        while current is not None:
+            cls = self.program.classes.get(current)
+            if cls is None:
+                return class_name
+            if field in cls.static_descriptors:
+                return current
+            current = cls.super_name
+        return class_name
+
+    # -- queries ------------------------------------------------------------
+
+    def _scope_classes(self, declaring: str, visibility: str) -> Set[str]:
+        if visibility == "private":
+            return {declaring}
+        return set(self.program.classes)
+
+    def is_instance_field_read(self, declaring: str, field: str) -> bool:
+        """Is the field read anywhere it is visible? For a private field
+        only the declaring class can read it, so reads of a same-named
+        field elsewhere do not count."""
+        mods = self.program.classes[declaring].field_mods.get(field)
+        scope = self._scope_classes(declaring, getattr(mods, "visibility", "package"))
+        return any(m.class_name in scope for m in self.instance_reads.get(field, []))
+
+    def is_static_field_read(self, declaring: str, field: str) -> bool:
+        return bool(self.static_reads.get((declaring, field)))
+
+    def written_never_read_statics(self) -> List[FieldKey]:
+        """Static fields assigned (e.g. in <clinit>) but never read —
+        the Locale pattern; their initializing assignments are dead."""
+        out = []
+        for name, cls in sorted(self.program.classes.items()):
+            for field in cls.static_fields:
+                key = (name, field)
+                if self.static_writes.get(key) and not self.static_reads.get(key):
+                    out.append(key)
+        return out
+
+    def written_never_read_instance_fields(self) -> List[FieldKey]:
+        """Instance fields written but never read anywhere in scope."""
+        out = []
+        for name, cls in sorted(self.program.classes.items()):
+            for field, declaring in cls.layout.declaring.items():
+                if declaring != name:
+                    continue  # report at the declaring class only
+                if self.instance_writes.get(field) and not self.is_instance_field_read(
+                    name, field
+                ):
+                    out.append((name, field))
+        return out
+
+
+def field_usage(program: CompiledProgram, reachable_methods=None) -> FieldUsage:
+    """Run usage analysis; optionally restricted to call-graph-reachable
+    methods (§5.4 — "(R)" rows of Table 5)."""
+    return FieldUsage(program, reachable_methods)

@@ -1,0 +1,110 @@
+'''db — database simulation (SPECjvm98 _209_db).
+
+Paper behaviour (§3.4, pattern 4, and §4.1): "The graph for db is not
+shown. There are no space savings for this benchmark." The drag
+variance at db's sites is high: "there may be a large repository of
+objects ... A query on the repository leads to a use of an object.
+However, each query accesses only a small number of objects and the
+queries are spread out over the whole application. Nevertheless the
+repository and all objects in it need to be kept as the exact queries
+cannot be predicted in advance."
+
+Model: an in-memory table of records; random queries touch a few
+records each; every record must stay available. No transformation
+applies, so the revised program *is* the original — db still
+participates in every table (at zero savings) exactly as in the paper's
+averages.
+'''
+
+from repro.benchmarks.registry import Benchmark
+
+ORIGINAL = """
+class DbRecord {
+    String key;
+    char[] payload;
+    int hits;
+    DbRecord(String key, int width) {
+        this.key = key;
+        this.payload = new char[width];
+        this.hits = 0;
+    }
+    int probe(int q) {
+        hits = hits + 1;
+        return payload[(q * 13) % payload.length] + hits;
+    }
+}
+
+class Database {
+    Vector records;
+    HashTable index;
+    Database() {
+        records = new Vector(64);
+        index = new HashTable(64);
+    }
+    void insert(DbRecord record) {
+        records.add(record);
+        index.put(record.key, record);
+    }
+    DbRecord fetch(String key) {
+        return (DbRecord) index.get(key);
+    }
+    int size() { return records.size(); }
+}
+
+class Db {
+    public static void main(String[] args) {
+        int records = Integer.parseInt(args[0]);
+        int queries = Integer.parseInt(args[1]);
+        Database db = new Database();
+        for (int r = 0; r < records; r = r + 1) {
+            db.insert(new DbRecord("rec" + r, 420));
+        }
+        // index-build verification: every record is touched once, so
+        // none is never-used — the queries just come at unpredictable
+        // times afterwards
+        int result = 0;
+        for (int r = 0; r < records; r = r + 1) {
+            DbRecord record = db.fetch("rec" + r);
+            result = result + record.probe(0);
+        }
+        Random rng = new Random(11);
+        for (int q = 0; q < queries; q = q + 1) {
+            // each query touches a handful of records; a cold sixth of
+            // the table is never queried after loading while the rest
+            // keeps being hit — the wide spread of last-use times is
+            // the high drag variance that defeats every transformation
+            // (§3.4 pattern 4: the exact queries cannot be predicted)
+            for (int k = 0; k < 4; k = k + 1) {
+                int cold = records / 6;
+                int pick = cold + rng.nextInt(records - cold);
+                DbRecord record = db.fetch("rec" + pick);
+                if (record != null) {
+                    result = result + record.probe(q);
+                }
+            }
+            // query processing allocates a transient result set
+            char[] resultSet = new char[300];
+            resultSet[0] = (char) ('0' + result % 10);
+            result = result + resultSet[0];
+        }
+        System.println("records " + db.size() + " queries " + queries);
+        System.printInt(result);
+    }
+}
+"""
+
+# §4.1: no rewriting helps db; the revised program is the original.
+REVISED = ORIGINAL
+
+BENCHMARK = Benchmark(
+    name="db",
+    description="database simulation",
+    main_class="Db",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["120", "260"],
+    alternate_args=["80", "420"],
+    rewritings=[],
+    interval_bytes=16 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

@@ -1,0 +1,134 @@
+'''euler — Euler equations solver (Java Grande).
+
+Paper behaviour (§4.1): "for euler the size of the reachable heap for
+the original run has a constant size, because all allocations are done
+in advance. By assigning null to dead references we were able to reduce
+most of the drag (76% of it), and the optimized heap size almost
+coincides with the in-use object size." Table 5: assigning null /
+package array / array liveness. Space saving is small (7.28%) because
+the grid stays genuinely in use for most of the run — rows only retire
+as the solution converges near the end.
+
+Model: the solver preallocates the whole grid (rows held in a
+package-visible array), then iterates; every sweep touches all active
+rows and allocates flux temporaries. In the convergence phase rows
+retire progressively: dead, but still referenced by the row array. The
+revised version nulls each row's slot at retirement.
+'''
+
+from repro.benchmarks.registry import Benchmark, Rewriting
+
+_COMMON = """
+class Row {
+    char[] cells;
+    int index;
+    Row(int index, int width) {
+        this.index = index;
+        this.cells = new char[width];
+    }
+    int sweep(int t) {
+        int sum = 0;
+        for (int i = 0; i < cells.length; i = i + 64) {
+            cells[i] = (char) ('0' + (index + t + i) % 10);
+            sum = sum + cells[i];
+        }
+        return sum;
+    }
+}
+
+class Flux {
+    char[] buffer;
+    Flux(int width) { buffer = new char[width]; }
+    int integrate(int t) {
+        int sum = 0;
+        for (int i = 0; i < buffer.length; i = i + 32) {
+            buffer[i] = (char) ('a' + (t + i) % 26);
+            sum = sum + buffer[i];
+        }
+        return sum;
+    }
+}
+"""
+
+_SOLVER_TEMPLATE = """
+class Solver {
+    Row[] grid;   // package visibility: the array the rewrite targets
+    int rows;
+    int iterations;
+    Solver(int rows, int width, int iterations) {
+        this.rows = rows;
+        this.iterations = iterations;
+        grid = new Row[rows];
+        for (int i = 0; i < rows; i = i + 1) {
+            grid[i] = new Row(i, width);
+        }
+    }
+    int activeRows(int t) {
+        // all rows active until 80% of the run; then linear retirement
+        int cutoff = iterations * 3 / 5;
+        if (t < cutoff) { return rows; }
+        int remaining = iterations - t;
+        int active = rows * remaining / (iterations - cutoff);
+        if (active < 1) { return 1; }
+        return active;
+    }
+    int step(int t, int fluxWidth) {
+        int active = activeRows(t);
+        int previousActive = rows;
+        if (t > 0) { previousActive = activeRows(t - 1); }
+        int sum = 0;
+        for (int i = 0; i < active; i = i + 1) {
+            sum = sum + grid[i].sweep(t);
+        }%RETIRE%
+        Flux flux = new Flux(fluxWidth);
+        return sum + flux.integrate(t);
+    }
+}
+"""
+
+_RETIRE_REVISED = """
+        for (int dead = active; dead < previousActive; dead = dead + 1) {
+            grid[dead] = null;  // converged: the row has no future use
+        }"""
+
+_MAIN = """
+class Euler {
+    public static void main(String[] args) {
+        int rows = Integer.parseInt(args[0]);
+        int iterations = Integer.parseInt(args[1]);
+        Solver solver = new Solver(rows, 1500, iterations);
+        Vector residuals = new Vector(iterations);
+        int checksum = 0;
+        for (int t = 0; t < iterations; t = t + 1) {
+            checksum = checksum + solver.step(t, 1200);
+            char[] residual = new char[500];
+            residual[0] = (char) ('0' + checksum % 10);
+            residuals.add(residual);
+        }
+        for (int t = 0; t < residuals.size(); t = t + 1) {
+            char[] residual = (char[]) residuals.get(t);
+            checksum = checksum + residual[0];
+        }
+        System.println("iterations " + iterations);
+        System.printInt(checksum);
+    }
+}
+"""
+
+ORIGINAL = _COMMON + _SOLVER_TEMPLATE.replace("%RETIRE%", "") + _MAIN
+REVISED = _COMMON + _SOLVER_TEMPLATE.replace("%RETIRE%", _RETIRE_REVISED) + _MAIN
+
+BENCHMARK = Benchmark(
+    name="euler",
+    description="Euler equations solver",
+    main_class="Euler",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["40", "70"],
+    alternate_args=["56", "50"],
+    rewritings=[
+        Rewriting("assigning null", "package array", "array liveness"),
+    ],
+    interval_bytes=4 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

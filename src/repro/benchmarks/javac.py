@@ -1,0 +1,164 @@
+'''javac — the Java compiler (SPECjvm98 _213_javac).
+
+Paper behaviour: Table 5 gives one strategy — code removal / protected /
+indirect-usage — and §5.1 explains it: "In a class in javac a string is
+allocated and assigned to an instance field. The field is never used
+except for assigning its value to other reference variables. These
+variables are never used; thus, the allocation of the string can be
+saved." §4.1: javac's Figure-2 curves "occur earlier in the graph than
+for the original run ... due to the elimination of some unnecessary
+allocation." Savings: drag 21.8%, space 7.71% (alternate input 3.5%).
+
+Model: a compiler front end lexes synthetic units into token strings
+(churn), builds a persistent symbol table (live heap), and stamps every
+compilation unit with a protected banner string that is only ever
+copied into an equally unused field. The revised version removes the
+banner allocation and its copies.
+'''
+
+from repro.benchmarks.registry import Benchmark, Rewriting
+
+_COMMON = """
+class Symbol {
+    String name;
+    int kind;
+    Symbol(String name, int kind) {
+        this.name = name;
+        this.kind = kind;
+    }
+}
+
+class SymbolTable {
+    HashTable symbols;
+    Vector ordered;
+    SymbolTable() {
+        symbols = new HashTable(64);
+        ordered = new Vector(32);
+    }
+    void define(Symbol sym) {
+        symbols.put(sym.name, sym);
+        ordered.add(sym);
+    }
+    Symbol lookup(String name) {
+        return (Symbol) symbols.get(name);
+    }
+    int size() { return ordered.size(); }
+}
+
+class Lexer {
+    // tokenizes one unit: returns the token count, churns token strings
+    static int lex(SymbolTable table, int unitId, int tokens) {
+        int kinds = 0;
+        for (int t = 0; t < tokens; t = t + 1) {
+            String token = "id" + ((unitId * 131 + t * 17) % 260);
+            Symbol existing = table.lookup(token);
+            if (existing == null) {
+                table.define(new Symbol(token, t % 8));
+                kinds = kinds + 1;
+            }
+        }
+        return kinds;
+    }
+}
+
+class CodeGen {
+    // emits bytecode for one unit (persistent output, checked at end)
+    static char[] emit(int unitId, int size) {
+        char[] code = new char[size];
+        for (int i = 0; i < size; i = i + 32) {
+            code[i] = (char) ('0' + (unitId + i) % 10);
+        }
+        return code;
+    }
+    static int typeCheck(int unitId, int work) {
+        int acc = unitId;
+        for (int k = 0; k < work; k = k + 1) {
+            acc = (acc * 31 + k) % 65536;
+        }
+        return acc;
+    }
+}
+"""
+
+_UNIT_ORIGINAL = """
+class CompilationUnit {
+    protected String banner;
+    protected String bannerCopy;
+    String fileName;
+    char[] bytecode;
+    CompilationUnit(int id) {
+        fileName = "Unit" + id + ".java";
+        banner = makeBanner(id);
+    }
+    static String makeBanner(int id) {
+        StringBuilder sb = new StringBuilder(24);
+        sb.append("javac 1.2 debug unit ");
+        sb.append("n" + id);
+        return sb.toString();
+    }
+    void snapshotBanner() {
+        bannerCopy = banner;  // only "use": a copy into a dead field
+    }
+}
+"""
+
+_UNIT_REVISED = """
+class CompilationUnit {
+    protected String banner;
+    protected String bannerCopy;
+    String fileName;
+    char[] bytecode;
+    CompilationUnit(int id) {
+        fileName = "Unit" + id + ".java";
+        // banner allocation removed: indirect-usage analysis shows it
+        // is only copied into bannerCopy, which is never read
+    }
+    void snapshotBanner() {
+    }
+}
+"""
+
+_MAIN = """
+class Javac {
+    public static void main(String[] args) {
+        int units = Integer.parseInt(args[0]);
+        int tokensPerUnit = Integer.parseInt(args[1]);
+        SymbolTable table = new SymbolTable();
+        Vector compiled = new Vector(units);
+        int checksum = 0;
+        for (int u = 0; u < units; u = u + 1) {
+            CompilationUnit unit = new CompilationUnit(u);
+            unit.snapshotBanner();
+            checksum = checksum + Lexer.lex(table, u, tokensPerUnit);
+            checksum = checksum + CodeGen.typeCheck(u, 900);
+            unit.bytecode = CodeGen.emit(u, 900);
+            compiled.add(unit);
+        }
+        int codeBytes = 0;
+        for (int u = 0; u < compiled.size(); u = u + 1) {
+            CompilationUnit unit = (CompilationUnit) compiled.get(u);
+            codeBytes = codeBytes + unit.bytecode.length;
+        }
+        System.println("units " + units + " symbols " + table.size());
+        System.printInt(checksum + codeBytes);
+    }
+}
+"""
+
+ORIGINAL = _COMMON + _UNIT_ORIGINAL + _MAIN
+REVISED = _COMMON + _UNIT_REVISED + _MAIN
+
+BENCHMARK = Benchmark(
+    name="javac",
+    description="java compiler",
+    main_class="Javac",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["70", "40"],
+    alternate_args=["30", "90"],
+    rewritings=[
+        Rewriting("code removal", "protected", "indirect-usage"),
+    ],
+    interval_bytes=16 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

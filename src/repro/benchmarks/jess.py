@@ -1,0 +1,246 @@
+'''jess — expert system shell (SPECjvm98 _202_jess).
+
+Paper behaviour: three rewrites (Table 5):
+
+* assigning null / private array / array liveness — §5.2: "In jess a
+  dynamic vector-like array of references is maintained. After removing
+  the logically last element from this array, that element has no
+  future use. Interestingly, the original code tries to handle this
+  case of a dead element, but it does not handle it completely."
+* code removal / public static final (JDK rewrite) / usage — the
+  java.util.Locale-style table of eagerly allocated constants jess
+  never reads ("We demonstrate drag reduction due to JDK rewriting in
+  jess", §4.1).
+* code removal / private static / usage (R) — a debug structure
+  assigned at class initialization and never read.
+
+Model: a forward-chaining engine asserts facts onto an agenda (a
+vector-like FactList whose pop leaves the slot dangling), fires rules
+(live rule network + churn), and carries a never-read private static
+trace buffer. The revised version fixes FactList.pop, removes the trace
+buffer initialization, and ships a rewritten JDK Locale with no eager
+constants.
+'''
+
+from repro.benchmarks.registry import Benchmark, Rewriting
+
+_COMMON = """
+class Fact {
+    String head;
+    char[] slots;
+    Fact(String head, int width) {
+        this.head = head;
+        this.slots = new char[width];
+    }
+    int mark(int seed) {
+        int sum = 0;
+        for (int i = 0; i < slots.length; i = i + 16) {
+            slots[i] = (char) ('a' + (seed + i) % 26);
+            sum = sum + slots[i];
+        }
+        return sum;
+    }
+    int touch() { return slots[0]; }
+}
+
+class Rule {
+    String name;
+    int salience;
+    Rule(String name, int salience) {
+        this.name = name;
+        this.salience = salience;
+    }
+    int fire(Fact fact, int step) {
+        int acc = salience + fact.mark(step);
+        for (int k = 0; k < 260; k = k + 1) {
+            acc = (acc * 31 + k) % 65536;
+        }
+        return acc;
+    }
+}
+
+class RuleBase {
+    HashTable rules;
+    Vector names;
+    RuleBase() {
+        rules = new HashTable(32);
+        names = new Vector(16);
+    }
+    void define(Rule rule) {
+        rules.put(rule.name, rule);
+        names.add(rule.name);
+    }
+    Rule pick(int i) {
+        String name = (String) names.get(i % names.size());
+        return (Rule) rules.get(name);
+    }
+}
+"""
+
+# The vector-like agenda; like jess's own array the original "tries to
+# handle" removal (bounds checks) but leaves the popped slot dangling.
+_FACTLIST_ORIGINAL = """
+class FactList {
+    private Fact[] data;
+    private int count;
+    FactList(int capacity) {
+        data = new Fact[capacity];
+        count = 0;
+    }
+    void push(Fact fact) {
+        if (count == data.length) {
+            Fact[] bigger = new Fact[data.length * 2];
+            System.arraycopy(data, 0, bigger, 0, count);
+            data = bigger;
+        }
+        data[count] = fact;
+        count = count + 1;
+    }
+    Fact pop() {
+        if (count == 0) { return null; }
+        count = count - 1;
+        return data[count];
+    }
+    Fact get(int i) {
+        if (i < 0 || i >= count) { return null; }
+        return data[i];
+    }
+    int size() { return count; }
+}
+"""
+
+_FACTLIST_REVISED = """
+class FactList {
+    private Fact[] data;
+    private int count;
+    FactList(int capacity) {
+        data = new Fact[capacity];
+        count = 0;
+    }
+    void push(Fact fact) {
+        if (count == data.length) {
+            Fact[] bigger = new Fact[data.length * 2];
+            System.arraycopy(data, 0, bigger, 0, count);
+            data = bigger;
+        }
+        data[count] = fact;
+        count = count + 1;
+    }
+    Fact pop() {
+        if (count == 0) { return null; }
+        count = count - 1;
+        Fact removed = data[count];
+        data[count] = null;  // array liveness: the slot is dead
+        return removed;
+    }
+    Fact get(int i) {
+        if (i < 0 || i >= count) { return null; }
+        return data[i];
+    }
+    int size() { return count; }
+}
+"""
+
+_ENGINE_ORIGINAL = """
+class Engine {
+    // written at class initialization, never read anywhere: dead code
+    private static char[] traceBuffer = new char[3000];
+    RuleBase base;
+    FactList agenda;
+    Engine(RuleBase base) {
+        this.base = base;
+        agenda = new FactList(64);
+    }
+}
+"""
+
+_ENGINE_REVISED = """
+class Engine {
+    private static char[] traceBuffer;
+    RuleBase base;
+    FactList agenda;
+    Engine(RuleBase base) {
+        this.base = base;
+        agenda = new FactList(64);
+    }
+}
+"""
+
+_MAIN = """
+class Jess {
+    public static void main(String[] args) {
+        int steps = Integer.parseInt(args[0]);
+        int factWidth = Integer.parseInt(args[1]);
+        RuleBase base = new RuleBase();
+        for (int r = 0; r < 12; r = r + 1) {
+            base.define(new Rule("rule" + r, r % 5));
+        }
+        Engine engine = new Engine(base);
+        int checksum = 0;
+        for (int step = 0; step < steps; step = step + 1) {
+            engine.agenda.push(new Fact("f" + step, factWidth));
+            if (step % 3 != 0) {
+                Fact fact = engine.agenda.pop();
+                Rule rule = base.pick(step);
+                checksum = checksum + rule.fire(fact, step);
+                fact = null;
+            }
+            if (step % 40 == 39) {
+                // partial working-memory scan: pattern matching only
+                // touches alternating residual facts; the rest drag
+                for (int i = 0; i < engine.agenda.size(); i = i + 2) {
+                    checksum = checksum + engine.agenda.get(i).touch();
+                }
+            }
+        }
+        System.println("agenda " + engine.agenda.size());
+        System.printInt(checksum);
+    }
+}
+"""
+
+ORIGINAL = _COMMON + _FACTLIST_ORIGINAL + _ENGINE_ORIGINAL + _MAIN
+REVISED = _COMMON + _FACTLIST_REVISED + _ENGINE_REVISED + _MAIN
+
+# The JDK rewrite (§4.1): a Locale with no eagerly allocated constants.
+REVISED_LOCALE = """
+class Locale {
+    public static final Locale ENGLISH = null;
+    public static final Locale FRENCH = null;
+    public static final Locale GERMAN = null;
+    public static final Locale ITALIAN = null;
+    public static final Locale JAPANESE = null;
+    public static final Locale KOREAN = null;
+    public static final Locale CHINESE = null;
+    public static final Locale SPANISH = null;
+    public static final Locale PORTUGUESE = null;
+    public static final Locale RUSSIAN = null;
+    public static final Locale DUTCH = null;
+    public static final Locale SWEDISH = null;
+    private String language;
+    private char[] displayData;
+    Locale(String language) {
+        this.language = language;
+        this.displayData = new char[64];
+    }
+    public String getLanguage() { return language; }
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="jess",
+    description="expert system shell",
+    main_class="Jess",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["800", "300"],
+    alternate_args=["500", "560"],
+    rewritings=[
+        Rewriting("assigning null", "private array", "array liveness"),
+        Rewriting("code removal", "public static final (JDK rewrite)", "usage"),
+        Rewriting("code removal", "private static", "usage (R)"),
+    ],
+    revised_library_overrides={"Locale": REVISED_LOCALE},
+    interval_bytes=16 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

@@ -1,0 +1,163 @@
+'''juru — web indexing (IBM-internal tool).
+
+Paper behaviour (§3.4.1): "In juru the largest drag for an allocation
+site is 25.94 MB². Character arrays of 100K elements are allocated at
+this site and assigned to a local variable. Each of these arrays is
+in-use for 200KB of allocation and then in-drag for another 200KB until
+it becomes unreachable. Assigning null to this local variable after its
+last use eliminates this drag and leads to a 33% reduction in total
+drag." juru "acts in cycles, with the same reduction on every cycle"
+(Figure 2).
+
+Model: an indexer reads each document into a large char buffer (a
+local), tokenizes it into a persistent inverted index (the live heap),
+then computes ranking data (more allocation) while the dead buffer is
+still held by its slot. The revised version adds ``buffer = null;``
+after tokenization — Table 5: assigning null / local variable /
+liveness analysis.
+'''
+
+from repro.benchmarks.registry import Benchmark, Rewriting
+
+_COMMON = """
+class Posting {
+    int termId;
+    int frequency;
+    Posting next;
+    Posting(int termId, Posting next) {
+        this.termId = termId;
+        this.frequency = 1;
+        this.next = next;
+    }
+}
+
+class InvertedIndex {
+    HashTable terms;
+    Vector documents;
+    Vector digests;
+    int termCount;
+    InvertedIndex() {
+        terms = new HashTable(64);
+        documents = new Vector(16);
+        digests = new Vector(16);
+        termCount = 0;
+    }
+    void addDocument(String title, char[] digest) {
+        documents.add(title);
+        digests.add(digest);
+    }
+    int digestChecksum() {
+        int sum = 0;
+        for (int d = 0; d < digests.size(); d = d + 1) {
+            char[] digest = (char[]) digests.get(d);
+            for (int i = 0; i < digest.length; i = i + 64) {
+                sum = sum + digest[i];
+            }
+        }
+        return sum;
+    }
+    void addTerm(String term, int docId) {
+        Object entry = terms.get(term);
+        if (entry == null) {
+            terms.put(term, new Posting(termCount, null));
+            termCount = termCount + 1;
+        } else {
+            Posting posting = (Posting) entry;
+            posting.frequency = posting.frequency + 1;
+        }
+    }
+    int size() { return termCount; }
+}
+
+class Document {
+    int id;
+    int length;
+    Document(int id, int length) {
+        this.id = id;
+        this.length = length;
+    }
+    void read(char[] buffer, Random rng) {
+        // synthetic crawl: scatter pseudo-words through the buffer
+        int seed = rng.nextInt(26);
+        for (int i = 0; i + 8 < buffer.length; i = i + 32) {
+            buffer[i] = (char) ('a' + (i / 32 + seed) % 26);
+            buffer[i + 1] = (char) ('a' + (i / 64 + id) % 26);
+            buffer[i + 2] = ' ';
+        }
+    }
+}
+
+class Ranker {
+    // per-document ranking pass: allocates scoring scratch space
+    static int rank(InvertedIndex index, int docId) {
+        int checksum = 0;
+        for (int block = 0; block < 6; block = block + 1) {
+            int[] scores = new int[700];
+            for (int i = 0; i < scores.length; i = i + 16) {
+                scores[i] = (docId + i + block) % 97;
+                checksum = checksum + scores[i];
+            }
+        }
+        return checksum;
+    }
+}
+"""
+
+_MAIN_TEMPLATE = """
+class Juru {
+    public static void main(String[] args) {
+        int docCount = Integer.parseInt(args[0]);
+        int docLength = Integer.parseInt(args[1]);
+        InvertedIndex index = new InvertedIndex();
+        Random rng = new Random(20010617);
+        int checksum = 0;
+        for (int d = 0; d < docCount; d = d + 1) {
+            checksum = checksum + indexDocument(index, d, docLength, rng);
+        }
+        checksum = checksum + index.digestChecksum();
+        System.println("indexed " + docCount + " docs, terms=" + index.size());
+        System.printInt(checksum);
+    }
+    static int indexDocument(InvertedIndex index, int docId, int docLength, Random rng) {
+        Document doc = new Document(docId, docLength);
+        char[] digest = new char[docLength / 4];
+        index.addDocument("doc-" + docId, digest);
+        char[] buffer = new char[docLength];
+        doc.read(buffer, rng);
+        for (int i = 0; i < digest.length; i = i + 32) {
+            digest[i] = buffer[i * 4];
+        }
+        tokenize(index, buffer, docId);%NULLING%
+        return Ranker.rank(index, docId);
+    }
+    static void tokenize(InvertedIndex index, char[] buffer, int docId) {
+        for (int i = 0; i + 8 < buffer.length; i = i + 64) {
+            char[] word = new char[2];
+            word[0] = buffer[i];
+            word[1] = buffer[i + 1];
+            index.addTerm(String.valueOf(word, 2), docId);
+        }
+    }
+}
+"""
+
+ORIGINAL = _COMMON + _MAIN_TEMPLATE.replace("%NULLING%", "")
+REVISED = _COMMON + _MAIN_TEMPLATE.replace(
+    "%NULLING%",
+    "\n        buffer = null;  // dead after tokenize (liveness-verified)",
+)
+
+BENCHMARK = Benchmark(
+    name="juru",
+    description="web indexing",
+    main_class="Juru",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["24", "16000"],
+    alternate_args=["14", "24000"],
+    rewritings=[
+        Rewriting("assigning null", "local variable", "liveness"),
+    ],
+    interval_bytes=16 * 1024,
+    max_heap=512 * 1024,
+)

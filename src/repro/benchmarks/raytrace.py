@@ -1,0 +1,192 @@
+'''raytrace — raytracer (SPECjvm98 _205_raytrace / _227_mtrt).
+
+Paper behaviour (§3.4.2): "In raytrace there are 17 allocation sites
+with the same behavior: an object is allocated and assigned to an array
+element; the object's last use occurs during its initialization, which
+is done in its constructor. Thus, all objects allocated at these sites
+are considered never-used. Each of these allocation sites contributes
+4.77MB² to the drag. ... the code for the allocation of these objects
+can be removed. This leads to a 45% reduction in total drag." §4.1
+adds: "the size of the reachable heap is reduced by an almost constant
+size, and the in-use object size remains the same ... close to 1MB of
+allocation of long-lived never-used objects has been eliminated" —
+plus an assigning-null rewrite of a private field (Table 5: 6.27%, with
+the call graph showing the only reader, a get method, is never invoked
+— §5.4's example).
+
+Model: Scene's constructor fills a private Detail[] from 17 distinct
+allocation sites (acceleration-structure precomputations that nothing
+reads — the get method is never called); a private lightCache is used
+during the first rows only, then drags. The render loop itself churns
+short-lived Ray/Hit objects and keeps the rendered rows live (used by
+the final checksum).
+'''
+
+from repro.benchmarks.registry import Benchmark, Rewriting
+
+_COMMON = """
+class Detail {
+    char[] table;
+    int kind;
+    Detail(int kind) {
+        this.kind = kind;
+        this.table = new char[288];
+        for (int i = 0; i < table.length; i = i + 32) {
+            table[i] = (char) ('a' + (kind + i) % 26);
+        }
+    }
+}
+
+class Ray {
+    int ox; int oy; int dx; int dy;
+    Ray(int ox, int oy, int dx, int dy) {
+        this.ox = ox;
+        this.oy = oy;
+        this.dx = dx;
+        this.dy = dy;
+    }
+    int dot() { return ox * dx + oy * dy; }
+}
+
+class Hit {
+    int distance;
+    int shade;
+    Hit(int distance, int shade) {
+        this.distance = distance;
+        this.shade = shade;
+    }
+}
+
+class Image {
+    Vector rows;
+    Image() { rows = new Vector(32); }
+    void addRow(char[] row) { rows.add(row); }
+    int checksum() {
+        int sum = 0;
+        for (int r = 0; r < rows.size(); r = r + 1) {
+            char[] row = (char[]) rows.get(r);
+            for (int i = 0; i < row.length; i = i + 16) {
+                sum = sum + row[i];
+            }
+        }
+        return sum;
+    }
+}
+"""
+
+_SCENE_ORIGINAL = """
+class Scene {
+    private Detail[] details;
+    private char[] lightCache;
+    int spheres;
+    Scene(int spheres) {
+        this.spheres = spheres;
+        lightCache = new char[1400];
+        details = new Detail[17];
+        details[0] = new Detail(0);
+        details[1] = new Detail(1);
+        details[2] = new Detail(2);
+        details[3] = new Detail(3);
+        details[4] = new Detail(4);
+        details[5] = new Detail(5);
+        details[6] = new Detail(6);
+        details[7] = new Detail(7);
+        details[8] = new Detail(8);
+        details[9] = new Detail(9);
+        details[10] = new Detail(10);
+        details[11] = new Detail(11);
+        details[12] = new Detail(12);
+        details[13] = new Detail(13);
+        details[14] = new Detail(14);
+        details[15] = new Detail(15);
+        details[16] = new Detail(16);
+    }
+    // never invoked anywhere: the call graph proves the details are dead
+    public Detail getDetail(int i) { return details[i]; }
+    public int light(int x, int y) {
+        int index = (x * 31 + y) % lightCache.length;
+        if (lightCache[index] == 0) {
+            lightCache[index] = (char) (x + y);
+        }
+        return lightCache[index];
+    }
+}
+"""
+
+_SCENE_REVISED = """
+class Scene {
+    private Detail[] details;
+    private char[] lightCache;
+    int spheres;
+    Scene(int spheres) {
+        this.spheres = spheres;
+        lightCache = new char[1400];
+        details = new Detail[17];
+        // 17 never-used Detail allocations removed (code removal;
+        // constructors are pure, getDetail is unreachable)
+    }
+    public Detail getDetail(int i) { return details[i]; }
+    public int light(int x, int y) {
+        int index = (x * 31 + y) % lightCache.length;
+        if (lightCache[index] == 0) {
+            lightCache[index] = (char) (x + y);
+        }
+        return lightCache[index];
+    }
+    void dropLightCache() { lightCache = null; }
+}
+"""
+
+_MAIN_TEMPLATE = """
+class RayTrace {
+    public static void main(String[] args) {
+        int width = Integer.parseInt(args[0]);
+        int height = Integer.parseInt(args[1]);
+        Scene scene = new Scene(8);
+        Image image = new Image();
+        int lit = 0;
+        for (int y = 0; y < height; y = y + 1) {
+            // lighting is precomputed during the first rows only
+            if (y < height / 5) {
+                for (int x = 0; x < width; x = x + 4) {
+                    lit = lit + scene.light(x, y);
+                }
+            }%DROPCACHE%
+            image.addRow(renderRow(scene, width, y));
+        }
+        System.println("rendered " + height + " rows");
+        System.printInt(image.checksum() + lit);
+    }
+    static char[] renderRow(Scene scene, int width, int y) {
+        char[] row = new char[width];
+        for (int x = 0; x < width; x = x + 1) {
+            Ray ray = new Ray(x, y, x + 1, y + 1);
+            Hit hit = new Hit(ray.dot() % 97, (x + y) % 26);
+            row[x] = (char) ('a' + hit.shade);
+        }
+        return row;
+    }
+}
+"""
+
+ORIGINAL = _COMMON + _SCENE_ORIGINAL + _MAIN_TEMPLATE.replace("%DROPCACHE%", "")
+REVISED = _COMMON + _SCENE_REVISED + _MAIN_TEMPLATE.replace(
+    "%DROPCACHE%",
+    "\n            if (y == height / 5) { scene.dropLightCache(); }",
+)
+
+BENCHMARK = Benchmark(
+    name="raytrace",
+    description="raytracer of a picture",
+    main_class="RayTrace",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["160", "110"],
+    alternate_args=["230", "64"],
+    rewritings=[
+        Rewriting("code removal", "private array", "array liveness (R)"),
+        Rewriting("assigning null", "private", "liveness (R)"),
+    ],
+    interval_bytes=16 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

@@ -1,0 +1,93 @@
+"""Benchmark descriptors and the registry of all nine programs."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Rewriting:
+    """One Table-5 row: a rewriting applied to a benchmark."""
+
+    __slots__ = ("strategy", "reference_kind", "expected_analysis", "note")
+
+    def __init__(self, strategy: str, reference_kind: str, expected_analysis: str, note: str = "") -> None:
+        self.strategy = strategy  # 'assigning null' | 'code removal' | 'lazy allocation'
+        self.reference_kind = reference_kind  # e.g. 'private array', 'package', ...
+        self.expected_analysis = expected_analysis  # e.g. 'liveness (R)', 'array liveness'
+        self.note = note
+
+    def __repr__(self) -> str:
+        return f"<rewriting {self.strategy} ({self.reference_kind}) via {self.expected_analysis}>"
+
+
+class Benchmark:
+    """A benchmark program: original and revised sources plus inputs."""
+
+    def __init__(
+        self,
+        name: str,
+        description: str,
+        main_class: str,
+        original: str,
+        revised: str,
+        primary_args: List[str],
+        alternate_args: List[str],
+        rewritings: List[Rewriting],
+        revised_library_overrides: Optional[Dict[str, str]] = None,
+        interval_bytes: int = 32 * 1024,
+        max_heap: Optional[int] = None,
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.main_class = main_class
+        self.original = original
+        self.revised = revised
+        self.primary_args = primary_args
+        self.alternate_args = alternate_args
+        self.rewritings = rewritings
+        self.revised_library_overrides = revised_library_overrides
+        self.interval_bytes = interval_bytes
+        # Heap budget for the Table-4 runtime runs (the paper used
+        # 32-48 MB / 64-96 MB heaps; ours are scaled down ~50x).
+        self.max_heap = max_heap
+
+    def args_for(self, which: str) -> List[str]:
+        if which == "primary":
+            return list(self.primary_args)
+        if which == "alternate":
+            return list(self.alternate_args)
+        raise ValueError(f"unknown input {which!r} (use 'primary' or 'alternate')")
+
+    def __repr__(self) -> str:
+        return f"<benchmark {self.name}>"
+
+
+_REGISTRY: Optional[Dict[str, Benchmark]] = None
+
+
+def all_benchmarks() -> Dict[str, Benchmark]:
+    """Name → Benchmark for all nine programs (import-on-demand)."""
+    global _REGISTRY
+    if _REGISTRY is None:
+        from repro.benchmarks import (
+            analyzer,
+            db,
+            euler,
+            jack,
+            javac,
+            jess,
+            juru,
+            mc,
+            raytrace,
+        )
+
+        modules = [javac, db, jack, raytrace, jess, mc, euler, juru, analyzer]
+        _REGISTRY = {m.BENCHMARK.name: m.BENCHMARK for m in modules}
+    return _REGISTRY
+
+
+def get_benchmark(name: str) -> Benchmark:
+    registry = all_benchmarks()
+    if name not in registry:
+        raise KeyError(f"unknown benchmark {name!r}; have {sorted(registry)}")
+    return registry[name]

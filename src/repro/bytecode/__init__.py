@@ -1,0 +1,30 @@
+"""Stack bytecode for the mini-Java VM.
+
+The instruction set mirrors the JVM operations that matter to the paper's
+profiler: object/array allocation, field gets and puts, virtual invokes,
+monitor enter/exit, and array element access — the events §2.1.1 counts as
+*object uses* — plus ordinary arithmetic and control flow.
+"""
+
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import (
+    CompiledClass,
+    CompiledMethod,
+    CompiledProgram,
+    ExceptionEntry,
+    FieldLayout,
+)
+from repro.bytecode.disasm import disassemble_method, disassemble_program
+
+__all__ = [
+    "Instr",
+    "Op",
+    "CompiledClass",
+    "CompiledMethod",
+    "CompiledProgram",
+    "ExceptionEntry",
+    "FieldLayout",
+    "disassemble_method",
+    "disassemble_program",
+]

@@ -1,0 +1,36 @@
+"""Human-readable disassembly of compiled methods and programs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode.program import CompiledMethod, CompiledProgram
+
+
+def disassemble_method(method: CompiledMethod) -> str:
+    """Render one method's bytecode, one instruction per line."""
+    lines: List[str] = [f"{method.qualified_name} (locals={method.nlocals}):"]
+    for pc, instr in enumerate(method.code):
+        site = f"  ; site {instr.site}" if instr.site is not None else ""
+        lines.append(f"  {pc:4d}: {instr!r}{site}")
+    for entry in method.exception_table:
+        lines.append(f"  {entry!r}")
+    return "\n".join(lines)
+
+
+def disassemble_program(program: CompiledProgram) -> str:
+    """Render every class and method in the program."""
+    chunks: List[str] = []
+    for cls in program.classes.values():
+        chunks.append(f"class {cls.name}" + (f" extends {cls.super_name}" if cls.super_name else ""))
+        members = list(cls.methods.values())
+        if cls.ctor is not None:
+            members.append(cls.ctor)
+        if cls.clinit is not None:
+            members.append(cls.clinit)
+        for method in members:
+            if method.is_native:
+                chunks.append(f"  native {method.qualified_name}")
+            else:
+                chunks.append(disassemble_method(method))
+    return "\n".join(chunks)

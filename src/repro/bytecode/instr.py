@@ -1,0 +1,37 @@
+"""The Instr class: one bytecode instruction."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class Instr:
+    """A single instruction.
+
+    ``args`` is a tuple whose meaning depends on the opcode (see
+    :class:`repro.bytecode.opcodes.Op`). ``line`` is the source line the
+    instruction was compiled from; ``site`` is the allocation-site id for
+    allocating opcodes (None otherwise).
+    """
+
+    __slots__ = ("op", "args", "line", "site")
+
+    def __init__(
+        self,
+        op: str,
+        args: Tuple = (),
+        line: int = 0,
+        site: Optional[int] = None,
+    ) -> None:
+        self.op = op
+        self.args = args
+        self.line = line
+        self.site = site
+
+    def __repr__(self) -> str:
+        parts = [self.op]
+        if self.args:
+            parts.append(", ".join(repr(a) for a in self.args))
+        if self.site is not None:
+            parts.append(f"@site{self.site}")
+        return " ".join(parts)

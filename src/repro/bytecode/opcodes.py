@@ -1,0 +1,94 @@
+"""Opcode definitions.
+
+Each opcode documents its stack effect as ``... before -> ... after``
+(top of stack on the right).
+"""
+
+from __future__ import annotations
+
+
+class Op:
+    """Namespace of opcode constants (plain strings for easy debugging)."""
+
+    # constants / locals
+    CONST = "CONST"              # -> value          (int/bool/char payload)
+    CONST_NULL = "CONST_NULL"    # -> null
+    CONST_STRING = "CONST_STRING"  # -> str-ref      (interned constant-pool string)
+    LOAD = "LOAD"                # -> value          (arg: slot)
+    STORE = "STORE"              # value ->          (arg: slot)
+    POP = "POP"                  # value ->
+    DUP = "DUP"                  # v -> v v
+
+    # objects
+    NEWINIT = "NEWINIT"          # args... -> obj    (arg: class, argc, site)
+    SUPERINIT = "SUPERINIT"      # args... ->        (arg: class, argc) runs super ctor on `this`
+    NEWARRAY = "NEWARRAY"        # length -> arr     (arg: elem descriptor, site)
+    GETFIELD = "GETFIELD"        # obj -> value      (arg: field name)       [use]
+    PUTFIELD = "PUTFIELD"        # obj value ->      (arg: field name)       [use]
+    GETSTATIC = "GETSTATIC"      # -> value          (arg: class, field)
+    PUTSTATIC = "PUTSTATIC"      # value ->          (arg: class, field)
+    ALOAD = "ALOAD"              # arr idx -> value                          [use]
+    ASTORE = "ASTORE"            # arr idx value ->                          [use]
+    ARRAYLEN = "ARRAYLEN"        # arr -> int                                [use]
+    CHECKCAST = "CHECKCAST"      # obj -> obj        (arg: type descriptor)
+    INSTANCEOF = "INSTANCEOF"    # obj -> bool       (arg: class)
+
+    # calls
+    INVOKEV = "INVOKEV"          # obj args... -> [result]  (arg: name, argc) [use]
+    INVOKESTATIC = "INVOKESTATIC"  # args... -> [result]    (arg: class, name, argc)
+    INVOKESUPER = "INVOKESUPER"  # args... -> [result]      (arg: class, name, argc) [use of this]
+    RET = "RET"                  # ->                (return void)
+    RETV = "RETV"                # value ->          (return value)
+
+    # arithmetic / logic (ints and chars are ints at runtime)
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"
+    DIV = "DIV"                  # throws ArithmeticException on /0
+    MOD = "MOD"
+    NEG = "NEG"
+    EQ = "EQ"
+    NE = "NE"
+    LT = "LT"
+    LE = "LE"
+    GT = "GT"
+    GE = "GE"
+    REFEQ = "REFEQ"              # ref ref -> bool (identity)
+    REFNE = "REFNE"
+    NOT = "NOT"
+    CAST_CHAR = "CAST_CHAR"      # int -> int (wraps to 0..65535)
+
+    # strings
+    TOSTR = "TOSTR"              # value -> str-ref  (arg: mode in {int,char,bool,ref}) allocates [site]
+    CONCAT = "CONCAT"            # str str -> str    allocates [site]
+
+    # control flow
+    JUMP = "JUMP"                # ->                (arg: target pc)
+    JIF = "JIF"                  # bool ->           jump if false
+    JIT = "JIT"                  # bool ->           jump if true
+    THROW = "THROW"              # throwable ->
+
+    # monitors
+    MONENTER = "MONENTER"        # obj ->                                    [use]
+    MONEXIT = "MONEXIT"          # obj ->                                    [use]
+
+
+# Opcodes whose execution constitutes a *use* of their receiver object in
+# the sense of the paper (§2.1.1): getfield, putfield, invoking a method on
+# the object, monitor enter/exit, and handle dereference (array access and
+# length, native calls).
+USE_OPS = frozenset(
+    [
+        Op.GETFIELD,
+        Op.PUTFIELD,
+        Op.INVOKEV,
+        Op.ALOAD,
+        Op.ASTORE,
+        Op.ARRAYLEN,
+        Op.MONENTER,
+        Op.MONEXIT,
+    ]
+)
+
+# Opcodes that allocate heap objects (and therefore carry a site id).
+ALLOC_OPS = frozenset([Op.NEWINIT, Op.NEWARRAY, Op.TOSTR, Op.CONCAT, Op.CONST_STRING])

@@ -1,0 +1,277 @@
+"""Compiled program representation: classes, methods, field layouts, sites.
+
+A :class:`CompiledProgram` is what the compiler produces and the
+interpreter executes. It also carries the allocation-site registry that
+the profiler keys every measurement on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bytecode.instr import Instr
+
+# Field/array element descriptors and their sizes in bytes, matching the
+# classic JVM's 32-bit layout the paper measured on (references are
+# 4-byte handles; the handle itself is excluded from object size).
+ELEM_SIZES = {"int": 4, "char": 2, "boolean": 1, "ref": 4}
+
+OBJECT_HEADER_BYTES = 8
+ARRAY_HEADER_BYTES = 12
+ALIGNMENT = 8
+
+
+def align(nbytes: int) -> int:
+    """Round up to the 8-byte allocation boundary (paper §2.1.1: length
+    includes header and alignment)."""
+    return (nbytes + ALIGNMENT - 1) // ALIGNMENT * ALIGNMENT
+
+
+class ExceptionEntry:
+    """One exception-table entry.
+
+    ``kind`` is "catch" for a source-level catch clause (jump to
+    ``handler`` with the throwable stored in ``var_slot``) or "monitor"
+    for a synthetic synchronized-region entry (exit the monitor in
+    ``monitor_slot`` and keep unwinding).
+    """
+
+    __slots__ = ("start", "end", "handler", "exc_class", "var_slot", "kind", "monitor_slot")
+
+    def __init__(
+        self,
+        start: int,
+        end: int,
+        handler: int = -1,
+        exc_class: str = "",
+        var_slot: int = -1,
+        kind: str = "catch",
+        monitor_slot: int = -1,
+    ) -> None:
+        self.start = start
+        self.end = end
+        self.handler = handler
+        self.exc_class = exc_class
+        self.var_slot = var_slot
+        self.kind = kind
+        self.monitor_slot = monitor_slot
+
+    def covers(self, pc: int) -> bool:
+        return self.start <= pc < self.end
+
+    def __repr__(self) -> str:
+        if self.kind == "monitor":
+            return f"monitor[{self.start},{self.end}) slot={self.monitor_slot}"
+        return f"catch[{self.start},{self.end})->{self.handler} {self.exc_class} slot={self.var_slot}"
+
+
+class CompiledMethod:
+    """Bytecode plus metadata for one method, constructor, or <clinit>."""
+
+    __slots__ = (
+        "class_name",
+        "name",
+        "param_count",
+        "nlocals",
+        "code",
+        "exception_table",
+        "mods",
+        "is_static",
+        "is_ctor",
+        "is_native",
+        "return_descriptor",
+        "slot_names",
+        "slot_types",
+        "line",
+        "param_descriptors",
+        "qualified_name",
+    )
+
+    def __init__(
+        self,
+        class_name: str,
+        name: str,
+        param_count: int,
+        nlocals: int,
+        code: List[Instr],
+        exception_table: List[ExceptionEntry],
+        mods,
+        is_static: bool,
+        is_ctor: bool,
+        is_native: bool,
+        return_descriptor: str,
+        slot_names: List[str],
+        slot_types: List[str],
+        line: int = 0,
+        param_descriptors: Optional[List[str]] = None,
+    ) -> None:
+        self.class_name = class_name
+        self.name = name
+        self.param_count = param_count
+        self.nlocals = nlocals
+        self.code = code
+        self.exception_table = exception_table
+        self.mods = mods
+        self.is_static = is_static
+        self.is_ctor = is_ctor
+        self.is_native = is_native
+        self.return_descriptor = return_descriptor  # 'void'|'int'|'boolean'|'char'|'ref'
+        self.slot_names = slot_names  # debug: local slot -> source name
+        self.slot_types = slot_types  # debug: local slot -> descriptor
+        self.line = line
+        self.param_descriptors = param_descriptors or []
+        self.qualified_name = f"{class_name}.{name}"
+
+    def __repr__(self) -> str:
+        return f"<method {self.qualified_name}/{self.param_count}>"
+
+
+class FieldLayout:
+    """Resolved layout of instance fields for a class (own + inherited)."""
+
+    __slots__ = ("names", "descriptors", "declaring", "instance_bytes")
+
+    def __init__(self) -> None:
+        self.names: List[str] = []
+        self.descriptors: Dict[str, str] = {}
+        self.declaring: Dict[str, str] = {}
+        self.instance_bytes: int = 0
+
+    def compute_size(self) -> None:
+        body = sum(ELEM_SIZES[self.descriptors[n]] for n in self.names)
+        self.instance_bytes = align(OBJECT_HEADER_BYTES + body)
+
+
+class CompiledClass:
+    """Runtime class: methods, ctor, static layout, superclass link."""
+
+    __slots__ = (
+        "name",
+        "super_name",
+        "methods",
+        "ctor",
+        "clinit",
+        "layout",
+        "static_fields",
+        "static_descriptors",
+        "static_mods",
+        "field_mods",
+        "is_library",
+        "line",
+    )
+
+    def __init__(self, name: str, super_name: Optional[str], is_library: bool, line: int = 0) -> None:
+        self.name = name
+        self.super_name = super_name
+        self.methods: Dict[str, CompiledMethod] = {}
+        self.ctor: Optional[CompiledMethod] = None
+        self.clinit: Optional[CompiledMethod] = None
+        self.layout = FieldLayout()
+        self.static_fields: List[str] = []
+        self.static_descriptors: Dict[str, str] = {}
+        self.static_mods: Dict[str, object] = {}
+        self.field_mods: Dict[str, object] = {}
+        self.is_library = is_library
+        self.line = line
+
+    def __repr__(self) -> str:
+        return f"<class {self.name}>"
+
+
+class Site:
+    """An allocation (or last-use) site: a program point identified by
+    class, method and line, plus what is allocated there."""
+
+    __slots__ = ("site_id", "class_name", "method_name", "line", "kind", "created", "is_library")
+
+    def __init__(
+        self,
+        site_id: int,
+        class_name: str,
+        method_name: str,
+        line: int,
+        kind: str,
+        created: str,
+        is_library: bool,
+    ) -> None:
+        self.site_id = site_id
+        self.class_name = class_name
+        self.method_name = method_name
+        self.line = line
+        self.kind = kind  # 'new' | 'newarray' | 'string' | 'concat' | 'tostr' | 'native'
+        self.created = created  # class name or array descriptor
+        self.is_library = is_library
+
+    @property
+    def label(self) -> str:
+        return f"{self.class_name}.{self.method_name}:{self.line}"
+
+    def __repr__(self) -> str:
+        return f"<site {self.site_id} {self.label} new {self.created}>"
+
+
+class CompiledProgram:
+    """All compiled classes plus the allocation-site registry."""
+
+    def __init__(self) -> None:
+        self.classes: Dict[str, CompiledClass] = {}
+        self.sites: List[Site] = []
+        self.main_class: Optional[str] = None
+        # Order in which <clinit> methods run at startup.
+        self.clinit_order: List[str] = []
+
+    def add_site(
+        self,
+        class_name: str,
+        method_name: str,
+        line: int,
+        kind: str,
+        created: str,
+        is_library: bool,
+    ) -> int:
+        site_id = len(self.sites)
+        self.sites.append(
+            Site(site_id, class_name, method_name, line, kind, created, is_library)
+        )
+        return site_id
+
+    def site(self, site_id: int) -> Site:
+        return self.sites[site_id]
+
+    def lookup_method(self, class_name: str, method_name: str) -> Optional[CompiledMethod]:
+        """Resolve a method by walking up the superclass chain."""
+        cls: Optional[CompiledClass] = self.classes.get(class_name)
+        while cls is not None:
+            method = cls.methods.get(method_name)
+            if method is not None:
+                return method
+            cls = self.classes.get(cls.super_name) if cls.super_name else None
+        return None
+
+    def is_subclass(self, sub: str, sup: str) -> bool:
+        name: Optional[str] = sub
+        while name is not None:
+            if name == sup:
+                return True
+            cls = self.classes.get(name)
+            name = cls.super_name if cls else None
+        return False
+
+    def superclass_chain(self, name: str) -> List[str]:
+        chain = []
+        current: Optional[str] = name
+        while current is not None:
+            chain.append(current)
+            cls = self.classes.get(current)
+            current = cls.super_name if cls else None
+        return chain
+
+    def all_methods(self) -> List[CompiledMethod]:
+        out = []
+        for cls in self.classes.values():
+            out.extend(cls.methods.values())
+            if cls.ctor is not None:
+                out.append(cls.ctor)
+            if cls.clinit is not None:
+                out.append(cls.clinit)
+        return out

@@ -1,0 +1,254 @@
+"""Command-line interface: the drag-profiling tool as a tool.
+
+Mirrors the paper's two-phase workflow::
+
+    python -m repro run program.mj --main Main arg1 arg2
+    python -m repro profile program.mj --main Main --log run.draglog
+    python -m repro report run.draglog --top 10
+    python -m repro optimize program.mj --main Main -o revised.mj
+    python -m repro disasm program.mj --class Main
+
+``profile`` is phase 1 (the instrumented VM writing the object log);
+``report`` is phase 2 (the offline analyzer). ``optimize`` runs the
+§3.4 advisor and writes the rewritten source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import MiniJavaException, ReproError
+
+
+def _load_program(path: str, library_overrides=None):
+    from repro.runtime.library import link
+
+    with open(path, "r", encoding="utf-8") as f:
+        source = f.read()
+    return link(source, library_overrides=library_overrides)
+
+
+def cmd_run(args) -> int:
+    from repro.mjava.compiler import compile_program
+    from repro.runtime.interpreter import Interpreter
+
+    program = compile_program(_load_program(args.file), main_class=args.main)
+    interp = Interpreter(program, max_heap=args.max_heap)
+    result = interp.run(args.args)
+    for line in result.stdout:
+        print(line)
+    if args.stats:
+        print(
+            f"[stats] instructions={result.instructions} "
+            f"allocated={result.heap_stats.bytes_allocated}B "
+            f"objects={result.heap_stats.objects_allocated} "
+            f"gc_runs={result.heap_stats.gc_runs}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.analyzer import DragAnalysis
+    from repro.core.logfile import write_log
+    from repro.core.profiler import profile_program
+    from repro.core.report import drag_report
+    from repro.mjava.compiler import compile_program
+
+    program = compile_program(_load_program(args.file), main_class=args.main)
+    result = profile_program(
+        program,
+        args.args,
+        interval_bytes=args.interval,
+        nesting_depth=args.nesting,
+        last_use_depth=args.last_use_depth,
+    )
+    for line in result.run_result.stdout:
+        print(line)
+    print(
+        f"[profile] {len(result.records)} objects logged, "
+        f"{len(result.samples)} deep-GC samples, "
+        f"{result.end_time} bytes allocated",
+        file=sys.stderr,
+    )
+    if args.log:
+        count = write_log(
+            args.log,
+            result.records,
+            end_time=result.end_time,
+            metadata={"main": args.main, "interval": args.interval},
+        )
+        print(f"[profile] wrote {count} records to {args.log}", file=sys.stderr)
+    else:
+        analysis = DragAnalysis(result.records)
+        print(
+            drag_report(
+                analysis,
+                top=args.top,
+                interval_bytes=args.interval,
+                program=result.program,
+            )
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.analyzer import DragAnalysis
+    from repro.core.logfile import read_log
+    from repro.core.report import drag_report
+
+    loaded = read_log(args.log)
+    analysis = DragAnalysis(
+        loaded.records, include_library_sites=not args.app_only
+    )
+    interval = loaded.metadata.get("interval", 100 * 1024)
+    print(drag_report(analysis, top=args.top, interval_bytes=interval, nested=args.nested))
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from repro.mjava.pretty import pretty_print
+    from repro.transform.advisor import optimize
+
+    program = _load_program(args.file)
+    revised, report = optimize(
+        program, args.main, args.args, interval_bytes=args.interval
+    )
+    print(report.summary(), file=sys.stderr)
+    applied = len(report.applied())
+    print(f"[optimize] {applied} transformation(s) applied", file=sys.stderr)
+    text = pretty_print(revised)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+        print(f"[optimize] wrote revised source to {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_chart(args) -> int:
+    from repro.core.analyzer import DragAnalysis
+    from repro.core.integrals import curve_from_records
+    from repro.core.logfile import read_log
+    from repro.core.report import heap_profile_chart
+
+    loaded = read_log(args.log)
+    records = [r for r in loaded.records if not r.excluded]
+    curves = {
+        "#": curve_from_records(records, "reachable"),
+        ".": curve_from_records(records, "in_use"),
+    }
+    print(heap_profile_chart(curves, width=args.width, height=args.height,
+                             end_time=loaded.end_time))
+    print("legend: # reachable   . in-use")
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    from repro.bytecode.disasm import disassemble_method, disassemble_program
+    from repro.mjava.compiler import compile_program
+
+    program = compile_program(_load_program(args.file))
+    if args.cls:
+        cls = program.classes.get(args.cls)
+        if cls is None:
+            print(f"error: no class {args.cls}", file=sys.stderr)
+            return 2
+        members = list(cls.methods.values())
+        if cls.ctor is not None:
+            members.append(cls.ctor)
+        if cls.clinit is not None:
+            members.append(cls.clinit)
+        for method in members:
+            if not method.is_native:
+                print(disassemble_method(method))
+    else:
+        print(disassemble_program(program))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Drag-time heap profiler for mini-Java "
+        "(reproduction of 'Heap Profiling for Space-Efficient Java', PLDI 2001)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a mini-Java program")
+    run.add_argument("file")
+    run.add_argument("--main", required=True, help="class containing static main")
+    run.add_argument("--max-heap", type=int, default=None, help="heap limit in bytes")
+    run.add_argument("--stats", action="store_true", help="print VM counters")
+    run.set_defaults(fn=cmd_run)
+
+    profile = sub.add_parser("profile", help="phase 1: run under the drag profiler")
+    profile.add_argument("file")
+    profile.add_argument("--main", required=True)
+    profile.add_argument("--interval", type=int, default=100 * 1024,
+                         help="deep-GC interval in bytes (default 100K, as the paper)")
+    profile.add_argument("--nesting", type=int, default=4,
+                         help="nested allocation-site depth")
+    profile.add_argument("--last-use-depth", type=int, default=1,
+                         help="nested last-use-site depth")
+    profile.add_argument("--log", help="write the object log here instead of reporting")
+    profile.add_argument("--top", type=int, default=10)
+    profile.set_defaults(fn=cmd_profile)
+
+    report = sub.add_parser("report", help="phase 2: analyze an object log")
+    report.add_argument("log")
+    report.add_argument("--top", type=int, default=10)
+    report.add_argument("--nested", action="store_true",
+                        help="group by nested allocation site (call chain)")
+    report.add_argument("--app-only", action="store_true",
+                        help="exclude library (mini-JDK) allocation sites")
+    report.set_defaults(fn=cmd_report)
+
+    optimize = sub.add_parser("optimize", help="profile-driven automatic rewriting")
+    optimize.add_argument("file")
+    optimize.add_argument("--main", required=True)
+    optimize.add_argument("--interval", type=int, default=100 * 1024)
+    optimize.add_argument("-o", "--output", help="write revised source here")
+    optimize.set_defaults(fn=cmd_optimize)
+
+    chart = sub.add_parser("chart", help="render Figure-2-style heap curves from a log")
+    chart.add_argument("log")
+    chart.add_argument("--width", type=int, default=72)
+    chart.add_argument("--height", type=int, default=16)
+    chart.set_defaults(fn=cmd_chart)
+
+    disasm = sub.add_parser("disasm", help="disassemble compiled bytecode")
+    disasm.add_argument("file")
+    disasm.add_argument("--class", dest="cls", help="restrict to one class")
+    disasm.set_defaults(fn=cmd_disasm)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    # Program arguments are whatever trails the recognized options, so
+    # "repro run prog.mj --main Main input1 input2" works naturally.
+    args, extra = parser.parse_known_args(argv)
+    bad = [a for a in extra if a.startswith("-")]
+    if bad:
+        parser.error(f"unrecognized arguments: {' '.join(bad)}")
+    args.args = extra
+    try:
+        return args.fn(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except MiniJavaException as exc:
+        print(f"uncaught mini-Java exception: {exc}", file=sys.stderr)
+        return 3
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The paper's contribution: the two-phase drag-profiling tool.
+
+Phase 1 (:mod:`repro.core.profiler`) runs inside the VM: it attaches a
+trailer to every object, timestamps creation and every use on the
+byte-allocation clock, forces a deep GC every 100 KB of allocation, and
+logs a record per object at reclamation (or program end).
+
+Phase 2 (:mod:`repro.core.analyzer` and friends) is offline: it
+partitions dragged objects by allocation site, computes drag space-time
+products, classifies lifetime patterns, and produces the sorted reports
+a programmer (or the automatic optimizer in :mod:`repro.transform`)
+uses to find rewriting opportunities.
+"""
+
+from repro.core.trailer import ObjectRecord, Trailer
+from repro.core.profiler import HeapProfiler, ProfileResult, profile_program, profile_source
+from repro.core.analyzer import DragAnalysis, Histogram, SiteGroup
+from repro.core.patterns import LifetimePattern, classify_group
+from repro.core.integrals import HeapCurve, curve_from_records, integral_mb2, savings
+from repro.core.anchor import anchor_site
+from repro.core.report import drag_report
+from repro.core.logfile import read_log, write_log
+
+__all__ = [
+    "ObjectRecord",
+    "Trailer",
+    "HeapProfiler",
+    "ProfileResult",
+    "profile_program",
+    "profile_source",
+    "DragAnalysis",
+    "Histogram",
+    "SiteGroup",
+    "LifetimePattern",
+    "classify_group",
+    "HeapCurve",
+    "curve_from_records",
+    "integral_mb2",
+    "savings",
+    "anchor_site",
+    "drag_report",
+    "read_log",
+    "write_log",
+]

@@ -1,0 +1,234 @@
+"""Phase 2: the off-line drag analyzer (§2.2).
+
+Partitions dragged objects by allocation site, by *nested* allocation
+site (call chain), and by (allocation site, last-use site); sums the
+drag space-time product per group; maintains the special partition of
+*never-used* objects; and sorts groups by drag — "allocation sites
+having a large drag suggest a potential for significant space savings".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.trailer import ObjectRecord
+
+
+class SiteGroup:
+    """All logged objects sharing one partition key (a site label, a
+    nested-site chain, or a (site, last-use-site) pair)."""
+
+    __slots__ = ("key", "records")
+
+    def __init__(self, key) -> None:
+        self.key = key
+        self.records: List[ObjectRecord] = []
+
+    def add(self, record: ObjectRecord) -> None:
+        self.records.append(record)
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.records)
+
+    @property
+    def total_drag(self) -> int:
+        """Sum of drag space-time products (bytes²) over the group."""
+        return sum(r.drag for r in self.records)
+
+    @property
+    def total_in_use(self) -> int:
+        return sum(r.size * r.in_use_time for r in self.records)
+
+    @property
+    def never_used_records(self) -> List[ObjectRecord]:
+        return [r for r in self.records if r.never_used]
+
+    @property
+    def never_used_count(self) -> int:
+        return sum(1 for r in self.records if r.never_used)
+
+    @property
+    def never_used_drag(self) -> int:
+        return sum(r.drag for r in self.records if r.never_used)
+
+    @property
+    def never_used_fraction(self) -> float:
+        """Fraction of the group's drag due to never-used objects."""
+        drag = self.total_drag
+        return self.never_used_drag / drag if drag > 0 else 0.0
+
+    def drag_times(self) -> List[int]:
+        return [r.drag_time for r in self.records]
+
+    def partition_by_last_use(self) -> Dict[Optional[str], "SiteGroup"]:
+        """§2.2: 'we also partition dragged objects according to nested
+        allocation site and last-use site'."""
+        out: Dict[Optional[str], SiteGroup] = {}
+        for record in self.records:
+            key = record.last_use_frame
+            group = out.get(key)
+            if group is None:
+                group = out[key] = SiteGroup((self.key, key))
+            group.add(record)
+        return out
+
+    def lifetime_breakdown(self, attr: str = "drag_time", buckets: int = 4) -> "Histogram":
+        """§3.4: 'The tool also partitions the dragged objects at that
+        anchor allocation site according to their drag time, in-use
+        time, and collection time.' ``attr`` is one of ``drag_time``,
+        ``in_use_time``, ``collection_time``, ``lag_time``, ``lifetime``
+        or ``drag``."""
+        values = [getattr(r, attr) for r in self.records]
+        return Histogram(attr, values, buckets)
+
+    @property
+    def type_names(self) -> List[str]:
+        seen = []
+        for record in self.records:
+            if record.type_name not in seen:
+                seen.append(record.type_name)
+        return seen
+
+    def __repr__(self) -> str:
+        return f"<group {self.key} n={self.count} drag={self.total_drag}>"
+
+
+class Histogram:
+    """Equal-width bucketing of one lifetime attribute over a group."""
+
+    __slots__ = ("attr", "values", "edges", "counts")
+
+    def __init__(self, attr: str, values: List[int], buckets: int) -> None:
+        self.attr = attr
+        self.values = sorted(values)
+        if not values:
+            self.edges: List[int] = []
+            self.counts: List[int] = []
+            return
+        lo, hi = self.values[0], self.values[-1]
+        width = max(1, (hi - lo + buckets) // buckets)
+        self.edges = [lo + i * width for i in range(buckets + 1)]
+        self.counts = [0] * buckets
+        for value in self.values:
+            index = min((value - lo) // width, buckets - 1)
+            self.counts[index] += 1
+
+    @property
+    def minimum(self) -> Optional[int]:
+        return self.values[0] if self.values else None
+
+    @property
+    def maximum(self) -> Optional[int]:
+        return self.values[-1] if self.values else None
+
+    @property
+    def median(self) -> Optional[int]:
+        if not self.values:
+            return None
+        return self.values[len(self.values) // 2]
+
+    @property
+    def mean(self) -> Optional[float]:
+        if not self.values:
+            return None
+        return sum(self.values) / len(self.values)
+
+    def summary(self) -> str:
+        if not self.values:
+            return f"{self.attr}: (empty)"
+        rows = " ".join(
+            f"[{self.edges[i]}..{self.edges[i + 1]}):{self.counts[i]}"
+            for i in range(len(self.counts))
+        )
+        return (
+            f"{self.attr}: min={self.minimum} median={self.median} "
+            f"max={self.maximum}  {rows}"
+        )
+
+    def __repr__(self) -> str:
+        return f"<histogram {self.attr} n={len(self.values)}>"
+
+
+def _group_by(records: Iterable[ObjectRecord], key_fn) -> Dict[object, SiteGroup]:
+    out: Dict[object, SiteGroup] = {}
+    for record in records:
+        key = key_fn(record)
+        group = out.get(key)
+        if group is None:
+            group = out[key] = SiteGroup(key)
+        group.add(record)
+    return out
+
+
+class DragAnalysis:
+    """The analyzer's view of one profile log."""
+
+    def __init__(
+        self,
+        records: Iterable[ObjectRecord],
+        include_library_sites: bool = True,
+    ) -> None:
+        all_records = [r for r in records if not r.excluded]
+        if not include_library_sites:
+            all_records = [r for r in all_records if not r.site_is_library]
+        self.records = all_records
+        # Coarse partition: by allocation site alone (§2.2: "sometimes an
+        # allocation site is used in many contexts and a large drag may be
+        # distributed among several smaller drag groups" under the nested
+        # partition).
+        self.by_site = _group_by(all_records, lambda r: r.site_label)
+        # Fine partition: by nested allocation site (call chain).
+        self.by_nested = _group_by(all_records, lambda r: r.nested_alloc or (r.site_label,))
+        # By allocation site and last-use site.
+        self.by_site_and_use = _group_by(
+            all_records, lambda r: (r.site_label, r.last_use_frame)
+        )
+
+    # -- totals ---------------------------------------------------------------
+
+    @property
+    def total_drag(self) -> int:
+        return sum(r.drag for r in self.records)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self.records)
+
+    @property
+    def object_count(self) -> int:
+        return len(self.records)
+
+    # -- sorted views (the tool's primary output) -------------------------------
+
+    def sorted_sites(self, limit: Optional[int] = None) -> List[SiteGroup]:
+        groups = sorted(self.by_site.values(), key=lambda g: (-g.total_drag, str(g.key)))
+        return groups[:limit] if limit else groups
+
+    def sorted_nested(self, limit: Optional[int] = None) -> List[SiteGroup]:
+        groups = sorted(self.by_nested.values(), key=lambda g: (-g.total_drag, str(g.key)))
+        return groups[:limit] if limit else groups
+
+    def never_used_sites(self, limit: Optional[int] = None) -> List[SiteGroup]:
+        """Sites whose drag is entirely due to never-used objects —
+        'a sure bet for code rewriting' (§2.2)."""
+        groups = [
+            g
+            for g in self.by_site.values()
+            if g.count > 0 and g.never_used_count == g.count and g.total_drag > 0
+        ]
+        groups.sort(key=lambda g: (-g.total_drag, str(g.key)))
+        return groups[:limit] if limit else groups
+
+    def site(self, label: str) -> Optional[SiteGroup]:
+        return self.by_site.get(label)
+
+    def drag_share(self, group: SiteGroup) -> float:
+        total = self.total_drag
+        return group.total_drag / total if total > 0 else 0.0

@@ -1,0 +1,78 @@
+"""Reading and writing phase-1 log files.
+
+The instrumented VM writes one JSON record per reclaimed object; the
+off-line analyzer reads them back. A header line carries the format
+version and run metadata so logs are self-describing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import ProfileError
+from repro.core.trailer import ObjectRecord
+
+FORMAT_NAME = "repro-drag-log"
+FORMAT_VERSION = 1
+
+
+def write_log(
+    path: Union[str, Path],
+    records: Iterable[ObjectRecord],
+    end_time: Optional[int] = None,
+    metadata: Optional[dict] = None,
+) -> int:
+    """Write records as JSONL with a header; returns the record count."""
+    header = {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "end_time": end_time,
+    }
+    if metadata:
+        header["metadata"] = metadata
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(json.dumps(header) + "\n")
+        for record in records:
+            f.write(json.dumps(record.to_dict()) + "\n")
+            count += 1
+    return count
+
+
+class LoadedLog:
+    """A parsed log: records plus header metadata."""
+
+    __slots__ = ("records", "end_time", "metadata")
+
+    def __init__(self, records: List[ObjectRecord], end_time: Optional[int], metadata: dict) -> None:
+        self.records = records
+        self.end_time = end_time
+        self.metadata = metadata
+
+
+def read_log(path: Union[str, Path]) -> LoadedLog:
+    """Read a log file written by :func:`write_log`."""
+    records: List[ObjectRecord] = []
+    with open(path, "r", encoding="utf-8") as f:
+        header_line = f.readline()
+        if not header_line:
+            raise ProfileError(f"{path}: empty log file")
+        try:
+            header = json.loads(header_line)
+        except json.JSONDecodeError as exc:
+            raise ProfileError(f"{path}: bad log header: {exc}") from exc
+        if header.get("format") != FORMAT_NAME:
+            raise ProfileError(f"{path}: not a {FORMAT_NAME} file")
+        if header.get("version") != FORMAT_VERSION:
+            raise ProfileError(f"{path}: unsupported version {header.get('version')}")
+        for line_no, line in enumerate(f, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(ObjectRecord.from_dict(json.loads(line)))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ProfileError(f"{path}:{line_no}: bad record: {exc}") from exc
+    return LoadedLog(records, header.get("end_time"), header.get("metadata") or {})

@@ -1,0 +1,269 @@
+"""Phase 1: the on-line heap profiler (the instrumented JVM of §2.1).
+
+The profiler hooks the interpreter/heap events:
+
+* ``on_alloc`` — stamps a trailer with creation time (the byte clock),
+  object length, and the *nested allocation site* (the call chain
+  leading to the allocation, to a configurable depth — §2.1.1: "The
+  level of nesting can be set in order to tradeoff more accurate
+  information and speed").
+* ``on_use`` — stamps last-use time and nested last-use site.
+* ``take_sample`` — runs a *deep GC* every ``interval_bytes`` of
+  allocation (default 100 KB) and records a heap sample.
+* ``on_free`` / ``on_program_end`` — writes the object's log record;
+  at program end a final deep GC runs and survivors are logged with
+  ``collection_time`` equal to the end time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.trailer import ObjectRecord, Trailer
+from repro.runtime.objects import HeapObject
+
+
+class HeapSample:
+    """Heap state captured right after one deep GC."""
+
+    __slots__ = ("time", "reachable_bytes", "object_count")
+
+    def __init__(self, time: int, reachable_bytes: int, object_count: int) -> None:
+        self.time = time
+        self.reachable_bytes = reachable_bytes
+        self.object_count = object_count
+
+    def __repr__(self) -> str:
+        return f"<sample t={self.time} reachable={self.reachable_bytes}B>"
+
+
+class HeapProfiler:
+    """The drag profiler. Attach to an Interpreter via its constructor:
+    ``Interpreter(program, profiler=HeapProfiler())``."""
+
+    def __init__(
+        self,
+        interval_bytes: int = 100 * 1024,
+        nesting_depth: int = 4,
+        last_use_depth: int = 1,
+        include_excluded: bool = False,
+    ) -> None:
+        if interval_bytes <= 0:
+            raise ValueError("interval_bytes must be positive")
+        self.interval_bytes = interval_bytes
+        self.nesting_depth = nesting_depth
+        self.last_use_depth = last_use_depth
+        self.include_excluded = include_excluded
+        self.next_sample_at = interval_bytes
+        self.records: List[ObjectRecord] = []
+        self.samples: List[HeapSample] = []
+        self.interp = None
+        self.program = None
+        self._ended = False
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, interp) -> None:
+        self.interp = interp
+        self.program = interp.program
+
+    # -- call-chain capture ------------------------------------------------
+    #
+    # Hot path discipline: use events fire on every getfield; capturing
+    # a frame is therefore a raw (method, pc) tuple, and the
+    # "Class.method:line" label is only formatted when the object's
+    # record is logged (reclamation or program end).
+
+    def _nested_frames(self, depth: int) -> Tuple:
+        frames = self.interp.frames
+        if not frames or depth <= 0:
+            return ()
+        start = max(0, len(frames) - depth)
+        # innermost frame first, matching "the call chain leading to
+        # the allocation" read bottom-up.
+        return tuple(
+            (frames[i].method, frames[i].pc - 1)
+            for i in range(len(frames) - 1, start - 1, -1)
+        )
+
+    @staticmethod
+    def _format_frame(frame_ref) -> str:
+        method, pc = frame_ref
+        code = method.code
+        if 0 <= pc < len(code):
+            line = code[pc].line
+        else:
+            line = method.line
+        return f"{method.qualified_name}:{line}"
+
+    # -- event hooks ----------------------------------------------------------
+
+    def on_alloc(self, obj: HeapObject) -> None:
+        heap = self.interp.heap
+        obj.trailer = Trailer(
+            creation_time=heap.clock,
+            size=obj.size,
+            alloc_site=self.interp.alloc_site,
+            nested_alloc=self._nested_frames(self.nesting_depth),
+        )
+
+    def on_use(self, obj: HeapObject) -> None:
+        trailer = obj.trailer
+        if trailer is None:
+            return
+        interp = self.interp
+        clock = interp.heap.clock
+        if trailer.first_use_time == 0:
+            trailer.first_use_time = clock
+        trailer.last_use_time = clock
+        frames = interp.frames
+        if frames:
+            frame = frames[-1]
+            trailer.last_use_frame = (frame.method, frame.pc - 1)
+            if self.last_use_depth > 1:
+                trailer.last_use_chain = self._nested_frames(self.last_use_depth)
+
+    def on_free(self, obj: HeapObject) -> None:
+        self._log(obj, collection_time=self.interp.heap.clock, survived=False)
+
+    # -- sampling ---------------------------------------------------------------
+
+    def take_sample(self, interp) -> None:
+        """Deep GC + sample. Called by the interpreter at the first
+        instruction boundary after each 100 KB (interval) of allocation."""
+        heap = interp.heap
+        while self.next_sample_at <= heap.clock:
+            self.next_sample_at += self.interval_bytes
+        interp.deep_gc()
+        self.samples.append(
+            HeapSample(heap.clock, heap.live_bytes, heap.object_count())
+        )
+
+    # -- finish --------------------------------------------------------------------
+
+    def on_program_end(self, interp) -> None:
+        """§2.1.1: 'When the program terminates, we perform a last deep
+        GC and then we log information for all objects that still remain
+        in the heap.'"""
+        if self._ended:
+            return
+        self._ended = True
+        interp.deep_gc()
+        end_time = interp.heap.clock
+        self.samples.append(
+            HeapSample(end_time, interp.heap.live_bytes, interp.heap.object_count())
+        )
+        for obj in list(interp.heap.iter_objects()):
+            self._log(obj, collection_time=end_time, survived=True)
+
+    # -- record emission ---------------------------------------------------------
+
+    def _log(self, obj: HeapObject, collection_time: int, survived: bool) -> None:
+        if obj.excluded and not self.include_excluded:
+            return
+        trailer = obj.trailer
+        if trailer is None:
+            return
+        site = trailer.alloc_site
+        if site is not None:
+            info = self.program.site(site)
+            label, kind, is_lib = info.label, info.kind, info.is_library
+        else:
+            label, kind, is_lib = "<unknown>", "new", True
+        self.records.append(
+            ObjectRecord(
+                handle=obj.handle,
+                type_name=obj.type_name(),
+                size=obj.size,
+                creation_time=trailer.creation_time,
+                first_use_time=trailer.first_use_time,
+                last_use_time=trailer.last_use_time,
+                collection_time=collection_time,
+                alloc_site=site,
+                site_label=label,
+                site_kind=kind,
+                site_is_library=is_lib,
+                nested_alloc=tuple(
+                    self._format_frame(f) for f in trailer.nested_alloc
+                ),
+                last_use_frame=(
+                    self._format_frame(trailer.last_use_frame)
+                    if trailer.last_use_frame is not None
+                    else None
+                ),
+                last_use_chain=(
+                    tuple(self._format_frame(f) for f in trailer.last_use_chain)
+                    if trailer.last_use_chain is not None
+                    else None
+                ),
+                excluded=obj.excluded,
+                survived_to_end=survived,
+            )
+        )
+
+
+class ProfileResult:
+    """Everything produced by one profiled run."""
+
+    def __init__(self, program, run_result, profiler: HeapProfiler) -> None:
+        self.program = program
+        self.run_result = run_result
+        self.profiler = profiler
+
+    @property
+    def records(self) -> List[ObjectRecord]:
+        return self.profiler.records
+
+    @property
+    def samples(self) -> List[HeapSample]:
+        return self.profiler.samples
+
+    @property
+    def end_time(self) -> int:
+        return self.run_result.clock
+
+
+def profile_program(
+    program,
+    args: Optional[List[str]] = None,
+    interval_bytes: int = 100 * 1024,
+    nesting_depth: int = 4,
+    last_use_depth: int = 1,
+    max_heap: Optional[int] = None,
+) -> ProfileResult:
+    """Run a compiled program under the profiler (phase 1)."""
+    from repro.runtime.interpreter import Interpreter
+
+    profiler = HeapProfiler(
+        interval_bytes=interval_bytes,
+        nesting_depth=nesting_depth,
+        last_use_depth=last_use_depth,
+    )
+    interp = Interpreter(program, profiler=profiler, max_heap=max_heap)
+    run_result = interp.run(args or [])
+    return ProfileResult(program, run_result, profiler)
+
+
+def profile_source(
+    source: str,
+    main_class: str,
+    args: Optional[List[str]] = None,
+    interval_bytes: int = 100 * 1024,
+    nesting_depth: int = 4,
+    last_use_depth: int = 1,
+    library_overrides=None,
+) -> ProfileResult:
+    """Convenience: link, compile, and profile mini-Java source."""
+    from repro.mjava.compiler import compile_program
+    from repro.runtime.library import link
+
+    program = compile_program(
+        link(source, library_overrides=library_overrides), main_class=main_class
+    )
+    return profile_program(
+        program,
+        args,
+        interval_bytes=interval_bytes,
+        nesting_depth=nesting_depth,
+        last_use_depth=last_use_depth,
+    )

@@ -1,0 +1,207 @@
+"""Object trailers and log records.
+
+§2.1.1: "We attach a trailer to every object to keep track of our
+profiling information. We do not count the space taken for this trailer
+in our data. ... An object's trailer fields include its creation time,
+its last use time, its length in bytes, its nested allocation site and
+its nested last-use site."
+
+Times are bytes allocated since program start. A last-use time of 0
+means the object was never used (§3.4: "the last use time is zero").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class Trailer:
+    """Per-object profiling metadata (never counted in object size)."""
+
+    __slots__ = (
+        "creation_time",
+        "first_use_time",
+        "last_use_time",
+        "size",
+        "alloc_site",
+        "nested_alloc",
+        "last_use_frame",
+        "last_use_chain",
+    )
+
+    def __init__(
+        self,
+        creation_time: int,
+        size: int,
+        alloc_site: Optional[int],
+        nested_alloc: Tuple[str, ...],
+    ) -> None:
+        self.creation_time = creation_time
+        # First-use time extends the paper's measurements to the full
+        # Röjemo/Runciman lag-drag-void-use decomposition [21]: lag is
+        # creation -> first use, void objects are never used at all.
+        self.first_use_time = 0  # 0 == never used
+        self.last_use_time = 0  # 0 == never used
+        self.size = size
+        self.alloc_site = alloc_site
+        self.nested_alloc = nested_alloc
+        self.last_use_frame: Optional[str] = None
+        self.last_use_chain: Optional[Tuple[str, ...]] = None
+
+
+class ObjectRecord:
+    """One line of the phase-1 log: everything known about one object
+    at the time it was reclaimed (or the program ended)."""
+
+    __slots__ = (
+        "handle",
+        "type_name",
+        "size",
+        "creation_time",
+        "first_use_time",
+        "last_use_time",
+        "collection_time",
+        "alloc_site",
+        "site_label",
+        "site_kind",
+        "site_is_library",
+        "nested_alloc",
+        "last_use_frame",
+        "last_use_chain",
+        "excluded",
+        "survived_to_end",
+    )
+
+    def __init__(
+        self,
+        handle: int,
+        type_name: str,
+        size: int,
+        creation_time: int,
+        last_use_time: int,
+        collection_time: int,
+        alloc_site: Optional[int],
+        site_label: str,
+        site_kind: str,
+        site_is_library: bool,
+        nested_alloc: Tuple[str, ...],
+        last_use_frame: Optional[str],
+        last_use_chain: Optional[Tuple[str, ...]],
+        excluded: bool,
+        survived_to_end: bool,
+        first_use_time: int = 0,
+    ) -> None:
+        self.handle = handle
+        self.type_name = type_name
+        self.size = size
+        self.creation_time = creation_time
+        self.first_use_time = first_use_time
+        self.last_use_time = last_use_time
+        self.collection_time = collection_time
+        self.alloc_site = alloc_site
+        self.site_label = site_label
+        self.site_kind = site_kind
+        self.site_is_library = site_is_library
+        self.nested_alloc = nested_alloc
+        self.last_use_frame = last_use_frame
+        self.last_use_chain = last_use_chain
+        self.excluded = excluded
+        self.survived_to_end = survived_to_end
+
+    # -- derived quantities (paper definitions) ---------------------------
+
+    @property
+    def never_used(self) -> bool:
+        """§3.4: an object whose recorded last-use time is zero.
+        (Röjemo/Runciman call these *void* objects.)"""
+        return self.last_use_time == 0
+
+    @property
+    def is_void(self) -> bool:
+        """Röjemo/Runciman terminology for never-used objects [21]."""
+        return self.never_used
+
+    @property
+    def lag_time(self) -> int:
+        """Röjemo/Runciman *lag*: creation until first use (0 when the
+        object is void — its whole lifetime is drag instead)."""
+        if self.never_used or self.first_use_time == 0:
+            return 0
+        return self.first_use_time - self.creation_time
+
+    @property
+    def use_time(self) -> int:
+        """Röjemo/Runciman *use* phase: first use to last use."""
+        if self.never_used or self.first_use_time == 0:
+            return 0
+        return self.last_use_time - self.first_use_time
+
+    @property
+    def in_use_time(self) -> int:
+        """Length of the in-use interval [creation, last use]."""
+        if self.never_used:
+            return 0
+        return self.last_use_time - self.creation_time
+
+    @property
+    def drag_time(self) -> int:
+        """Time reachable but not in use: collection − last use (or
+        collection − creation for never-used objects)."""
+        start = self.creation_time if self.never_used else self.last_use_time
+        return max(0, self.collection_time - start)
+
+    @property
+    def drag(self) -> int:
+        """The drag space-time product: size × drag time (bytes²)."""
+        return self.size * self.drag_time
+
+    @property
+    def lifetime(self) -> int:
+        return max(0, self.collection_time - self.creation_time)
+
+    def to_dict(self) -> dict:
+        return {
+            "handle": self.handle,
+            "type": self.type_name,
+            "size": self.size,
+            "created": self.creation_time,
+            "first_use": self.first_use_time,
+            "last_use": self.last_use_time,
+            "collected": self.collection_time,
+            "site": self.alloc_site,
+            "site_label": self.site_label,
+            "site_kind": self.site_kind,
+            "site_lib": self.site_is_library,
+            "nested": list(self.nested_alloc),
+            "use_frame": self.last_use_frame,
+            "use_chain": list(self.last_use_chain) if self.last_use_chain else None,
+            "excluded": self.excluded,
+            "survived": self.survived_to_end,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObjectRecord":
+        return cls(
+            handle=data["handle"],
+            type_name=data["type"],
+            size=data["size"],
+            creation_time=data["created"],
+            first_use_time=data.get("first_use", 0),
+            last_use_time=data["last_use"],
+            collection_time=data["collected"],
+            alloc_site=data["site"],
+            site_label=data["site_label"],
+            site_kind=data["site_kind"],
+            site_is_library=data["site_lib"],
+            nested_alloc=tuple(data["nested"]),
+            last_use_frame=data["use_frame"],
+            last_use_chain=tuple(data["use_chain"]) if data["use_chain"] else None,
+            excluded=data["excluded"],
+            survived_to_end=data["survived"],
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<record {self.type_name}@{self.handle} size={self.size} "
+            f"[{self.creation_time},{self.last_use_time},{self.collection_time}]>"
+        )

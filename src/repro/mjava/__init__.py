@@ -1,0 +1,15 @@
+"""Mini-Java frontend: lexer, AST, parser, pretty-printer, sema, compiler.
+
+The mini-Java language is the substrate standing in for Java in this
+reproduction: a single-inheritance class-based language with visibility
+modifiers, static members, arrays, strings, exceptions and ``synchronized``
+blocks — rich enough to express the drag patterns of the paper's nine
+benchmarks and to give the static analyses of Section 5 something real to
+analyze.
+"""
+
+from repro.mjava.lexer import tokenize
+from repro.mjava.parser import parse_program
+from repro.mjava.pretty import pretty_print
+
+__all__ = ["tokenize", "parse_program", "pretty_print"]

@@ -1,0 +1,638 @@
+"""AST node definitions for mini-Java.
+
+Every node subclasses :class:`Node` and declares its fields in
+``_fields``; this powers structural equality, ``children()`` traversal and
+the generic rewriter in :mod:`repro.transform.rewriter`. Nodes carry the
+source position of their first token so profiles and analyses can report
+line numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import SourcePosition
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class Type:
+    """A source-level type: a primitive, a class name, or an array."""
+
+    __slots__ = ()
+
+    def is_reference(self) -> bool:
+        raise NotImplementedError
+
+
+class PrimitiveType(Type):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if name not in ("int", "boolean", "char", "void"):
+            raise ValueError(f"not a primitive type: {name}")
+        self.name = name
+
+    def is_reference(self) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimitiveType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("prim", self.name))
+
+
+class ClassType(Type):
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("class", self.name))
+
+
+class ArrayType(Type):
+    __slots__ = ("element",)
+
+    def __init__(self, element: Type) -> None:
+        self.element = element
+
+    def is_reference(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"{self.element}[]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ArrayType) and other.element == self.element
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element))
+
+
+INT = PrimitiveType("int")
+BOOLEAN = PrimitiveType("boolean")
+CHAR = PrimitiveType("char")
+VOID = PrimitiveType("void")
+STRING = ClassType("String")
+OBJECT = ClassType("Object")
+NULL_TYPE = ClassType("<null>")
+
+
+# ---------------------------------------------------------------------------
+# Node base
+# ---------------------------------------------------------------------------
+
+
+class Node:
+    """Base AST node. Subclasses set ``_fields`` naming their children.
+
+    Structural equality ignores source positions, so a pretty-print /
+    re-parse round trip compares equal.
+    """
+
+    _fields: Tuple[str, ...] = ()
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: Optional[SourcePosition] = None) -> None:
+        self.pos = pos or SourcePosition(0, 0)
+
+    def field_values(self) -> List[Tuple[str, object]]:
+        return [(name, getattr(self, name)) for name in self._fields]
+
+    def children(self) -> Iterator["Node"]:
+        """Yield direct child nodes (flattening lists)."""
+        for _, value in self.field_values():
+            if isinstance(value, Node):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, Node):
+                        yield item
+
+    def walk(self) -> Iterator["Node"]:
+        """Yield this node and all descendants, preorder."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def __eq__(self, other: object) -> bool:
+        if type(self) is not type(other):
+            return False
+        for name in self._fields:
+            if getattr(self, name) != getattr(other, name):
+                return False
+        return True
+
+    def __hash__(self) -> int:
+        return hash(type(self).__name__)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}={v!r}" for n, v in self.field_values())
+        return f"{type(self).__name__}({parts})"
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+class Program(Node):
+    _fields = ("classes",)
+    __slots__ = ("classes",)
+
+    def __init__(self, classes: List["ClassDecl"], pos=None) -> None:
+        super().__init__(pos)
+        self.classes = classes
+
+    def find_class(self, name: str) -> Optional["ClassDecl"]:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+
+class Modifiers:
+    """Member modifiers. ``visibility`` is one of public, protected,
+    package, private."""
+
+    __slots__ = ("visibility", "static", "final", "native")
+
+    def __init__(
+        self,
+        visibility: str = "package",
+        static: bool = False,
+        final: bool = False,
+        native: bool = False,
+    ) -> None:
+        if visibility not in ("public", "protected", "package", "private"):
+            raise ValueError(f"bad visibility: {visibility}")
+        self.visibility = visibility
+        self.static = static
+        self.final = final
+        self.native = native
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Modifiers)
+            and self.visibility == other.visibility
+            and self.static == other.static
+            and self.final == other.final
+            and self.native == other.native
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.visibility, self.static, self.final, self.native))
+
+    def __repr__(self) -> str:
+        parts = [self.visibility]
+        if self.static:
+            parts.append("static")
+        if self.final:
+            parts.append("final")
+        if self.native:
+            parts.append("native")
+        return " ".join(parts)
+
+
+class ClassDecl(Node):
+    _fields = ("name", "superclass", "fields", "methods", "ctors")
+    __slots__ = ("name", "superclass", "fields", "methods", "ctors", "is_library")
+
+    def __init__(
+        self,
+        name: str,
+        superclass: Optional[str],
+        fields: List["FieldDecl"],
+        methods: List["MethodDecl"],
+        ctors: List["CtorDecl"],
+        pos=None,
+        is_library: bool = False,
+    ) -> None:
+        super().__init__(pos)
+        self.name = name
+        self.superclass = superclass
+        self.fields = fields
+        self.methods = methods
+        self.ctors = ctors
+        # Library classes (our mini-JDK) are flagged so reports can
+        # separate application sites from JDK sites, as the paper does.
+        self.is_library = is_library
+
+
+class FieldDecl(Node):
+    _fields = ("mods", "type", "name", "init")
+    __slots__ = ("mods", "type", "name", "init")
+
+    def __init__(
+        self,
+        mods: Modifiers,
+        type_: Type,
+        name: str,
+        init: Optional["Expr"],
+        pos=None,
+    ) -> None:
+        super().__init__(pos)
+        self.mods = mods
+        self.type = type_
+        self.name = name
+        self.init = init
+
+
+class Param(Node):
+    _fields = ("type", "name")
+    __slots__ = ("type", "name")
+
+    def __init__(self, type_: Type, name: str, pos=None) -> None:
+        super().__init__(pos)
+        self.type = type_
+        self.name = name
+
+
+class MethodDecl(Node):
+    _fields = ("mods", "return_type", "name", "params", "body")
+    __slots__ = ("mods", "return_type", "name", "params", "body")
+
+    def __init__(
+        self,
+        mods: Modifiers,
+        return_type: Type,
+        name: str,
+        params: List[Param],
+        body: Optional["Block"],
+        pos=None,
+    ) -> None:
+        super().__init__(pos)
+        self.mods = mods
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body  # None for native methods
+
+
+class CtorDecl(Node):
+    _fields = ("mods", "name", "params", "body")
+    __slots__ = ("mods", "name", "params", "body")
+
+    def __init__(
+        self,
+        mods: Modifiers,
+        name: str,
+        params: List[Param],
+        body: "Block",
+        pos=None,
+    ) -> None:
+        super().__init__(pos)
+        self.mods = mods
+        self.name = name
+        self.params = params
+        self.body = body
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class Stmt(Node):
+    __slots__ = ()
+
+
+class Block(Stmt):
+    _fields = ("stmts",)
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: List[Stmt], pos=None) -> None:
+        super().__init__(pos)
+        self.stmts = stmts
+
+
+class VarDecl(Stmt):
+    _fields = ("type", "name", "init")
+    __slots__ = ("type", "name", "init")
+
+    def __init__(self, type_: Type, name: str, init: Optional["Expr"], pos=None) -> None:
+        super().__init__(pos)
+        self.type = type_
+        self.name = name
+        self.init = init
+
+
+class ExprStmt(Stmt):
+    _fields = ("expr",)
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: "Expr", pos=None) -> None:
+        super().__init__(pos)
+        self.expr = expr
+
+
+class Assign(Stmt):
+    """``target = value;`` where target is a name, field access, or index."""
+
+    _fields = ("target", "value")
+    __slots__ = ("target", "value")
+
+    def __init__(self, target: "Expr", value: "Expr", pos=None) -> None:
+        super().__init__(pos)
+        self.target = target
+        self.value = value
+
+
+class If(Stmt):
+    _fields = ("cond", "then", "otherwise")
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond: "Expr", then: Stmt, otherwise: Optional[Stmt], pos=None) -> None:
+        super().__init__(pos)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Stmt):
+    _fields = ("cond", "body")
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: "Expr", body: Stmt, pos=None) -> None:
+        super().__init__(pos)
+        self.cond = cond
+        self.body = body
+
+
+class For(Stmt):
+    _fields = ("init", "cond", "update", "body")
+    __slots__ = ("init", "cond", "update", "body")
+
+    def __init__(
+        self,
+        init: Optional[Stmt],
+        cond: Optional["Expr"],
+        update: Optional[Stmt],
+        body: Stmt,
+        pos=None,
+    ) -> None:
+        super().__init__(pos)
+        self.init = init
+        self.cond = cond
+        self.update = update
+        self.body = body
+
+
+class Return(Stmt):
+    _fields = ("value",)
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional["Expr"], pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+
+
+class Throw(Stmt):
+    _fields = ("value",)
+    __slots__ = ("value",)
+
+    def __init__(self, value: "Expr", pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+
+
+class Break(Stmt):
+    _fields = ()
+    __slots__ = ()
+
+
+class Continue(Stmt):
+    _fields = ()
+    __slots__ = ()
+
+
+class CatchClause(Node):
+    _fields = ("exc_class", "var", "body")
+    __slots__ = ("exc_class", "var", "body")
+
+    def __init__(self, exc_class: str, var: str, body: Block, pos=None) -> None:
+        super().__init__(pos)
+        self.exc_class = exc_class
+        self.var = var
+        self.body = body
+
+
+class Try(Stmt):
+    _fields = ("body", "catches")
+    __slots__ = ("body", "catches")
+
+    def __init__(self, body: Block, catches: List[CatchClause], pos=None) -> None:
+        super().__init__(pos)
+        self.body = body
+        self.catches = catches
+
+
+class Synchronized(Stmt):
+    _fields = ("monitor", "body")
+    __slots__ = ("monitor", "body")
+
+    def __init__(self, monitor: "Expr", body: Block, pos=None) -> None:
+        super().__init__(pos)
+        self.monitor = monitor
+        self.body = body
+
+
+class SuperCall(Stmt):
+    """``super(args);`` — only legal as the first statement of a ctor."""
+
+    _fields = ("args",)
+    __slots__ = ("args",)
+
+    def __init__(self, args: List["Expr"], pos=None) -> None:
+        super().__init__(pos)
+        self.args = args
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr(Node):
+    __slots__ = ()
+
+
+class IntLit(Expr):
+    _fields = ("value",)
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+
+
+class CharLit(Expr):
+    _fields = ("value",)
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+
+
+class BoolLit(Expr):
+    _fields = ("value",)
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool, pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+
+
+class StringLit(Expr):
+    _fields = ("value",)
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+
+
+class NullLit(Expr):
+    _fields = ()
+    __slots__ = ()
+
+
+class This(Expr):
+    _fields = ()
+    __slots__ = ()
+
+
+class Name(Expr):
+    """An unqualified name: local, parameter, field of ``this``, or class."""
+
+    _fields = ("ident",)
+    __slots__ = ("ident",)
+
+    def __init__(self, ident: str, pos=None) -> None:
+        super().__init__(pos)
+        self.ident = ident
+
+
+class FieldAccess(Expr):
+    _fields = ("target", "name")
+    __slots__ = ("target", "name")
+
+    def __init__(self, target: Expr, name: str, pos=None) -> None:
+        super().__init__(pos)
+        self.target = target
+        self.name = name
+
+
+class Index(Expr):
+    _fields = ("array", "index")
+    __slots__ = ("array", "index")
+
+    def __init__(self, array: Expr, index: Expr, pos=None) -> None:
+        super().__init__(pos)
+        self.array = array
+        self.index = index
+
+
+class Call(Expr):
+    """``target.name(args)``. ``target`` is None for unqualified calls
+    (resolved in sema to ``this`` or a static call on the current class)."""
+
+    _fields = ("target", "name", "args")
+    __slots__ = ("target", "name", "args")
+
+    def __init__(self, target: Optional[Expr], name: str, args: List[Expr], pos=None) -> None:
+        super().__init__(pos)
+        self.target = target
+        self.name = name
+        self.args = args
+
+
+class SuperMethodCall(Expr):
+    _fields = ("name", "args")
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: List[Expr], pos=None) -> None:
+        super().__init__(pos)
+        self.name = name
+        self.args = args
+
+
+class New(Expr):
+    _fields = ("class_name", "args")
+    __slots__ = ("class_name", "args")
+
+    def __init__(self, class_name: str, args: List[Expr], pos=None) -> None:
+        super().__init__(pos)
+        self.class_name = class_name
+        self.args = args
+
+
+class NewArray(Expr):
+    """``new Elem[length]`` possibly with extra empty dims: ``new T[n][]``."""
+
+    _fields = ("element_type", "length")
+    __slots__ = ("element_type", "length")
+
+    def __init__(self, element_type: Type, length: Expr, pos=None) -> None:
+        super().__init__(pos)
+        self.element_type = element_type
+        self.length = length
+
+
+class Unary(Expr):
+    _fields = ("op", "operand")
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op: str, operand: Expr, pos=None) -> None:
+        super().__init__(pos)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Expr):
+    _fields = ("op", "left", "right")
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr, pos=None) -> None:
+        super().__init__(pos)
+        self.op = op
+        self.left = left
+        self.right = right
+
+
+class InstanceOf(Expr):
+    _fields = ("value", "class_name")
+    __slots__ = ("value", "class_name")
+
+    def __init__(self, value: Expr, class_name: str, pos=None) -> None:
+        super().__init__(pos)
+        self.value = value
+        self.class_name = class_name
+
+
+class Cast(Expr):
+    _fields = ("type", "value")
+    __slots__ = ("type", "value")
+
+    def __init__(self, type_: Type, value: Expr, pos=None) -> None:
+        super().__init__(pos)
+        self.type = type_
+        self.value = value

@@ -1,0 +1,962 @@
+"""AST → bytecode compiler with integrated type checking.
+
+The compiler walks the AST once per method, resolving names against the
+:class:`repro.mjava.sema.ClassTable`, checking types, and emitting
+:class:`repro.bytecode.instr.Instr` sequences. Every allocating
+expression (``new``, ``new T[n]``, string literals, string conversion and
+concatenation) is registered as an allocation *site* in the compiled
+program — the unit every profiler report is keyed on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.mjava import ast
+from repro.mjava.sema import ClassInfo, ClassTable, descriptor, type_repr
+from repro.bytecode.instr import Instr
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import (
+    CompiledClass,
+    CompiledMethod,
+    CompiledProgram,
+    ExceptionEntry,
+)
+
+_DEFAULTS = {"int": 0, "char": 0, "boolean": False, "ref": None}
+
+
+def compile_program(
+    program: ast.Program,
+    main_class: Optional[str] = None,
+    table: Optional[ClassTable] = None,
+) -> CompiledProgram:
+    """Compile a (library-merged) program AST to bytecode.
+
+    ``main_class`` names the class whose ``static void main(String[])``
+    is the entry point; it is validated if given.
+    """
+    table = table or ClassTable(program)
+    compiler = _ProgramCompiler(table)
+    compiled = compiler.run()
+    compiled.main_class = main_class
+    if main_class is not None:
+        info = table.get(main_class)
+        main = info.methods.get("main")
+        if main is None or not main.mods.static:
+            raise SemanticError(f"{main_class} has no static main method")
+    return compiled
+
+
+class _ProgramCompiler:
+    def __init__(self, table: ClassTable) -> None:
+        self.table = table
+        self.out = CompiledProgram()
+
+    def run(self) -> CompiledProgram:
+        # Create all classes first so layouts can consult superclasses.
+        for decl in self.table.program.classes:
+            cls = CompiledClass(decl.name, decl.superclass, decl.is_library, decl.pos.line)
+            self.out.classes[decl.name] = cls
+        for decl in self.table.program.classes:
+            self._build_layout(decl)
+        for decl in self.table.program.classes:
+            self._compile_class(decl)
+        return self.out
+
+    def _build_layout(self, decl: ast.ClassDecl) -> None:
+        cls = self.out.classes[decl.name]
+        for ancestor in reversed(self.table.superclass_chain(decl.name)):
+            info = self.table.get(ancestor)
+            for field in info.decl.fields:
+                if field.mods.static:
+                    continue
+                cls.layout.names.append(field.name)
+                cls.layout.descriptors[field.name] = descriptor(field.type)
+                cls.layout.declaring[field.name] = ancestor
+                cls.field_mods[field.name] = field.mods
+        cls.layout.compute_size()
+        for field in decl.fields:
+            if field.mods.static:
+                cls.static_fields.append(field.name)
+                cls.static_descriptors[field.name] = descriptor(field.type)
+                cls.static_mods[field.name] = field.mods
+        self.out.clinit_order.append(decl.name)
+
+    def _compile_class(self, decl: ast.ClassDecl) -> None:
+        cls = self.out.classes[decl.name]
+        info = self.table.get(decl.name)
+        for method in decl.methods:
+            cls.methods[method.name] = _MethodCompiler(
+                self, info, method.mods, method.return_type, method.name,
+                method.params, method.body, is_ctor=False, line=method.pos.line,
+            ).compile()
+        ctor = info.ctor
+        if ctor is not None:
+            cls.ctor = _MethodCompiler(
+                self, info, ctor.mods, ast.VOID, "<init>", ctor.params,
+                ctor.body, is_ctor=True, line=ctor.pos.line,
+            ).compile()
+        else:
+            cls.ctor = _MethodCompiler(
+                self, info, ast.Modifiers("public"), ast.VOID, "<init>", [],
+                ast.Block([], pos=decl.pos), is_ctor=True, line=decl.pos.line,
+            ).compile()
+        static_inits = [f for f in decl.fields if f.mods.static and f.init is not None]
+        if static_inits:
+            cls.clinit = self._compile_clinit(info, static_inits)
+
+    def _compile_clinit(self, info: ClassInfo, fields: List[ast.FieldDecl]) -> CompiledMethod:
+        body = ast.Block(
+            [
+                ast.Assign(ast.Name(f.name, pos=f.pos), f.init, pos=f.pos)
+                for f in fields
+            ],
+            pos=fields[0].pos,
+        )
+        return _MethodCompiler(
+            self, info, ast.Modifiers("package", static=True), ast.VOID, "<clinit>",
+            [], body, is_ctor=False, line=fields[0].pos.line,
+        ).compile()
+
+
+class _Loop:
+    __slots__ = ("break_jumps", "continue_jumps")
+
+    def __init__(self) -> None:
+        self.break_jumps: List[int] = []
+        self.continue_jumps: List[int] = []
+
+
+class _MethodCompiler:
+    def __init__(
+        self,
+        parent: _ProgramCompiler,
+        info: ClassInfo,
+        mods: ast.Modifiers,
+        return_type: ast.Type,
+        name: str,
+        params: List[ast.Param],
+        body: Optional[ast.Block],
+        is_ctor: bool,
+        line: int,
+    ) -> None:
+        self.parent = parent
+        self.table = parent.table
+        self.out = parent.out
+        self.info = info
+        self.mods = mods
+        self.return_type = return_type
+        self.name = name
+        self.params = params
+        self.body = body
+        self.is_ctor = is_ctor
+        self.line = line
+        self.code: List[Instr] = []
+        self.exception_table: List[ExceptionEntry] = []
+        self.scopes: List[Dict[str, Tuple[int, ast.Type]]] = [{}]
+        self.slot_names: List[str] = []
+        self.slot_types: List[str] = []
+        self.loops: List[_Loop] = []
+        self.current_line = line
+        self.is_static = mods.static
+
+    # -- slots & scopes ------------------------------------------------------
+
+    def new_slot(self, name: str, type_: ast.Type) -> int:
+        slot = len(self.slot_names)
+        self.slot_names.append(name)
+        self.slot_types.append(descriptor(type_) if type_ is not None else "ref")
+        return slot
+
+    def declare(self, name: str, type_: ast.Type, pos) -> int:
+        for scope in self.scopes:
+            if name in scope:
+                raise SemanticError(f"duplicate variable {name}", pos)
+        slot = self.new_slot(name, type_)
+        self.scopes[-1][name] = (slot, type_)
+        return slot
+
+    def lookup_var(self, name: str) -> Optional[Tuple[int, ast.Type]]:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        return None
+
+    # -- emission ------------------------------------------------------------
+
+    def emit(self, op: str, *args, site: Optional[int] = None) -> int:
+        self.code.append(Instr(op, tuple(args), line=self.current_line, site=site))
+        return len(self.code) - 1
+
+    def here(self) -> int:
+        return len(self.code)
+
+    def patch(self, index: int, target: int) -> None:
+        self.code[index].args = (target,)
+
+    def add_site(self, kind: str, created: str) -> int:
+        return self.out.add_site(
+            self.info.name, self.name, self.current_line, kind, created,
+            self.info.is_library,
+        )
+
+    # -- entry ---------------------------------------------------------------
+
+    def compile(self) -> CompiledMethod:
+        if self.mods.native:
+            return self._native_method()
+        if not self.is_static:
+            self.new_slot("this", ast.ClassType(self.info.name))
+        for param in self.params:
+            self._check_type_exists(param.type, param.pos)
+            self.declare(param.name, param.type, param.pos)
+        param_descs = [descriptor(p.type) for p in self.params]
+        if self.is_ctor:
+            self._compile_ctor_prologue()
+        assert self.body is not None
+        self.compile_block(self.body)
+        if self.return_type == ast.VOID:
+            self.emit(Op.RET)
+        else:
+            self._emit_default(self.return_type)
+            self.emit(Op.RETV)
+        return CompiledMethod(
+            class_name=self.info.name,
+            name=self.name,
+            param_count=len(self.params),
+            nlocals=len(self.slot_names),
+            code=self.code,
+            exception_table=self.exception_table,
+            mods=self.mods,
+            is_static=self.is_static,
+            is_ctor=self.is_ctor,
+            is_native=False,
+            return_descriptor=descriptor(self.return_type),
+            slot_names=self.slot_names,
+            slot_types=self.slot_types,
+            line=self.line,
+            param_descriptors=param_descs,
+        )
+
+    def _native_method(self) -> CompiledMethod:
+        if not self.is_static:
+            self.new_slot("this", ast.ClassType(self.info.name))
+        for param in self.params:
+            self.declare(param.name, param.type, param.pos)
+        return CompiledMethod(
+            class_name=self.info.name,
+            name=self.name,
+            param_count=len(self.params),
+            nlocals=len(self.slot_names),
+            code=[],
+            exception_table=[],
+            mods=self.mods,
+            is_static=self.is_static,
+            is_ctor=False,
+            is_native=True,
+            return_descriptor=descriptor(self.return_type),
+            slot_names=self.slot_names,
+            slot_types=self.slot_types,
+            line=self.line,
+            param_descriptors=[descriptor(p.type) for p in self.params],
+        )
+
+    def _emit_default(self, type_: ast.Type) -> None:
+        if type_.is_reference():
+            self.emit(Op.CONST_NULL)
+        elif type_ == ast.BOOLEAN:
+            self.emit(Op.CONST, False)
+        else:
+            self.emit(Op.CONST, 0)
+
+    def _compile_ctor_prologue(self) -> None:
+        """Run the explicit/implicit super() call, then field initializers."""
+        body_stmts = self.body.stmts
+        explicit_super = body_stmts and isinstance(body_stmts[0], ast.SuperCall)
+        super_name = self.info.super_name
+        if explicit_super:
+            stmt = body_stmts[0]
+            if super_name is None:
+                raise SemanticError(f"{self.info.name} has no superclass", stmt.pos)
+            self.current_line = stmt.pos.line
+            self._compile_ctor_call(super_name, stmt.args, stmt.pos)
+            # Mark it handled; compile_block skips leading SuperCall.
+        elif super_name is not None:
+            self._compile_ctor_call(super_name, [], self.body.pos)
+        for field in self.info.decl.fields:
+            if field.mods.static or field.init is None:
+                continue
+            self.current_line = field.pos.line
+            self.emit(Op.LOAD, 0)
+            value_type = self.compile_expr(field.init)
+            self._check_assignable(field.type, value_type, field.pos)
+            self.emit(Op.PUTFIELD, field.name)
+
+    def _compile_ctor_call(self, class_name: str, args: List[ast.Expr], pos) -> None:
+        info = self.table.get(class_name)
+        ctor = info.ctor
+        params = ctor.params if ctor is not None else []
+        if len(args) != len(params):
+            raise SemanticError(
+                f"constructor {class_name} expects {len(params)} args, got {len(args)}", pos
+            )
+        self._check_private_ctor(info, pos)
+        for arg, param in zip(args, params):
+            arg_type = self.compile_expr(arg)
+            self._check_assignable(param.type, arg_type, pos)
+        self.emit(Op.SUPERINIT, class_name, len(args))
+
+    # -- statements ------------------------------------------------------------
+
+    def compile_block(self, block: ast.Block) -> None:
+        self.scopes.append({})
+        stmts = block.stmts
+        if self.is_ctor and block is self.body and stmts and isinstance(stmts[0], ast.SuperCall):
+            stmts = stmts[1:]
+        for stmt in stmts:
+            self.compile_stmt(stmt)
+        self.scopes.pop()
+
+    def compile_stmt(self, stmt: ast.Stmt) -> None:
+        self.current_line = stmt.pos.line
+        if isinstance(stmt, ast.Block):
+            self.compile_block(stmt)
+        elif isinstance(stmt, ast.VarDecl):
+            self._check_type_exists(stmt.type, stmt.pos)
+            slot = self.declare(stmt.name, stmt.type, stmt.pos)
+            if stmt.init is not None:
+                value_type = self.compile_expr(stmt.init)
+                self._check_assignable(stmt.type, value_type, stmt.pos)
+            else:
+                self._emit_default(stmt.type)
+            self.emit(Op.STORE, slot)
+        elif isinstance(stmt, ast.ExprStmt):
+            result = self.compile_expr(stmt.expr, statement=True)
+            if result != ast.VOID:
+                self.emit(Op.POP)
+        elif isinstance(stmt, ast.Assign):
+            self.compile_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.compile_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.compile_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.compile_for(stmt)
+        elif isinstance(stmt, ast.Return):
+            self.compile_return(stmt)
+        elif isinstance(stmt, ast.Throw):
+            value_type = self.compile_expr(stmt.value)
+            if not (isinstance(value_type, ast.ClassType) and self.table.is_subtype(value_type.name, "Throwable")):
+                raise SemanticError("throw of a non-Throwable value", stmt.pos)
+            self.emit(Op.THROW)
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise SemanticError("break outside loop", stmt.pos)
+            self.loops[-1].break_jumps.append(self.emit(Op.JUMP, -1))
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise SemanticError("continue outside loop", stmt.pos)
+            self.loops[-1].continue_jumps.append(self.emit(Op.JUMP, -1))
+        elif isinstance(stmt, ast.Try):
+            self.compile_try(stmt)
+        elif isinstance(stmt, ast.Synchronized):
+            self.compile_synchronized(stmt)
+        elif isinstance(stmt, ast.SuperCall):
+            raise SemanticError("super() is only allowed as the first statement of a constructor", stmt.pos)
+        else:
+            raise SemanticError(f"cannot compile statement {type(stmt).__name__}", stmt.pos)
+
+    def compile_assign(self, stmt: ast.Assign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            var = self.lookup_var(target.ident)
+            if var is not None:
+                slot, var_type = var
+                value_type = self.compile_expr(stmt.value)
+                self._check_assignable(var_type, value_type, stmt.pos)
+                self.emit(Op.STORE, slot)
+                return
+            resolved = self.table.resolve_field(self.info.name, target.ident)
+            if resolved is None:
+                raise SemanticError(f"unknown variable {target.ident}", stmt.pos)
+            declaring, field = resolved
+            self._check_private_member(declaring, field.mods, target.ident, stmt.pos)
+            if field.mods.static:
+                value_type = self.compile_expr(stmt.value)
+                self._check_assignable(field.type, value_type, stmt.pos)
+                self.emit(Op.PUTSTATIC, declaring.name, target.ident)
+            else:
+                self._require_instance_context(stmt.pos)
+                self.emit(Op.LOAD, 0)
+                value_type = self.compile_expr(stmt.value)
+                self._check_assignable(field.type, value_type, stmt.pos)
+                self.emit(Op.PUTFIELD, target.ident)
+            return
+        if isinstance(target, ast.FieldAccess):
+            static_class = self._as_class_name(target.target)
+            if static_class is not None:
+                declaring, field = self._resolve_static_field(static_class, target.name, stmt.pos)
+                value_type = self.compile_expr(stmt.value)
+                self._check_assignable(field.type, value_type, stmt.pos)
+                self.emit(Op.PUTSTATIC, declaring.name, target.name)
+                return
+            obj_type = self.compile_expr(target.target)
+            declaring, field = self._resolve_instance_field(obj_type, target.name, stmt.pos)
+            value_type = self.compile_expr(stmt.value)
+            self._check_assignable(field.type, value_type, stmt.pos)
+            self.emit(Op.PUTFIELD, target.name)
+            return
+        if isinstance(target, ast.Index):
+            array_type = self.compile_expr(target.array)
+            if not isinstance(array_type, ast.ArrayType):
+                raise SemanticError("indexing a non-array", stmt.pos)
+            index_type = self.compile_expr(target.index)
+            self._check_int(index_type, stmt.pos)
+            value_type = self.compile_expr(stmt.value)
+            self._check_assignable(array_type.element, value_type, stmt.pos)
+            self.emit(Op.ASTORE)
+            return
+        raise SemanticError("invalid assignment target", stmt.pos)
+
+    def compile_if(self, stmt: ast.If) -> None:
+        cond_type = self.compile_expr(stmt.cond)
+        self._check_boolean(cond_type, stmt.pos)
+        jump_false = self.emit(Op.JIF, -1)
+        self.compile_stmt(stmt.then)
+        if stmt.otherwise is not None:
+            jump_end = self.emit(Op.JUMP, -1)
+            self.patch(jump_false, self.here())
+            self.compile_stmt(stmt.otherwise)
+            self.patch(jump_end, self.here())
+        else:
+            self.patch(jump_false, self.here())
+
+    def compile_while(self, stmt: ast.While) -> None:
+        top = self.here()
+        cond_type = self.compile_expr(stmt.cond)
+        self._check_boolean(cond_type, stmt.pos)
+        exit_jump = self.emit(Op.JIF, -1)
+        loop = _Loop()
+        self.loops.append(loop)
+        self.compile_stmt(stmt.body)
+        self.loops.pop()
+        for jump in loop.continue_jumps:
+            self.patch(jump, top)
+        self.emit(Op.JUMP, top)
+        end = self.here()
+        self.patch(exit_jump, end)
+        for jump in loop.break_jumps:
+            self.patch(jump, end)
+
+    def compile_for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self.compile_stmt(stmt.init)
+        top = self.here()
+        exit_jump = None
+        if stmt.cond is not None:
+            cond_type = self.compile_expr(stmt.cond)
+            self._check_boolean(cond_type, stmt.pos)
+            exit_jump = self.emit(Op.JIF, -1)
+        loop = _Loop()
+        self.loops.append(loop)
+        self.compile_stmt(stmt.body)
+        self.loops.pop()
+        update_pc = self.here()
+        if stmt.update is not None:
+            self.compile_stmt(stmt.update)
+        self.emit(Op.JUMP, top)
+        end = self.here()
+        if exit_jump is not None:
+            self.patch(exit_jump, end)
+        for jump in loop.break_jumps:
+            self.patch(jump, end)
+        for jump in loop.continue_jumps:
+            self.patch(jump, update_pc)
+        self.scopes.pop()
+
+    def compile_return(self, stmt: ast.Return) -> None:
+        if stmt.value is None:
+            if self.return_type != ast.VOID:
+                raise SemanticError("missing return value", stmt.pos)
+            self.emit(Op.RET)
+            return
+        if self.return_type == ast.VOID:
+            raise SemanticError("void method returns a value", stmt.pos)
+        value_type = self.compile_expr(stmt.value)
+        self._check_assignable(self.return_type, value_type, stmt.pos)
+        self.emit(Op.RETV)
+
+    def compile_try(self, stmt: ast.Try) -> None:
+        start = self.here()
+        self.compile_block(stmt.body)
+        end = self.here()
+        end_jumps = [self.emit(Op.JUMP, -1)]
+        entries = []
+        for clause in stmt.catches:
+            if not self.table.is_subtype(clause.exc_class, "Throwable"):
+                raise SemanticError(f"catch of non-Throwable {clause.exc_class}", clause.pos)
+            handler_pc = self.here()
+            self.scopes.append({})
+            slot = self.declare(clause.var, ast.ClassType(clause.exc_class), clause.pos)
+            entries.append(
+                ExceptionEntry(start, end, handler_pc, clause.exc_class, slot, kind="catch")
+            )
+            self.compile_block(clause.body)
+            self.scopes.pop()
+            end_jumps.append(self.emit(Op.JUMP, -1))
+        target = self.here()
+        for jump in end_jumps:
+            self.patch(jump, target)
+        self.exception_table.extend(entries)
+
+    def compile_synchronized(self, stmt: ast.Synchronized) -> None:
+        monitor_type = self.compile_expr(stmt.monitor)
+        if not monitor_type.is_reference():
+            raise SemanticError("synchronized on a non-reference", stmt.pos)
+        slot = self.new_slot(f"$mon{len(self.slot_names)}", monitor_type)
+        self.emit(Op.DUP)
+        self.emit(Op.STORE, slot)
+        self.emit(Op.MONENTER)
+        start = self.here()
+        self.compile_block(stmt.body)
+        end = self.here()
+        self.emit(Op.LOAD, slot)
+        self.emit(Op.MONEXIT)
+        self.exception_table.append(
+            ExceptionEntry(start, end, kind="monitor", monitor_slot=slot)
+        )
+
+    # -- expressions -------------------------------------------------------------
+
+    def compile_expr(self, expr: ast.Expr, statement: bool = False) -> ast.Type:
+        """Emit code leaving the expression's value on the stack; return
+        its static type. With ``statement=True``, only calls and ``new``
+        are allowed (expression statements)."""
+        self.current_line = expr.pos.line or self.current_line
+        if statement and not isinstance(expr, (ast.Call, ast.New, ast.SuperMethodCall)):
+            raise SemanticError("not a statement expression", expr.pos)
+        if isinstance(expr, ast.IntLit):
+            self.emit(Op.CONST, expr.value)
+            return ast.INT
+        if isinstance(expr, ast.CharLit):
+            self.emit(Op.CONST, ord(expr.value))
+            return ast.CHAR
+        if isinstance(expr, ast.BoolLit):
+            self.emit(Op.CONST, expr.value)
+            return ast.BOOLEAN
+        if isinstance(expr, ast.StringLit):
+            site = self.add_site("string", "String")
+            self.emit(Op.CONST_STRING, expr.value, site=site)
+            return ast.STRING
+        if isinstance(expr, ast.NullLit):
+            self.emit(Op.CONST_NULL)
+            return ast.NULL_TYPE
+        if isinstance(expr, ast.This):
+            self._require_instance_context(expr.pos)
+            self.emit(Op.LOAD, 0)
+            return ast.ClassType(self.info.name)
+        if isinstance(expr, ast.Name):
+            return self.compile_name(expr)
+        if isinstance(expr, ast.FieldAccess):
+            return self.compile_field_access(expr)
+        if isinstance(expr, ast.Index):
+            return self.compile_index(expr)
+        if isinstance(expr, ast.Call):
+            return self.compile_call(expr)
+        if isinstance(expr, ast.SuperMethodCall):
+            return self.compile_super_call(expr)
+        if isinstance(expr, ast.New):
+            return self.compile_new(expr)
+        if isinstance(expr, ast.NewArray):
+            return self.compile_new_array(expr)
+        if isinstance(expr, ast.Unary):
+            return self.compile_unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self.compile_binary(expr)
+        if isinstance(expr, ast.InstanceOf):
+            value_type = self.compile_expr(expr.value)
+            if not value_type.is_reference():
+                raise SemanticError("instanceof on a non-reference", expr.pos)
+            self.table.get(expr.class_name)
+            self.emit(Op.INSTANCEOF, expr.class_name)
+            return ast.BOOLEAN
+        if isinstance(expr, ast.Cast):
+            return self.compile_cast(expr)
+        raise SemanticError(f"cannot compile expression {type(expr).__name__}", expr.pos)
+
+    def compile_name(self, expr: ast.Name) -> ast.Type:
+        var = self.lookup_var(expr.ident)
+        if var is not None:
+            slot, var_type = var
+            self.emit(Op.LOAD, slot)
+            return var_type
+        resolved = self.table.resolve_field(self.info.name, expr.ident)
+        if resolved is not None:
+            declaring, field = resolved
+            self._check_private_member(declaring, field.mods, expr.ident, expr.pos)
+            if field.mods.static:
+                self.emit(Op.GETSTATIC, declaring.name, expr.ident)
+            else:
+                self._require_instance_context(expr.pos)
+                self.emit(Op.LOAD, 0)
+                self.emit(Op.GETFIELD, expr.ident)
+            return field.type
+        raise SemanticError(f"unknown name {expr.ident}", expr.pos)
+
+    def _as_class_name(self, expr: ast.Expr) -> Optional[str]:
+        """If ``expr`` is a bare Name denoting a class (and not a
+        variable/field), return the class name."""
+        if not isinstance(expr, ast.Name):
+            return None
+        if self.lookup_var(expr.ident) is not None:
+            return None
+        if self.table.resolve_field(self.info.name, expr.ident) is not None:
+            return None
+        if self.table.has(expr.ident):
+            return expr.ident
+        return None
+
+    def compile_field_access(self, expr: ast.FieldAccess) -> ast.Type:
+        static_class = self._as_class_name(expr.target)
+        if static_class is not None:
+            declaring, field = self._resolve_static_field(static_class, expr.name, expr.pos)
+            self.emit(Op.GETSTATIC, declaring.name, expr.name)
+            return field.type
+        target_type = self.compile_expr(expr.target)
+        if isinstance(target_type, ast.ArrayType):
+            if expr.name != "length":
+                raise SemanticError(f"arrays have no field {expr.name}", expr.pos)
+            self.emit(Op.ARRAYLEN)
+            return ast.INT
+        declaring, field = self._resolve_instance_field(target_type, expr.name, expr.pos)
+        self.emit(Op.GETFIELD, expr.name)
+        return field.type
+
+    def compile_index(self, expr: ast.Index) -> ast.Type:
+        array_type = self.compile_expr(expr.array)
+        if not isinstance(array_type, ast.ArrayType):
+            raise SemanticError("indexing a non-array", expr.pos)
+        index_type = self.compile_expr(expr.index)
+        self._check_int(index_type, expr.pos)
+        self.emit(Op.ALOAD)
+        return array_type.element
+
+    def compile_call(self, expr: ast.Call) -> ast.Type:
+        if expr.target is None:
+            resolved = self.table.resolve_method(self.info.name, expr.name)
+            if resolved is None:
+                raise SemanticError(f"unknown method {expr.name}", expr.pos)
+            declaring, method = resolved
+            self._check_private_member(declaring, method.mods, expr.name, expr.pos)
+            if method.mods.static:
+                self._compile_args(method.params, expr.args, expr.pos)
+                self.emit(Op.INVOKESTATIC, declaring.name, expr.name, len(expr.args))
+            else:
+                self._require_instance_context(expr.pos)
+                self.emit(Op.LOAD, 0)
+                self._compile_args(method.params, expr.args, expr.pos)
+                self.emit(Op.INVOKEV, expr.name, len(expr.args))
+            return method.return_type
+        static_class = self._as_class_name(expr.target)
+        if static_class is not None:
+            resolved = self.table.resolve_method(static_class, expr.name)
+            if resolved is None:
+                raise SemanticError(f"unknown method {static_class}.{expr.name}", expr.pos)
+            declaring, method = resolved
+            if not method.mods.static:
+                raise SemanticError(f"{static_class}.{expr.name} is not static", expr.pos)
+            self._check_private_member(declaring, method.mods, expr.name, expr.pos)
+            self._compile_args(method.params, expr.args, expr.pos)
+            self.emit(Op.INVOKESTATIC, declaring.name, expr.name, len(expr.args))
+            return method.return_type
+        target_type = self.compile_expr(expr.target)
+        if not isinstance(target_type, ast.ClassType) or target_type == ast.NULL_TYPE:
+            raise SemanticError("method call on a non-object", expr.pos)
+        resolved = self.table.resolve_method(target_type.name, expr.name)
+        if resolved is None:
+            raise SemanticError(f"unknown method {target_type.name}.{expr.name}", expr.pos)
+        declaring, method = resolved
+        if method.mods.static:
+            raise SemanticError(f"static method {expr.name} called on instance", expr.pos)
+        self._check_private_member(declaring, method.mods, expr.name, expr.pos)
+        self._compile_args(method.params, expr.args, expr.pos)
+        self.emit(Op.INVOKEV, expr.name, len(expr.args))
+        return method.return_type
+
+    def compile_super_call(self, expr: ast.SuperMethodCall) -> ast.Type:
+        self._require_instance_context(expr.pos)
+        if self.info.super_name is None:
+            raise SemanticError(f"{self.info.name} has no superclass", expr.pos)
+        resolved = self.table.resolve_method(self.info.super_name, expr.name)
+        if resolved is None:
+            raise SemanticError(f"unknown method super.{expr.name}", expr.pos)
+        declaring, method = resolved
+        self.emit(Op.LOAD, 0)
+        self._compile_args(method.params, expr.args, expr.pos)
+        self.emit(Op.INVOKESUPER, self.info.super_name, expr.name, len(expr.args))
+        return method.return_type
+
+    def _compile_args(self, params: List[ast.Param], args: List[ast.Expr], pos) -> None:
+        if len(params) != len(args):
+            raise SemanticError(f"expected {len(params)} arguments, got {len(args)}", pos)
+        for param, arg in zip(params, args):
+            arg_type = self.compile_expr(arg)
+            self._check_assignable(param.type, arg_type, pos)
+
+    def compile_new(self, expr: ast.New) -> ast.Type:
+        info = self.table.get(expr.class_name)
+        ctor = info.ctor
+        params = ctor.params if ctor is not None else []
+        if len(expr.args) != len(params):
+            raise SemanticError(
+                f"constructor {expr.class_name} expects {len(params)} args, got {len(expr.args)}",
+                expr.pos,
+            )
+        self._check_private_ctor(info, expr.pos)
+        for param, arg in zip(params, expr.args):
+            arg_type = self.compile_expr(arg)
+            self._check_assignable(param.type, arg_type, expr.pos)
+        site = self.add_site("new", expr.class_name)
+        self.emit(Op.NEWINIT, expr.class_name, len(expr.args), site=site)
+        return ast.ClassType(expr.class_name)
+
+    def compile_new_array(self, expr: ast.NewArray) -> ast.Type:
+        self._check_type_exists(expr.element_type, expr.pos)
+        length_type = self.compile_expr(expr.length)
+        self._check_int(length_type, expr.pos)
+        elem_desc = descriptor(expr.element_type)
+        elem_repr = type_repr(expr.element_type)
+        site = self.add_site("newarray", elem_repr + "[]")
+        self.emit(Op.NEWARRAY, elem_desc, elem_repr, site=site)
+        return ast.ArrayType(expr.element_type)
+
+    def compile_unary(self, expr: ast.Unary) -> ast.Type:
+        operand_type = self.compile_expr(expr.operand)
+        if expr.op == "-":
+            self._check_int(operand_type, expr.pos)
+            self.emit(Op.NEG)
+            return ast.INT
+        self._check_boolean(operand_type, expr.pos)
+        self.emit(Op.NOT)
+        return ast.BOOLEAN
+
+    _CMP_OPS = {"<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE}
+    _ARITH_OPS = {"+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.MOD}
+
+    def compile_binary(self, expr: ast.Binary) -> ast.Type:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self._compile_short_circuit(expr)
+        if op == "+" and self._is_string_concat(expr):
+            return self._compile_concat(expr)
+        if op in self._ARITH_OPS:
+            left = self.compile_expr(expr.left)
+            self._check_int(left, expr.pos)
+            right = self.compile_expr(expr.right)
+            self._check_int(right, expr.pos)
+            self.emit(self._ARITH_OPS[op])
+            return ast.INT
+        if op in self._CMP_OPS:
+            left = self.compile_expr(expr.left)
+            self._check_int(left, expr.pos)
+            right = self.compile_expr(expr.right)
+            self._check_int(right, expr.pos)
+            self.emit(self._CMP_OPS[op])
+            return ast.BOOLEAN
+        if op in ("==", "!="):
+            left = self.compile_expr(expr.left)
+            right = self.compile_expr(expr.right)
+            if left.is_reference() and right.is_reference():
+                self.emit(Op.REFEQ if op == "==" else Op.REFNE)
+            elif left.is_reference() or right.is_reference():
+                raise SemanticError("comparing reference with primitive", expr.pos)
+            elif (left == ast.BOOLEAN) != (right == ast.BOOLEAN):
+                raise SemanticError("comparing boolean with number", expr.pos)
+            else:
+                self.emit(Op.EQ if op == "==" else Op.NE)
+            return ast.BOOLEAN
+        raise SemanticError(f"unknown operator {op}", expr.pos)
+
+    def _static_type_quick(self, expr: ast.Expr) -> Optional[ast.Type]:
+        """Best-effort static type without emitting code (for the string-+
+        decision). Returns None when it would require full compilation."""
+        if isinstance(expr, ast.StringLit):
+            return ast.STRING
+        if isinstance(expr, ast.IntLit):
+            return ast.INT
+        if isinstance(expr, ast.CharLit):
+            return ast.CHAR
+        if isinstance(expr, ast.BoolLit):
+            return ast.BOOLEAN
+        if isinstance(expr, ast.Binary) and expr.op == "+":
+            left = self._static_type_quick(expr.left)
+            right = self._static_type_quick(expr.right)
+            if left == ast.STRING or right == ast.STRING:
+                return ast.STRING
+            return left
+        if isinstance(expr, ast.Name):
+            var = self.lookup_var(expr.ident)
+            if var is not None:
+                return var[1]
+            resolved = self.table.resolve_field(self.info.name, expr.ident)
+            if resolved is not None:
+                return resolved[1].type
+        if isinstance(expr, ast.Call) and expr.target is None:
+            resolved = self.table.resolve_method(self.info.name, expr.name)
+            if resolved is not None:
+                return resolved[1].return_type
+        return None
+
+    def _is_string_concat(self, expr: ast.Binary) -> bool:
+        left = self._static_type_quick(expr.left)
+        right = self._static_type_quick(expr.right)
+        if left == ast.STRING or right == ast.STRING:
+            return True
+        if left is not None and right is not None:
+            return False
+        # Fall back to a trial compilation of the left operand.
+        mark_code = len(self.code)
+        mark_sites = len(self.out.sites)
+        mark_slots = len(self.slot_names)
+        try:
+            left_type = self.compile_expr(expr.left)
+        except SemanticError:
+            del self.code[mark_code:]
+            del self.out.sites[mark_sites:]
+            del self.slot_names[mark_slots:]
+            del self.slot_types[mark_slots:]
+            return False
+        is_string = left_type == ast.STRING
+        if not is_string:
+            mark2 = len(self.code)
+            try:
+                right_type = self.compile_expr(expr.right)
+                is_string = right_type == ast.STRING
+            except SemanticError:
+                is_string = False
+            del self.code[mark2:]
+        del self.code[mark_code:]
+        del self.out.sites[mark_sites:]
+        del self.slot_names[mark_slots:]
+        del self.slot_types[mark_slots:]
+        return is_string
+
+    def _compile_concat(self, expr: ast.Binary) -> ast.Type:
+        self._compile_to_string(expr.left)
+        self._compile_to_string(expr.right)
+        site = self.add_site("concat", "String")
+        self.emit(Op.CONCAT, site=site)
+        return ast.STRING
+
+    def _compile_to_string(self, expr: ast.Expr) -> None:
+        value_type = self.compile_expr(expr)
+        if value_type == ast.STRING:
+            return
+        if value_type == ast.CHAR:
+            mode = "char"
+        elif value_type == ast.INT:
+            mode = "int"
+        elif value_type == ast.BOOLEAN:
+            mode = "bool"
+        elif value_type.is_reference():
+            mode = "ref"
+        else:
+            raise SemanticError("cannot convert to String", expr.pos)
+        site = self.add_site("tostr", "String")
+        self.emit(Op.TOSTR, mode, site=site)
+
+    def _compile_short_circuit(self, expr: ast.Binary) -> ast.Type:
+        left = self.compile_expr(expr.left)
+        self._check_boolean(left, expr.pos)
+        if expr.op == "&&":
+            skip = self.emit(Op.JIF, -1)
+            right = self.compile_expr(expr.right)
+            self._check_boolean(right, expr.pos)
+            done = self.emit(Op.JUMP, -1)
+            self.patch(skip, self.here())
+            self.emit(Op.CONST, False)
+            self.patch(done, self.here())
+        else:
+            skip = self.emit(Op.JIT, -1)
+            right = self.compile_expr(expr.right)
+            self._check_boolean(right, expr.pos)
+            done = self.emit(Op.JUMP, -1)
+            self.patch(skip, self.here())
+            self.emit(Op.CONST, True)
+            self.patch(done, self.here())
+        return ast.BOOLEAN
+
+    def compile_cast(self, expr: ast.Cast) -> ast.Type:
+        value_type = self.compile_expr(expr.value)
+        target = expr.type
+        if isinstance(target, ast.PrimitiveType):
+            if target == ast.CHAR and value_type in (ast.INT, ast.CHAR):
+                self.emit(Op.CAST_CHAR)
+                return ast.CHAR
+            if target == ast.INT and value_type in (ast.INT, ast.CHAR):
+                return ast.INT
+            raise SemanticError(f"invalid primitive cast to {target}", expr.pos)
+        if not value_type.is_reference():
+            raise SemanticError("cannot cast a primitive to a reference type", expr.pos)
+        self._check_type_exists(target, expr.pos)
+        self.emit(Op.CHECKCAST, type_repr(target))
+        return target
+
+    # -- checks -------------------------------------------------------------------
+
+    def _check_type_exists(self, type_: ast.Type, pos) -> None:
+        base = type_
+        while isinstance(base, ast.ArrayType):
+            base = base.element
+        if isinstance(base, ast.ClassType):
+            self.table.get(base.name)
+
+    def _check_assignable(self, target: ast.Type, value: ast.Type, pos) -> None:
+        if not self.table.assignable(target, value):
+            raise SemanticError(f"cannot assign {value} to {target}", pos)
+
+    def _check_int(self, type_: ast.Type, pos) -> None:
+        if type_ not in (ast.INT, ast.CHAR):
+            raise SemanticError(f"expected int, found {type_}", pos)
+
+    def _check_boolean(self, type_: ast.Type, pos) -> None:
+        if type_ != ast.BOOLEAN:
+            raise SemanticError(f"expected boolean, found {type_}", pos)
+
+    def _require_instance_context(self, pos) -> None:
+        if self.is_static:
+            raise SemanticError("no 'this' in a static context", pos)
+
+    def _check_private_member(self, declaring: ClassInfo, mods: ast.Modifiers, name: str, pos) -> None:
+        if mods.visibility == "private" and declaring.name != self.info.name:
+            raise SemanticError(f"{declaring.name}.{name} is private", pos)
+
+    def _check_private_ctor(self, info: ClassInfo, pos) -> None:
+        ctor = info.ctor
+        if ctor is not None and ctor.mods.visibility == "private" and info.name != self.info.name:
+            raise SemanticError(f"constructor of {info.name} is private", pos)
+
+    def _resolve_static_field(self, class_name: str, field_name: str, pos):
+        resolved = self.table.resolve_field(class_name, field_name)
+        if resolved is None:
+            raise SemanticError(f"unknown field {class_name}.{field_name}", pos)
+        declaring, field = resolved
+        if not field.mods.static:
+            raise SemanticError(f"{class_name}.{field_name} is not static", pos)
+        self._check_private_member(declaring, field.mods, field_name, pos)
+        return declaring, field
+
+    def _resolve_instance_field(self, target_type: ast.Type, field_name: str, pos):
+        if not isinstance(target_type, ast.ClassType) or target_type == ast.NULL_TYPE:
+            raise SemanticError("field access on a non-object", pos)
+        resolved = self.table.resolve_field(target_type.name, field_name)
+        if resolved is None:
+            raise SemanticError(f"unknown field {target_type.name}.{field_name}", pos)
+        declaring, field = resolved
+        if field.mods.static:
+            raise SemanticError(f"{target_type.name}.{field_name} is static", pos)
+        self._check_private_member(declaring, field.mods, field_name, pos)
+        return declaring, field

@@ -1,0 +1,148 @@
+"""Hand-written lexer for mini-Java.
+
+Supports ``//`` line comments, ``/* */`` block comments, decimal integer
+literals, character literals with the common escapes, and double-quoted
+string literals.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import LexError, SourcePosition
+from repro.mjava.tokens import (
+    CHAR_LIT,
+    EOF,
+    IDENT,
+    INT_LIT,
+    KEYWORDS,
+    OPERATORS,
+    STRING_LIT,
+    Token,
+)
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "0": "\0",
+    "\\": "\\",
+    "'": "'",
+    '"': '"',
+    "b": "\b",
+    "f": "\f",
+}
+
+
+class _Lexer:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.index = 0
+        self.line = 1
+        self.col = 1
+
+    def pos(self) -> SourcePosition:
+        return SourcePosition(self.line, self.col)
+
+    def peek(self, ahead: int = 0) -> str:
+        i = self.index + ahead
+        return self.source[i] if i < len(self.source) else ""
+
+    def advance(self) -> str:
+        ch = self.source[self.index]
+        self.index += 1
+        if ch == "\n":
+            self.line += 1
+            self.col = 1
+        else:
+            self.col += 1
+        return ch
+
+    def skip_trivia(self) -> None:
+        while self.index < len(self.source):
+            ch = self.peek()
+            if ch in " \t\r\n":
+                self.advance()
+            elif ch == "/" and self.peek(1) == "/":
+                while self.index < len(self.source) and self.peek() != "\n":
+                    self.advance()
+            elif ch == "/" and self.peek(1) == "*":
+                start = self.pos()
+                self.advance()
+                self.advance()
+                while not (self.peek() == "*" and self.peek(1) == "/"):
+                    if self.index >= len(self.source):
+                        raise LexError("unterminated block comment", start)
+                    self.advance()
+                self.advance()
+                self.advance()
+            else:
+                return
+
+    def read_escape(self, start: SourcePosition) -> str:
+        ch = self.advance()
+        if ch != "\\":
+            return ch
+        esc = self.advance() if self.index < len(self.source) else ""
+        if esc not in _ESCAPES:
+            raise LexError(f"unknown escape sequence '\\{esc}'", start)
+        return _ESCAPES[esc]
+
+    def next_token(self) -> Token:
+        self.skip_trivia()
+        start = self.pos()
+        if self.index >= len(self.source):
+            return Token(EOF, None, start)
+        ch = self.peek()
+        if ch.isalpha() or ch == "_":
+            name = []
+            while self.peek().isalnum() or self.peek() == "_":
+                name.append(self.advance())
+            text = "".join(name)
+            if text in KEYWORDS:
+                return Token(text, text, start)
+            return Token(IDENT, text, start)
+        if ch.isdigit():
+            digits = []
+            while self.peek().isdigit():
+                digits.append(self.advance())
+            if self.peek().isalpha():
+                raise LexError("identifier may not start with a digit", start)
+            return Token(INT_LIT, int("".join(digits)), start)
+        if ch == "'":
+            self.advance()
+            if self.peek() == "'":
+                raise LexError("empty character literal", start)
+            value = self.read_escape(start)
+            if self.index >= len(self.source) or self.peek() != "'":
+                raise LexError("unterminated character literal", start)
+            self.advance()
+            return Token(CHAR_LIT, value, start)
+        if ch == '"':
+            self.advance()
+            chars = []
+            while True:
+                if self.index >= len(self.source) or self.peek() == "\n":
+                    raise LexError("unterminated string literal", start)
+                if self.peek() == '"':
+                    self.advance()
+                    break
+                chars.append(self.read_escape(start))
+            return Token(STRING_LIT, "".join(chars), start)
+        for op in OPERATORS:
+            if self.source.startswith(op, self.index):
+                for _ in op:
+                    self.advance()
+                return Token(op, op, start)
+        raise LexError(f"unexpected character {ch!r}", start)
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize mini-Java source into a list ending with an EOF token."""
+    lexer = _Lexer(source)
+    tokens: List[Token] = []
+    while True:
+        token = lexer.next_token()
+        tokens.append(token)
+        if token.kind == EOF:
+            return tokens

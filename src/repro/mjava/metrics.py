@@ -1,0 +1,38 @@
+"""Source metrics for Table 1: class and statement counts."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.mjava import ast
+from repro.mjava.parser import parse_program
+
+
+def count_statements(program: ast.Program, include_library: bool = False) -> int:
+    """Number of source statements (block braces excluded), the measure
+    Table 1 reports as "Stmts"."""
+    count = 0
+    for cls in program.classes:
+        if cls.is_library and not include_library:
+            continue
+        bodies = [ctor.body for ctor in cls.ctors]
+        bodies += [m.body for m in cls.methods if m.body is not None]
+        for body in bodies:
+            for node in body.walk():
+                if isinstance(node, ast.Stmt) and not isinstance(node, ast.Block):
+                    count += 1
+        # field declarations count as statements too
+        count += len(cls.fields)
+    return count
+
+
+def count_classes(program: ast.Program, include_library: bool = False) -> int:
+    return sum(
+        1 for cls in program.classes if include_library or not cls.is_library
+    )
+
+
+def source_metrics(source: str) -> Tuple[int, int]:
+    """(classes, statements) of an application source text."""
+    program = parse_program(source)
+    return count_classes(program), count_statements(program)

@@ -1,0 +1,546 @@
+"""Recursive-descent parser for mini-Java.
+
+Grammar summary (see tests/mjava/test_parser.py for worked examples)::
+
+    program   := classdecl*
+    classdecl := mods 'class' ID ('extends' ID)? '{' member* '}'
+    member    := field | method | ctor
+    field     := mods type ID ('=' expr)? ';'
+    method    := mods (type | 'void') ID '(' params ')' (block | ';')
+    ctor      := mods ClassName '(' params ')' block
+    stmt      := block | if | while | for | return | throw | break
+               | continue | try | synchronized | super-call | vardecl
+               | assignment | expression-statement
+    expr      := precedence-climbing over || && == != < <= > >= instanceof
+                 + - * / % with unary ! - and casts
+
+Casts use a one-token lookahead heuristic: ``(T) x`` is a cast when ``T``
+is a primitive type, or when ``T`` is an identifier (optionally with
+``[]``) and the token after the ``)`` can start a unary expression.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.mjava import ast
+from repro.mjava.lexer import tokenize
+from repro.mjava.tokens import (
+    CHAR_LIT,
+    EOF,
+    IDENT,
+    INT_LIT,
+    PRIMITIVE_TYPES,
+    STRING_LIT,
+    Token,
+)
+
+_MODIFIER_KEYWORDS = ("public", "private", "protected", "static", "final", "native")
+
+# Tokens that can begin a unary expression, used by the cast heuristic.
+_UNARY_START = frozenset(
+    [IDENT, INT_LIT, CHAR_LIT, STRING_LIT, "(", "new", "this", "null", "true", "false", "!", "-", "super"]
+)
+
+
+class Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        i = min(self.index + ahead, len(self.tokens) - 1)
+        return self.tokens[i]
+
+    def at(self, kind: str, ahead: int = 0) -> bool:
+        return self.peek(ahead).kind == kind
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def expect(self, kind: str) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind!r}, found {token.kind!r}", token.pos)
+        return self.advance()
+
+    def accept(self, kind: str) -> Optional[Token]:
+        if self.at(kind):
+            return self.advance()
+        return None
+
+    # -- program / declarations -------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        start = self.peek().pos
+        classes = []
+        while not self.at(EOF):
+            classes.append(self.parse_class())
+        return ast.Program(classes, pos=start)
+
+    def parse_modifiers(self) -> ast.Modifiers:
+        visibility = "package"
+        static = final = native = False
+        seen_visibility = False
+        while self.peek().kind in _MODIFIER_KEYWORDS:
+            token = self.advance()
+            if token.kind in ("public", "private", "protected"):
+                if seen_visibility:
+                    raise ParseError("duplicate visibility modifier", token.pos)
+                seen_visibility = True
+                visibility = token.kind
+            elif token.kind == "static":
+                static = True
+            elif token.kind == "final":
+                final = True
+            else:
+                native = True
+        return ast.Modifiers(visibility, static, final, native)
+
+    def parse_class(self) -> ast.ClassDecl:
+        self.parse_modifiers()  # class-level modifiers accepted, ignored
+        start = self.expect("class").pos
+        name = self.expect(IDENT).value
+        superclass = None
+        if self.accept("extends"):
+            superclass = self.expect(IDENT).value
+        self.expect("{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        ctors: List[ast.CtorDecl] = []
+        while not self.accept("}"):
+            member = self.parse_member(name)
+            if isinstance(member, ast.FieldDecl):
+                fields.append(member)
+            elif isinstance(member, ast.MethodDecl):
+                methods.append(member)
+            else:
+                ctors.append(member)
+        return ast.ClassDecl(name, superclass, fields, methods, ctors, pos=start)
+
+    def parse_member(self, class_name: str):
+        start = self.peek().pos
+        mods = self.parse_modifiers()
+        # Constructor: ClassName '('
+        if self.at(IDENT) and self.peek().value == class_name and self.at("(", 1):
+            self.advance()
+            params = self.parse_params()
+            body = self.parse_block()
+            return ast.CtorDecl(mods, class_name, params, body, pos=start)
+        if self.accept("void"):
+            return_type: ast.Type = ast.VOID
+        else:
+            return_type = self.parse_type()
+        name = self.expect(IDENT).value
+        if self.at("("):
+            params = self.parse_params()
+            if mods.native:
+                self.expect(";")
+                body = None
+            else:
+                body = self.parse_block()
+            return ast.MethodDecl(mods, return_type, name, params, body, pos=start)
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.FieldDecl(mods, return_type, name, init, pos=start)
+
+    def parse_params(self) -> List[ast.Param]:
+        self.expect("(")
+        params: List[ast.Param] = []
+        if not self.at(")"):
+            while True:
+                pos = self.peek().pos
+                type_ = self.parse_type()
+                name = self.expect(IDENT).value
+                params.append(ast.Param(type_, name, pos=pos))
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return params
+
+    def parse_type(self) -> ast.Type:
+        token = self.peek()
+        if token.kind in PRIMITIVE_TYPES:
+            self.advance()
+            type_: ast.Type = ast.PrimitiveType(token.kind)
+        elif token.kind == IDENT:
+            self.advance()
+            type_ = ast.ClassType(token.value)
+        else:
+            raise ParseError(f"expected a type, found {token.kind!r}", token.pos)
+        while self.at("[") and self.at("]", 1):
+            self.advance()
+            self.advance()
+            type_ = ast.ArrayType(type_)
+        return type_
+
+    # -- statements --------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        start = self.expect("{").pos
+        stmts: List[ast.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self.parse_stmt())
+        return ast.Block(stmts, pos=start)
+
+    def _looks_like_vardecl(self) -> bool:
+        if self.peek().kind in PRIMITIVE_TYPES:
+            return True
+        if not self.at(IDENT):
+            return False
+        # "Foo x" or "Foo[] x" or "Foo[][] x"
+        ahead = 1
+        while self.at("[", ahead) and self.at("]", ahead + 1):
+            ahead += 2
+        return self.at(IDENT, ahead)
+
+    def parse_stmt(self) -> ast.Stmt:
+        token = self.peek()
+        if token.kind == "{":
+            return self.parse_block()
+        if token.kind == "if":
+            return self.parse_if()
+        if token.kind == "while":
+            return self.parse_while()
+        if token.kind == "for":
+            return self.parse_for()
+        if token.kind == "return":
+            self.advance()
+            value = None if self.at(";") else self.parse_expr()
+            self.expect(";")
+            return ast.Return(value, pos=token.pos)
+        if token.kind == "throw":
+            self.advance()
+            value = self.parse_expr()
+            self.expect(";")
+            return ast.Throw(value, pos=token.pos)
+        if token.kind == "break":
+            self.advance()
+            self.expect(";")
+            return ast.Break(pos=token.pos)
+        if token.kind == "continue":
+            self.advance()
+            self.expect(";")
+            return ast.Continue(pos=token.pos)
+        if token.kind == "try":
+            return self.parse_try()
+        if token.kind == "synchronized":
+            self.advance()
+            self.expect("(")
+            monitor = self.parse_expr()
+            self.expect(")")
+            body = self.parse_block()
+            return ast.Synchronized(monitor, body, pos=token.pos)
+        if token.kind == "super" and self.at("(", 1):
+            self.advance()
+            args = self.parse_args()
+            self.expect(";")
+            return ast.SuperCall(args, pos=token.pos)
+        if self._looks_like_vardecl():
+            return self.parse_vardecl()
+        return self.parse_assign_or_expr_stmt()
+
+    def parse_vardecl(self) -> ast.VarDecl:
+        start = self.peek().pos
+        type_ = self.parse_type()
+        name = self.expect(IDENT).value
+        init = None
+        if self.accept("="):
+            init = self.parse_expr()
+        self.expect(";")
+        return ast.VarDecl(type_, name, init, pos=start)
+
+    def parse_assign_or_expr_stmt(self) -> ast.Stmt:
+        start = self.peek().pos
+        expr = self.parse_expr()
+        if self.accept("="):
+            value = self.parse_expr()
+            self.expect(";")
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise ParseError("invalid assignment target", start)
+            return ast.Assign(expr, value, pos=start)
+        self.expect(";")
+        return ast.ExprStmt(expr, pos=start)
+
+    def parse_if(self) -> ast.If:
+        start = self.expect("if").pos
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_stmt()
+        otherwise = None
+        if self.accept("else"):
+            otherwise = self.parse_stmt()
+        return ast.If(cond, then, otherwise, pos=start)
+
+    def parse_while(self) -> ast.While:
+        start = self.expect("while").pos
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.While(cond, body, pos=start)
+
+    def parse_for(self) -> ast.For:
+        start = self.expect("for").pos
+        self.expect("(")
+        init: Optional[ast.Stmt] = None
+        if not self.at(";"):
+            if self._looks_like_vardecl():
+                init = self.parse_vardecl()  # consumes the ';'
+            else:
+                init = self._parse_for_assign()
+                self.expect(";")
+        else:
+            self.expect(";")
+        cond = None if self.at(";") else self.parse_expr()
+        self.expect(";")
+        update: Optional[ast.Stmt] = None
+        if not self.at(")"):
+            update = self._parse_for_assign()
+        self.expect(")")
+        body = self.parse_stmt()
+        return ast.For(init, cond, update, body, pos=start)
+
+    def _parse_for_assign(self) -> ast.Stmt:
+        start = self.peek().pos
+        expr = self.parse_expr()
+        if self.accept("="):
+            value = self.parse_expr()
+            if not isinstance(expr, (ast.Name, ast.FieldAccess, ast.Index)):
+                raise ParseError("invalid assignment target", start)
+            return ast.Assign(expr, value, pos=start)
+        return ast.ExprStmt(expr, pos=start)
+
+    def parse_try(self) -> ast.Try:
+        start = self.expect("try").pos
+        body = self.parse_block()
+        catches: List[ast.CatchClause] = []
+        while self.at("catch"):
+            cpos = self.advance().pos
+            self.expect("(")
+            exc_class = self.expect(IDENT).value
+            var = self.expect(IDENT).value
+            self.expect(")")
+            cbody = self.parse_block()
+            catches.append(ast.CatchClause(exc_class, var, cbody, pos=cpos))
+        if not catches:
+            raise ParseError("try without catch", start)
+        return ast.Try(body, catches, pos=start)
+
+    # -- expressions --------------------------------------------------------
+
+    def parse_args(self) -> List[ast.Expr]:
+        self.expect("(")
+        args: List[ast.Expr] = []
+        if not self.at(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        return args
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> ast.Expr:
+        left = self.parse_and()
+        while self.at("||"):
+            pos = self.advance().pos
+            right = self.parse_and()
+            left = ast.Binary("||", left, right, pos=pos)
+        return left
+
+    def parse_and(self) -> ast.Expr:
+        left = self.parse_equality()
+        while self.at("&&"):
+            pos = self.advance().pos
+            right = self.parse_equality()
+            left = ast.Binary("&&", left, right, pos=pos)
+        return left
+
+    def parse_equality(self) -> ast.Expr:
+        left = self.parse_relational()
+        while self.peek().kind in ("==", "!="):
+            op = self.advance()
+            right = self.parse_relational()
+            left = ast.Binary(op.kind, left, right, pos=op.pos)
+        return left
+
+    def parse_relational(self) -> ast.Expr:
+        left = self.parse_additive()
+        while True:
+            kind = self.peek().kind
+            if kind in ("<", "<=", ">", ">="):
+                op = self.advance()
+                right = self.parse_additive()
+                left = ast.Binary(op.kind, left, right, pos=op.pos)
+            elif kind == "instanceof":
+                pos = self.advance().pos
+                cls = self.expect(IDENT).value
+                left = ast.InstanceOf(left, cls, pos=pos)
+            else:
+                return left
+
+    def parse_additive(self) -> ast.Expr:
+        left = self.parse_multiplicative()
+        while self.peek().kind in ("+", "-"):
+            op = self.advance()
+            right = self.parse_multiplicative()
+            left = ast.Binary(op.kind, left, right, pos=op.pos)
+        return left
+
+    def parse_multiplicative(self) -> ast.Expr:
+        left = self.parse_unary()
+        while self.peek().kind in ("*", "/", "%"):
+            op = self.advance()
+            right = self.parse_unary()
+            left = ast.Binary(op.kind, left, right, pos=op.pos)
+        return left
+
+    def _cast_lookahead(self) -> Optional[ast.Type]:
+        """If the upcoming tokens form ``( Type )`` beginning a cast,
+        return the Type without consuming anything; otherwise None."""
+        if not self.at("("):
+            return None
+        ahead = 1
+        token = self.peek(ahead)
+        if token.kind in PRIMITIVE_TYPES:
+            type_: ast.Type = ast.PrimitiveType(token.kind)
+        elif token.kind == IDENT:
+            type_ = ast.ClassType(token.value)
+        else:
+            return None
+        ahead += 1
+        while self.at("[", ahead) and self.at("]", ahead + 1):
+            type_ = ast.ArrayType(type_)
+            ahead += 2
+        if not self.at(")", ahead):
+            return None
+        nxt = self.peek(ahead + 1)
+        if isinstance(type_, ast.PrimitiveType):
+            pass  # "(int) x" is unambiguous
+        elif nxt.kind not in _UNARY_START or nxt.kind in ("-", "!"):
+            # "(name) - x" parses as subtraction, not a cast.
+            return None
+        return type_
+
+    def parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind in ("!", "-"):
+            self.advance()
+            operand = self.parse_unary()
+            if token.kind == "-" and isinstance(operand, ast.IntLit):
+                return ast.IntLit(-operand.value, pos=token.pos)
+            return ast.Unary(token.kind, operand, pos=token.pos)
+        cast_type = self._cast_lookahead()
+        if cast_type is not None:
+            pos = self.expect("(").pos
+            self.parse_type()
+            self.expect(")")
+            value = self.parse_unary()
+            return ast.Cast(cast_type, value, pos=pos)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> ast.Expr:
+        expr = self.parse_primary()
+        while True:
+            if self.at("."):
+                pos = self.advance().pos
+                name = self.expect(IDENT).value
+                if self.at("("):
+                    args = self.parse_args()
+                    expr = ast.Call(expr, name, args, pos=pos)
+                else:
+                    expr = ast.FieldAccess(expr, name, pos=pos)
+            elif self.at("[") and not self.at("]", 1):
+                pos = self.advance().pos
+                index = self.parse_expr()
+                self.expect("]")
+                expr = ast.Index(expr, index, pos=pos)
+            else:
+                return expr
+
+    def parse_primary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == INT_LIT:
+            self.advance()
+            return ast.IntLit(token.value, pos=token.pos)
+        if token.kind == CHAR_LIT:
+            self.advance()
+            return ast.CharLit(token.value, pos=token.pos)
+        if token.kind == STRING_LIT:
+            self.advance()
+            return ast.StringLit(token.value, pos=token.pos)
+        if token.kind == "true":
+            self.advance()
+            return ast.BoolLit(True, pos=token.pos)
+        if token.kind == "false":
+            self.advance()
+            return ast.BoolLit(False, pos=token.pos)
+        if token.kind == "null":
+            self.advance()
+            return ast.NullLit(pos=token.pos)
+        if token.kind == "this":
+            self.advance()
+            return ast.This(pos=token.pos)
+        if token.kind == "super":
+            self.advance()
+            self.expect(".")
+            name = self.expect(IDENT).value
+            args = self.parse_args()
+            return ast.SuperMethodCall(name, args, pos=token.pos)
+        if token.kind == "new":
+            return self.parse_new()
+        if token.kind == "(":
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        if token.kind == IDENT:
+            self.advance()
+            if self.at("("):
+                args = self.parse_args()
+                return ast.Call(None, token.value, args, pos=token.pos)
+            return ast.Name(token.value, pos=token.pos)
+        raise ParseError(f"unexpected token {token.kind!r}", token.pos)
+
+    def parse_new(self) -> ast.Expr:
+        start = self.expect("new").pos
+        token = self.peek()
+        if token.kind in PRIMITIVE_TYPES:
+            self.advance()
+            base: ast.Type = ast.PrimitiveType(token.kind)
+        elif token.kind == IDENT:
+            self.advance()
+            base = ast.ClassType(token.value)
+        else:
+            raise ParseError("expected type after 'new'", token.pos)
+        if self.at("("):
+            if not isinstance(base, ast.ClassType):
+                raise ParseError("cannot construct a primitive", start)
+            args = self.parse_args()
+            return ast.New(base.name, args, pos=start)
+        self.expect("[")
+        length = self.parse_expr()
+        self.expect("]")
+        elem = base
+        while self.at("[") and self.at("]", 1):
+            self.advance()
+            self.advance()
+            elem = ast.ArrayType(elem)
+        return ast.NewArray(elem, length, pos=start)
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse mini-Java source text into a :class:`repro.mjava.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,210 @@
+"""Semantic model for mini-Java: the class table and name resolution.
+
+The class table is shared infrastructure: the compiler consults it while
+emitting bytecode, and the Section-5 static analyses (call graph, usage,
+liveness) consult it when reasoning about source programs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SemanticError
+from repro.mjava import ast
+
+
+class ClassInfo:
+    """Resolved information about one class declaration."""
+
+    __slots__ = ("decl", "name", "super_name", "fields", "methods", "ctor", "is_library")
+
+    def __init__(self, decl: ast.ClassDecl) -> None:
+        self.decl = decl
+        self.name = decl.name
+        self.super_name = decl.superclass
+        self.fields: Dict[str, ast.FieldDecl] = {}
+        self.methods: Dict[str, ast.MethodDecl] = {}
+        self.ctor: Optional[ast.CtorDecl] = None
+        self.is_library = decl.is_library
+        for field in decl.fields:
+            if field.name in self.fields:
+                raise SemanticError(f"duplicate field {decl.name}.{field.name}", field.pos)
+            self.fields[field.name] = field
+        for method in decl.methods:
+            if method.name in self.methods:
+                raise SemanticError(
+                    f"duplicate method {decl.name}.{method.name} (overloading is not supported)",
+                    method.pos,
+                )
+            self.methods[method.name] = method
+        if len(decl.ctors) > 1:
+            raise SemanticError(
+                f"class {decl.name} has multiple constructors (overloading is not supported)",
+                decl.ctors[1].pos,
+            )
+        self.ctor = decl.ctors[0] if decl.ctors else None
+
+
+class ClassTable:
+    """All classes of a program, with resolution and subtyping queries."""
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.classes: Dict[str, ClassInfo] = {}
+        for decl in program.classes:
+            if decl.name in self.classes:
+                raise SemanticError(f"duplicate class {decl.name}", decl.pos)
+            self.classes[decl.name] = ClassInfo(decl)
+        self._check_hierarchy()
+        self._check_overrides()
+
+    # -- construction checks ------------------------------------------------
+
+    def _check_hierarchy(self) -> None:
+        for info in self.classes.values():
+            if info.super_name is None:
+                continue
+            if info.super_name not in self.classes:
+                raise SemanticError(
+                    f"class {info.name} extends unknown class {info.super_name}",
+                    info.decl.pos,
+                )
+            # cycle detection
+            seen = {info.name}
+            current = info.super_name
+            while current is not None:
+                if current in seen:
+                    raise SemanticError(f"inheritance cycle involving {info.name}", info.decl.pos)
+                seen.add(current)
+                current = self.classes[current].super_name
+            # field shadowing is disallowed (keeps layouts and analyses simple)
+            for field_name in info.fields:
+                sup = self.classes.get(info.super_name)
+                while sup is not None:
+                    if field_name in sup.fields:
+                        raise SemanticError(
+                            f"field {info.name}.{field_name} shadows {sup.name}.{field_name}",
+                            info.fields[field_name].pos,
+                        )
+                    sup = self.classes.get(sup.super_name) if sup.super_name else None
+
+    def _check_overrides(self) -> None:
+        for info in self.classes.values():
+            if info.super_name is None:
+                continue
+            for name, method in info.methods.items():
+                inherited = self.resolve_method(info.super_name, name)
+                if inherited is None:
+                    continue
+                _, parent = inherited
+                if parent.mods.static != method.mods.static:
+                    raise SemanticError(
+                        f"{info.name}.{name} changes staticness of inherited method", method.pos
+                    )
+                if len(parent.params) != len(method.params):
+                    raise SemanticError(
+                        f"{info.name}.{name} overrides with different arity", method.pos
+                    )
+                if parent.return_type != method.return_type:
+                    raise SemanticError(
+                        f"{info.name}.{name} overrides with different return type", method.pos
+                    )
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, name: str) -> ClassInfo:
+        info = self.classes.get(name)
+        if info is None:
+            raise SemanticError(f"unknown class {name}")
+        return info
+
+    def has(self, name: str) -> bool:
+        return name in self.classes
+
+    def superclass_chain(self, name: str) -> List[str]:
+        chain = []
+        current: Optional[str] = name
+        while current is not None:
+            chain.append(current)
+            current = self.classes[current].super_name
+        return chain
+
+    def resolve_field(self, class_name: str, field_name: str) -> Optional[Tuple[ClassInfo, ast.FieldDecl]]:
+        """Find the declaring class of an (instance or static) field,
+        walking up the superclass chain."""
+        current: Optional[str] = class_name
+        while current is not None:
+            info = self.classes.get(current)
+            if info is None:
+                return None
+            field = info.fields.get(field_name)
+            if field is not None:
+                return info, field
+            current = info.super_name
+        return None
+
+    def resolve_method(self, class_name: str, method_name: str) -> Optional[Tuple[ClassInfo, ast.MethodDecl]]:
+        """Find the first declaration of a method up the superclass chain."""
+        current: Optional[str] = class_name
+        while current is not None:
+            info = self.classes.get(current)
+            if info is None:
+                return None
+            method = info.methods.get(method_name)
+            if method is not None:
+                return info, method
+            current = info.super_name
+        return None
+
+    def is_subtype(self, sub: str, sup: str) -> bool:
+        if sup == "Object":
+            return True
+        current: Optional[str] = sub
+        while current is not None:
+            if current == sup:
+                return True
+            info = self.classes.get(current)
+            current = info.super_name if info else None
+        return False
+
+    def assignable(self, target: ast.Type, value: ast.Type) -> bool:
+        """May a value of static type ``value`` be assigned to ``target``?"""
+        if target == value:
+            return True
+        if isinstance(target, ast.PrimitiveType) or isinstance(value, ast.PrimitiveType):
+            # char widens to int; everything else must match exactly.
+            return target == ast.INT and value == ast.CHAR
+        if value == ast.NULL_TYPE:
+            return target.is_reference()
+        if isinstance(target, ast.ClassType) and isinstance(value, ast.ClassType):
+            return self.is_subtype(value.name, target.name)
+        if isinstance(target, ast.ClassType) and isinstance(value, ast.ArrayType):
+            return target.name == "Object"
+        if isinstance(target, ast.ArrayType) and isinstance(value, ast.ArrayType):
+            # Covariant reference arrays, exact primitive arrays (like Java).
+            if isinstance(target.element, ast.ClassType) and isinstance(value.element, ast.ClassType):
+                return self.assignable(target.element, value.element)
+            return target.element == value.element
+        return False
+
+    def subclasses_of(self, name: str) -> List[str]:
+        """All classes (transitively) extending ``name``, excluding it."""
+        out = []
+        for info in self.classes.values():
+            if info.name != name and self.is_subtype(info.name, name):
+                out.append(info.name)
+        return out
+
+
+def descriptor(type_: ast.Type) -> str:
+    """Runtime storage descriptor for a source type."""
+    if isinstance(type_, ast.PrimitiveType):
+        if type_.name == "void":
+            return "void"
+        return type_.name
+    return "ref"
+
+
+def type_repr(type_: ast.Type) -> str:
+    """Canonical source spelling of a type ("Foo", "int[]", "char[][]")."""
+    return repr(type_)

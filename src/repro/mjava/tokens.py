@@ -1,0 +1,107 @@
+"""Token kinds and the Token class for the mini-Java lexer."""
+
+from __future__ import annotations
+
+from repro.errors import SourcePosition
+
+# Token kind constants. Keywords get their own kind equal to the keyword
+# text, which keeps parser code readable (``expect("class")``).
+IDENT = "IDENT"
+INT_LIT = "INT_LIT"
+CHAR_LIT = "CHAR_LIT"
+STRING_LIT = "STRING_LIT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    [
+        "class",
+        "extends",
+        "public",
+        "private",
+        "protected",
+        "static",
+        "final",
+        "native",
+        "void",
+        "int",
+        "boolean",
+        "char",
+        "if",
+        "else",
+        "while",
+        "for",
+        "return",
+        "new",
+        "null",
+        "true",
+        "false",
+        "this",
+        "super",
+        "try",
+        "catch",
+        "throw",
+        "synchronized",
+        "break",
+        "continue",
+        "instanceof",
+    ]
+)
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    ".",
+    ",",
+    ";",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+)
+
+PRIMITIVE_TYPES = frozenset(["int", "boolean", "char"])
+
+
+class Token:
+    """A single lexical token with its source position.
+
+    ``kind`` is one of the constants above, a keyword string, or an
+    operator string. ``value`` carries the decoded payload for literals
+    and the name for identifiers.
+    """
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value, pos: SourcePosition) -> None:
+        self.kind = kind
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.value!r}, {self.pos})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Token)
+            and self.kind == other.kind
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.value))

@@ -1,0 +1,53 @@
+"""Call-stack frames for the interpreter."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bytecode.program import CompiledMethod
+from repro.runtime.objects import HeapObject
+
+
+class Frame:
+    """One activation: method, pc, locals, operand stack."""
+
+    __slots__ = ("method", "pc", "locals", "stack")
+
+    def __init__(self, method: CompiledMethod, locals_: List[object]) -> None:
+        self.method = method
+        self.pc = 0
+        self.locals = locals_
+        self.stack: List[object] = []
+
+    @property
+    def current_line(self) -> int:
+        code = self.method.code
+        pc = min(self.pc, len(code) - 1)
+        if pc < 0 or not code:
+            return self.method.line
+        return code[pc].line
+
+    def site_label(self) -> str:
+        return f"{self.method.class_name}.{self.method.name}:{self.current_line}"
+
+    def iter_refs(self):
+        for value in self.locals:
+            if isinstance(value, HeapObject):
+                yield value
+        for value in self.stack:
+            if isinstance(value, HeapObject):
+                yield value
+
+    def __repr__(self) -> str:
+        return f"<frame {self.method.qualified_name} pc={self.pc}>"
+
+
+def make_locals(method: CompiledMethod, args: List[object], receiver: Optional[object] = None) -> List[object]:
+    """Build the locals array: [this?] + args + uninitialized slots."""
+    locals_: List[object] = []
+    if receiver is not None or not method.is_static:
+        locals_.append(receiver)
+    locals_.extend(args)
+    while len(locals_) < method.nlocals:
+        locals_.append(None)
+    return locals_

@@ -1,0 +1,403 @@
+'''The mini-JDK: runtime library classes written in mini-Java.
+
+The paper rewrites not only application code but also "selected classes
+of the JDK itself" (jess's savings partly come from rewriting
+java.util.Locale-style eager statics). To reproduce that, the library is
+real mini-Java source, compiled together with the application and
+flagged ``is_library`` so reports can separate JDK sites from
+application sites — and so benchmarks can ship a *revised JDK*.
+
+``link`` merges an application source with the library (every class
+without ``extends`` is rooted at Object), letting application-provided
+classes override library ones (JDK rewriting).
+'''
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.mjava import ast
+from repro.mjava.parser import parse_program
+
+LIBRARY_SOURCE = """
+class Object {
+    public native int hashCode();
+    public native String toString();
+    public native boolean equals(Object other);
+}
+
+class String {
+    private char[] chars;
+    private int count;
+    public native int length();
+    public native char charAt(int index);
+    public native boolean equals(Object other);
+    public native int compareTo(String other);
+    public native String substring(int begin, int end);
+    public native int indexOf(String needle);
+    public native char[] toCharArray();
+    public native int hashCode();
+    public native String concat(String other);
+    public static native String valueOf(char[] data, int count);
+    public String toString() { return this; }
+}
+
+class StringBuilder {
+    private char[] buf;
+    private int len;
+    StringBuilder(int capacity) {
+        buf = new char[capacity];
+        len = 0;
+    }
+    public StringBuilder append(String s) {
+        int n = s.length();
+        ensure(len + n);
+        for (int i = 0; i < n; i = i + 1) {
+            buf[len + i] = s.charAt(i);
+        }
+        len = len + n;
+        return this;
+    }
+    public StringBuilder appendChar(char c) {
+        ensure(len + 1);
+        buf[len] = c;
+        len = len + 1;
+        return this;
+    }
+    public int length() { return len; }
+    public String toString() { return String.valueOf(buf, len); }
+    private void ensure(int need) {
+        if (need > buf.length) {
+            int cap = buf.length * 2;
+            if (cap < need) { cap = need; }
+            char[] bigger = new char[cap];
+            System.arraycopy(buf, 0, bigger, 0, len);
+            buf = bigger;
+        }
+    }
+}
+
+class Throwable {
+    protected String message;
+    Throwable(String message) { this.message = message; }
+    public String getMessage() { return message; }
+    public String toString() {
+        if (message == null) { return "Throwable"; }
+        return message;
+    }
+}
+
+class Exception extends Throwable {
+    Exception(String message) { super(message); }
+}
+
+class RuntimeException extends Exception {
+    RuntimeException(String message) { super(message); }
+}
+
+class NullPointerException extends RuntimeException {
+    NullPointerException(String message) { super(message); }
+}
+
+class ArithmeticException extends RuntimeException {
+    ArithmeticException(String message) { super(message); }
+}
+
+class IndexOutOfBoundsException extends RuntimeException {
+    IndexOutOfBoundsException(String message) { super(message); }
+}
+
+class ClassCastException extends RuntimeException {
+    ClassCastException(String message) { super(message); }
+}
+
+class NumberFormatException extends RuntimeException {
+    NumberFormatException(String message) { super(message); }
+}
+
+class Error extends Throwable {
+    Error(String message) { super(message); }
+}
+
+class OutOfMemoryError extends Error {
+    OutOfMemoryError(String message) { super(message); }
+}
+
+class System {
+    public static native void println(String line);
+    public static native void printInt(int value);
+    public static native void arraycopy(Object src, int srcPos, Object dst, int dstPos, int count);
+    public static native int allocatedBytes();
+    public static native void gc();
+}
+
+class Math {
+    public static native int isqrt(int value);
+    public static int abs(int value) {
+        if (value < 0) { return 0 - value; }
+        return value;
+    }
+    public static int min(int a, int b) {
+        if (a < b) { return a; }
+        return b;
+    }
+    public static int max(int a, int b) {
+        if (a > b) { return a; }
+        return b;
+    }
+}
+
+class Integer {
+    public static int parseInt(String text) {
+        int n = text.length();
+        if (n == 0) { throw new NumberFormatException("empty string"); }
+        int sign = 1;
+        int start = 0;
+        if (text.charAt(0) == '-') {
+            sign = -1;
+            start = 1;
+            if (n == 1) { throw new NumberFormatException("lone minus"); }
+        }
+        int value = 0;
+        for (int i = start; i < n; i = i + 1) {
+            int digit = text.charAt(i) - '0';
+            if (digit < 0 || digit > 9) {
+                throw new NumberFormatException(text);
+            }
+            value = value * 10 + digit;
+        }
+        return sign * value;
+    }
+}
+
+class Random {
+    private int seed;
+    Random(int seed) {
+        this.seed = seed % 2147483647;
+        if (this.seed <= 0) { this.seed = this.seed + 2147483646; }
+    }
+    public int next() {
+        seed = seed * 48271 % 2147483647;
+        return seed;
+    }
+    public int nextInt(int bound) {
+        return next() % bound;
+    }
+}
+
+class Vector {
+    private Object[] data;
+    private int count;
+    Vector(int capacity) {
+        data = new Object[capacity];
+        count = 0;
+    }
+    public void add(Object item) {
+        ensureCapacity(count + 1);
+        data[count] = item;
+        count = count + 1;
+    }
+    public Object get(int index) {
+        if (index < 0 || index >= count) {
+            throw new IndexOutOfBoundsException("vector get");
+        }
+        return data[index];
+    }
+    public void set(int index, Object item) {
+        if (index < 0 || index >= count) {
+            throw new IndexOutOfBoundsException("vector set");
+        }
+        data[index] = item;
+    }
+    // NOTE: like the vector-like array the paper found in jess, this
+    // "tries to handle" removal but leaves data[count] referencing the
+    // removed element — the element stays reachable although dead.
+    public Object removeLast() {
+        if (count == 0) {
+            throw new IndexOutOfBoundsException("vector empty");
+        }
+        count = count - 1;
+        return data[count];
+    }
+    public int size() { return count; }
+    public boolean isEmpty() { return count == 0; }
+    public boolean contains(Object item) {
+        for (int i = 0; i < count; i = i + 1) {
+            if (item.equals(data[i])) { return true; }
+        }
+        return false;
+    }
+    private void ensureCapacity(int need) {
+        if (need > data.length) {
+            int cap = data.length * 2;
+            if (cap < need) { cap = need; }
+            Object[] bigger = new Object[cap];
+            System.arraycopy(data, 0, bigger, 0, count);
+            data = bigger;
+        }
+    }
+}
+
+class HashEntry {
+    Object key;
+    Object value;
+    HashEntry next;
+    HashEntry(Object key, Object value, HashEntry next) {
+        this.key = key;
+        this.value = value;
+        this.next = next;
+    }
+}
+
+class HashTable {
+    private HashEntry[] buckets;
+    private int count;
+    HashTable(int capacity) {
+        buckets = new HashEntry[capacity];
+        count = 0;
+    }
+    public void put(Object key, Object value) {
+        int h = hash(key);
+        HashEntry entry = buckets[h];
+        while (entry != null) {
+            if (key.equals(entry.key)) {
+                entry.value = value;
+                return;
+            }
+            entry = entry.next;
+        }
+        buckets[h] = new HashEntry(key, value, buckets[h]);
+        count = count + 1;
+        if (count * 4 > buckets.length * 3) { grow(); }
+    }
+    private void grow() {
+        HashEntry[] old = buckets;
+        buckets = new HashEntry[old.length * 2 + 1];
+        for (int i = 0; i < old.length; i = i + 1) {
+            HashEntry entry = old[i];
+            while (entry != null) {
+                HashEntry following = entry.next;
+                int h = hash(entry.key);
+                entry.next = buckets[h];
+                buckets[h] = entry;
+                entry = following;
+            }
+        }
+    }
+    public Object get(Object key) {
+        HashEntry entry = buckets[hash(key)];
+        while (entry != null) {
+            if (key.equals(entry.key)) { return entry.value; }
+            entry = entry.next;
+        }
+        return null;
+    }
+    public boolean containsKey(Object key) {
+        HashEntry entry = buckets[hash(key)];
+        while (entry != null) {
+            if (key.equals(entry.key)) { return true; }
+            entry = entry.next;
+        }
+        return false;
+    }
+    public Object remove(Object key) {
+        int h = hash(key);
+        HashEntry entry = buckets[h];
+        HashEntry prev = null;
+        while (entry != null) {
+            if (key.equals(entry.key)) {
+                if (prev == null) { buckets[h] = entry.next; }
+                else { prev.next = entry.next; }
+                count = count - 1;
+                return entry.value;
+            }
+            prev = entry;
+            entry = entry.next;
+        }
+        return null;
+    }
+    public int size() { return count; }
+    private int hash(Object key) {
+        int h = key.hashCode() % buckets.length;
+        if (h < 0) { h = 0 - h; }
+        return h;
+    }
+}
+
+// Modelled on java.util.Locale: a table of eagerly created constants,
+// most of which a given program never touches — the paper's example of
+// never-used objects referenced by public static final JDK fields.
+class Locale {
+    public static final Locale ENGLISH = new Locale("en");
+    public static final Locale FRENCH = new Locale("fr");
+    public static final Locale GERMAN = new Locale("de");
+    public static final Locale ITALIAN = new Locale("it");
+    public static final Locale JAPANESE = new Locale("ja");
+    public static final Locale KOREAN = new Locale("ko");
+    public static final Locale CHINESE = new Locale("zh");
+    public static final Locale SPANISH = new Locale("es");
+    public static final Locale PORTUGUESE = new Locale("pt");
+    public static final Locale RUSSIAN = new Locale("ru");
+    public static final Locale DUTCH = new Locale("nl");
+    public static final Locale SWEDISH = new Locale("sv");
+    private String language;
+    private char[] displayData;
+    Locale(String language) {
+        this.language = language;
+        this.displayData = new char[64];
+    }
+    public String getLanguage() { return language; }
+}
+"""
+
+_LIBRARY_AST_CACHE: Optional[ast.Program] = None
+
+
+def library_program() -> ast.Program:
+    """Parse (and cache) the library source, marking classes as library."""
+    global _LIBRARY_AST_CACHE
+    if _LIBRARY_AST_CACHE is None:
+        program = parse_program(LIBRARY_SOURCE)
+        for cls in program.classes:
+            cls.is_library = True
+        _LIBRARY_AST_CACHE = program
+    return _LIBRARY_AST_CACHE
+
+
+def link(
+    app: "ast.Program | str",
+    library_overrides: Optional[Dict[str, str]] = None,
+) -> ast.Program:
+    """Merge the library and an application into one program AST.
+
+    ``library_overrides`` maps library class names to replacement
+    mini-Java source (a single class each) — this is how benchmarks ship
+    a *revised JDK* (e.g. a lazy Locale). An application class with the
+    same name as a library class also overrides it.
+
+    Every class except Object that declares no superclass is rooted at
+    Object.
+    """
+    if isinstance(app, str):
+        app = parse_program(app)
+    merged: Dict[str, ast.ClassDecl] = {}
+    for cls in library_program().classes:
+        merged[cls.name] = cls
+    for name, source in (library_overrides or {}).items():
+        override = parse_program(source)
+        for cls in override.classes:
+            cls.is_library = True
+            merged[cls.name] = cls
+        if name not in merged:
+            raise KeyError(f"override for unknown library class {name}")
+    for cls in app.classes:
+        # An application class replacing a library class is a JDK
+        # rewrite; keep it flagged as library so site classification
+        # (application vs JDK) stays consistent across variants.
+        cls.is_library = cls.name in merged and merged[cls.name].is_library
+        merged[cls.name] = cls
+    classes = list(merged.values())
+    for cls in classes:
+        if cls.superclass is None and cls.name != "Object":
+            cls.superclass = "Object"
+    return ast.Program(classes)

@@ -1,0 +1,233 @@
+"""Native method implementations for the mini-JDK.
+
+Natives are keyed by ``(class_name, method_name)``. Each receives
+``(interp, receiver, args)`` and returns the mini-Java result value.
+
+Per §2.1.1, manipulating an object inside native code goes through its
+handle, and *dereferencing a handle is a use* — so natives fire
+``note_use`` on every object whose contents they touch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Tuple
+
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.objects import ArrayObject, Instance
+
+NativeFn = Callable[[Interpreter, object, list], object]
+
+
+def _use(interp: Interpreter, obj) -> None:
+    if obj is not None:
+        interp.heap.note_use(obj)
+
+
+def _chars(interp: Interpreter, string: Instance) -> ArrayObject:
+    _use(interp, string)
+    arr = string.fields.get("chars")
+    if arr is not None:
+        _use(interp, arr)
+    return arr
+
+
+# ---------------------------------------------------------------------------
+# Object
+# ---------------------------------------------------------------------------
+
+
+def object_hash_code(interp, recv, args):
+    _use(interp, recv)
+    return recv.handle
+
+
+def object_to_string(interp, recv, args):
+    _use(interp, recv)
+    interp.alloc_site = _native_site(interp, "Object.toString")
+    return interp.new_string(f"{recv.type_name()}@{recv.handle}")
+
+
+def object_equals(interp, recv, args):
+    _use(interp, recv)
+    return recv is args[0]
+
+
+# ---------------------------------------------------------------------------
+# String
+# ---------------------------------------------------------------------------
+
+
+def string_length(interp, recv, args):
+    _use(interp, recv)
+    return recv.fields["count"]
+
+
+def string_char_at(interp, recv, args):
+    arr = _chars(interp, recv)
+    index = args[0]
+    if arr is None or index < 0 or index >= len(arr.data):
+        interp.throw("IndexOutOfBoundsException", f"charAt({index})")
+    return arr.data[index]
+
+
+def string_equals(interp, recv, args):
+    other = args[0]
+    _use(interp, recv)
+    if not isinstance(other, Instance) or other.class_name != "String":
+        return False
+    return interp.string_value(recv) == interp.string_value(other)
+
+
+def string_compare_to(interp, recv, args):
+    a = interp.string_value(recv)
+    b = interp.string_value(args[0])
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def string_substring(interp, recv, args):
+    text = interp.string_value(recv)
+    begin, end = args
+    if begin < 0 or end > len(text) or begin > end:
+        interp.throw("IndexOutOfBoundsException", f"substring({begin},{end})")
+    interp.alloc_site = _native_site(interp, "String.substring")
+    return interp.new_string(text[begin:end])
+
+
+def string_index_of(interp, recv, args):
+    text = interp.string_value(recv)
+    needle = interp.string_value(args[0])
+    return text.find(needle)
+
+
+def string_to_char_array(interp, recv, args):
+    text = interp.string_value(recv)
+    interp.alloc_site = _native_site(interp, "String.toCharArray")
+    arr = interp.heap.new_array("char", "char", len(text))
+    arr.data[:] = [ord(c) for c in text]
+    return arr
+
+
+def string_hash_code(interp, recv, args):
+    text = interp.string_value(recv)
+    h = 0
+    for ch in text:
+        h = (h * 31 + ord(ch)) & 0x7FFFFFFF
+    return h
+
+
+def string_value_of(interp, recv, args):
+    arr, count = args
+    if arr is None:
+        interp.throw("NullPointerException", "String.valueOf(null)")
+    _use(interp, arr)
+    if count < 0 or count > len(arr.data):
+        interp.throw("IndexOutOfBoundsException", f"valueOf count {count}")
+    interp.alloc_site = _native_site(interp, "String.valueOf")
+    return interp.new_string("".join(map(chr, arr.data[:count])))
+
+
+def string_concat(interp, recv, args):
+    text = interp.string_value(recv) + interp.string_value(args[0])
+    interp.alloc_site = _native_site(interp, "String.concat")
+    return interp.new_string(text)
+
+
+# ---------------------------------------------------------------------------
+# System
+# ---------------------------------------------------------------------------
+
+
+def system_println(interp, recv, args):
+    s = args[0]
+    interp.stdout.append(interp.string_value(s) if s is not None else "null")
+    return None
+
+
+def system_print_int(interp, recv, args):
+    interp.stdout.append(str(args[0]))
+    return None
+
+
+def system_arraycopy(interp, recv, args):
+    src, src_pos, dst, dst_pos, count = args
+    if src is None or dst is None:
+        interp.throw("NullPointerException", "arraycopy")
+    if not isinstance(src, ArrayObject) or not isinstance(dst, ArrayObject):
+        interp.throw("ClassCastException", "arraycopy of non-arrays")
+    _use(interp, src)
+    _use(interp, dst)
+    if (
+        count < 0
+        or src_pos < 0
+        or dst_pos < 0
+        or src_pos + count > len(src.data)
+        or dst_pos + count > len(dst.data)
+    ):
+        interp.throw("IndexOutOfBoundsException", "arraycopy bounds")
+    dst.data[dst_pos:dst_pos + count] = src.data[src_pos:src_pos + count]
+    return None
+
+
+def system_allocated_bytes(interp, recv, args):
+    return interp.heap.clock
+
+
+def system_gc(interp, recv, args):
+    interp.full_gc()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Math
+# ---------------------------------------------------------------------------
+
+
+def math_isqrt(interp, recv, args):
+    value = args[0]
+    if value < 0:
+        interp.throw("ArithmeticException", "isqrt of negative")
+    return math.isqrt(value)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+
+def _native_site(interp: Interpreter, label: str) -> int:
+    """Allocation site for objects created inside a native method,
+    attributed to the caller's current line (handle-deref allocation)."""
+    cache = interp._vm_sites
+    if label not in cache:
+        cls, method = label.split(".", 1)
+        cache[label] = interp.program.add_site(cls, method, 0, "native", "String", True)
+    return cache[label]
+
+
+def default_natives() -> Dict[Tuple[str, str], NativeFn]:
+    return {
+        ("Object", "hashCode"): object_hash_code,
+        ("Object", "toString"): object_to_string,
+        ("Object", "equals"): object_equals,
+        ("String", "length"): string_length,
+        ("String", "charAt"): string_char_at,
+        ("String", "equals"): string_equals,
+        ("String", "compareTo"): string_compare_to,
+        ("String", "substring"): string_substring,
+        ("String", "indexOf"): string_index_of,
+        ("String", "toCharArray"): string_to_char_array,
+        ("String", "hashCode"): string_hash_code,
+        ("String", "valueOf"): string_value_of,
+        ("String", "concat"): string_concat,
+        ("System", "println"): system_println,
+        ("System", "printInt"): system_print_int,
+        ("System", "arraycopy"): system_arraycopy,
+        ("System", "allocatedBytes"): system_allocated_bytes,
+        ("System", "gc"): system_gc,
+        ("Math", "isqrt"): math_isqrt,
+    }

@@ -1,0 +1,114 @@
+"""Heap object representations: instances and arrays.
+
+Every heap object carries a ``handle`` (its identity in reports), its
+``size`` in bytes (header + body + alignment, per §2.1.1 — the handle and
+the profiling trailer are *not* counted), an ``excluded`` flag (Class
+objects and interned constant-pool strings are excluded from reports),
+and a ``trailer`` slot the profiler attaches to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.bytecode.program import ARRAY_HEADER_BYTES, ELEM_SIZES, align
+
+
+class HeapObject:
+    """Common base for instances and arrays."""
+
+    __slots__ = (
+        "handle",
+        "size",
+        "trailer",
+        "excluded",
+        "marked",
+        "finalize_scheduled",
+        "monitor_depth",
+    )
+
+    def __init__(self, handle: int, size: int) -> None:
+        self.handle = handle
+        self.size = size
+        self.trailer = None
+        self.excluded = False
+        self.marked = False
+        self.finalize_scheduled = False
+        self.monitor_depth = 0
+
+    def type_name(self) -> str:
+        raise NotImplementedError
+
+    def iter_references(self):
+        """Yield the heap objects this object references (GC marking)."""
+        raise NotImplementedError
+
+
+class Instance(HeapObject):
+    """An object instance: class name plus a field map."""
+
+    __slots__ = ("class_name", "fields")
+
+    def __init__(self, handle: int, class_name: str, size: int, field_defaults: Dict[str, object]) -> None:
+        super().__init__(handle, size)
+        self.class_name = class_name
+        self.fields = dict(field_defaults)
+
+    def type_name(self) -> str:
+        return self.class_name
+
+    def iter_references(self):
+        for value in self.fields.values():
+            if isinstance(value, HeapObject):
+                yield value
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name}@{self.handle}>"
+
+
+class ArrayObject(HeapObject):
+    """An array: element descriptor, element source-type, backing list."""
+
+    __slots__ = ("elem_desc", "elem_repr", "data")
+
+    def __init__(self, handle: int, elem_desc: str, elem_repr: str, length: int) -> None:
+        size = align(ARRAY_HEADER_BYTES + ELEM_SIZES[elem_desc] * length)
+        super().__init__(handle, size)
+        self.elem_desc = elem_desc
+        self.elem_repr = elem_repr
+        if elem_desc == "ref":
+            default: object = None
+        elif elem_desc == "boolean":
+            default = False
+        else:
+            default = 0
+        self.data: List[object] = [default] * length
+
+    @property
+    def length(self) -> int:
+        return len(self.data)
+
+    def type_name(self) -> str:
+        return f"{self.elem_repr}[]"
+
+    def iter_references(self):
+        if self.elem_desc == "ref":
+            for value in self.data:
+                if isinstance(value, HeapObject):
+                    yield value
+
+    def __repr__(self) -> str:
+        return f"<{self.elem_repr}[{self.length}]@{self.handle}>"
+
+
+def default_field_values(descriptors: Dict[str, str]) -> Dict[str, object]:
+    """Zero/false/null defaults for a class field layout."""
+    out: Dict[str, object] = {}
+    for name, desc in descriptors.items():
+        if desc == "ref":
+            out[name] = None
+        elif desc == "boolean":
+            out[name] = False
+        else:
+            out[name] = 0
+    return out

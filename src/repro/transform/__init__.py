@@ -1,0 +1,38 @@
+"""The three drag-reducing program transformations (§3.3) and the
+profile-driven advisor that picks among them (§3.4).
+
+All transformations are source-to-source on the mini-Java AST, each
+validated by the Section-5 static analyses before being applied:
+
+* assigning null to a dead reference (local, field, or the vector
+  logical-size array-element case),
+* dead-code removal of allocations of never-used objects,
+* lazy allocation of rarely-used objects.
+"""
+
+from repro.transform.rewriter import clone_program, clone_node
+from repro.transform.assign_null import (
+    assign_null_to_local,
+    clear_array_slot_on_remove,
+)
+from repro.transform.dead_code import remove_dead_allocations
+from repro.transform.lazy_alloc import lazy_allocate_field
+from repro.transform.advisor import (
+    Advisor,
+    AdvisorReport,
+    optimize,
+    optimize_iteratively,
+)
+
+__all__ = [
+    "clone_program",
+    "clone_node",
+    "assign_null_to_local",
+    "clear_array_slot_on_remove",
+    "remove_dead_allocations",
+    "lazy_allocate_field",
+    "Advisor",
+    "AdvisorReport",
+    "optimize",
+    "optimize_iteratively",
+]

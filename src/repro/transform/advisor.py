@@ -1,0 +1,344 @@
+"""The profile-driven optimizer (§3.4 "Putting It All Together").
+
+Given a (linked) program and an input, the advisor:
+
+1. profiles the original program (phase 1 + 2),
+2. walks the allocation sites in decreasing drag order,
+3. finds each site's *anchor* allocation site in application code,
+4. classifies the site's lifetime pattern, and
+5. applies the §3.4-suggested transformation when its static-analysis
+   preconditions hold — dead-code removal for pattern 1, lazy
+   allocation for pattern 2, assigning null for pattern 3 (locals via
+   liveness; logical-size arrays via array liveness), nothing for
+   pattern 4.
+
+The result is a revised program plus a report of what was rewritten and
+what was skipped (and why) — the paper's manual workflow, automated for
+the cases its Section 5 analyses can justify.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import TransformError
+from repro.analysis.array_liveness import logical_size_pairs
+from repro.core.analyzer import DragAnalysis, SiteGroup
+from repro.core.patterns import LifetimePattern, classify_group
+from repro.core.profiler import profile_program
+from repro.mjava import ast
+from repro.mjava.compiler import compile_program
+from repro.mjava.sema import ClassTable
+from repro.transform.assign_null import assign_null_to_local, clear_array_slot_on_remove
+from repro.transform.dead_code import remove_dead_allocations
+from repro.transform.lazy_alloc import lazy_allocate_field
+from repro.transform.rewriter import clone_program
+
+
+class Action:
+    """One advisor decision, applied or skipped."""
+
+    __slots__ = ("site", "pattern", "transformation", "applied", "detail")
+
+    def __init__(self, site, pattern, transformation, applied, detail) -> None:
+        self.site = site
+        self.pattern = pattern
+        self.transformation = transformation
+        self.applied = applied
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        status = "applied" if self.applied else "skipped"
+        return f"<{status} {self.transformation} at {self.site}: {self.detail}>"
+
+
+class AdvisorReport:
+    def __init__(self) -> None:
+        self.actions: List[Action] = []
+
+    def applied(self) -> List[Action]:
+        return [a for a in self.actions if a.applied]
+
+    def summary(self) -> str:
+        lines = []
+        for action in self.actions:
+            status = "APPLIED" if action.applied else "skipped"
+            lines.append(
+                f"{status:8s} {action.transformation or '-':18s} "
+                f"{str(action.site):40s} {action.detail}"
+            )
+        return "\n".join(lines)
+
+
+def _parse_frame(label: str):
+    """'Class.method:line' -> (class, method, line)."""
+    left, _, line = label.rpartition(":")
+    cls, _, method = left.partition(".")
+    return cls, method, int(line)
+
+
+class Advisor:
+    """Automates one profile→rewrite cycle."""
+
+    def __init__(
+        self,
+        program_ast: ast.Program,
+        main_class: str,
+        args: Optional[List[str]] = None,
+        interval_bytes: int = 100 * 1024,
+        top: int = 12,
+        min_drag_share: float = 0.01,
+    ) -> None:
+        self.program_ast = program_ast
+        self.main_class = main_class
+        self.args = args or []
+        self.interval_bytes = interval_bytes
+        self.top = top
+        self.min_drag_share = min_drag_share
+
+    def run(self):
+        """Profile, decide, rewrite. Returns (revised_ast, report)."""
+        compiled = compile_program(self.program_ast, main_class=self.main_class)
+        profile = profile_program(
+            compiled, self.args, interval_bytes=self.interval_bytes
+        )
+        analysis = DragAnalysis(profile.records)
+        report = AdvisorReport()
+        revised = clone_program(self.program_ast)
+
+        # Dead-code removal runs program-wide once; it is the pattern-1
+        # transformation for every never-used site at once.
+        never_used_sites = analysis.never_used_sites()
+        if never_used_sites:
+            revised, removals = remove_dead_allocations(revised, self.main_class)
+            detail = f"{len(removals)} allocation(s) removed"
+            for group in never_used_sites[: self.top]:
+                report.actions.append(
+                    Action(group.key, LifetimePattern.ALL_NEVER_USED, "dead-code-removal",
+                           bool(removals), detail)
+                )
+
+        lazy_done = set()
+        arrays_done = set()
+        # Nested-site groups distinguish call contexts that share a raw
+        # allocation site (e.g. two HashTable fields allocated by the
+        # same library constructor line) — exactly why §2.2 partitions
+        # by nested allocation site.
+        for group in analysis.sorted_nested(self.top):
+            if analysis.drag_share(group) < self.min_drag_share:
+                continue
+            pattern = classify_group(group, interval_bytes=self.interval_bytes)
+            if pattern is LifetimePattern.ALL_NEVER_USED:
+                continue  # handled above
+            if pattern is LifetimePattern.MOSTLY_NEVER_USED:
+                revised = self._try_lazy(revised, profile, group, report, lazy_done)
+            elif pattern is LifetimePattern.LARGE_DRAG:
+                revised = self._try_assign_null(revised, profile, group, report, arrays_done)
+            else:
+                report.actions.append(
+                    Action(group.key, pattern, None, False,
+                           "no transformation for this pattern (§3.4 pattern 4/unclassified)")
+                )
+        return revised, report
+
+    # -- pattern 2: lazy allocation ------------------------------------------
+
+    def _try_lazy(self, revised, profile, group: SiteGroup, report, done):
+        anchor = self._anchor(profile, group)
+        if anchor is None:
+            report.actions.append(
+                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
+                       False, "no application anchor frame"))
+            return revised
+        cls_name, method, line = _parse_frame(anchor)
+        # The anchor must be a constructor assigning the allocation to a
+        # field; find which field from the (original) AST.
+        field = self._ctor_assigned_field(cls_name, line)
+        if field is None:
+            report.actions.append(
+                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
+                       False, f"anchor {anchor} is not a ctor field assignment"))
+            return revised
+        if (cls_name, field) in done:
+            return revised
+        try:
+            revised = lazy_allocate_field(revised, cls_name, field, self.main_class)
+            done.add((cls_name, field))
+            report.actions.append(
+                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
+                       True, f"{cls_name}.{field} now allocated on first use"))
+        except TransformError as exc:
+            report.actions.append(
+                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
+                       False, str(exc)))
+        return revised
+
+    # -- pattern 3: assigning null ---------------------------------------------
+
+    def _try_assign_null(self, revised, profile, group: SiteGroup, report, arrays_done):
+        # Case A: the dragged objects' last use is inside a class with a
+        # verified logical-size array (the jess Vector case).
+        table = ClassTable(revised)
+        for use_group in sorted(
+            group.partition_by_last_use().values(), key=lambda g: -g.total_drag
+        ):
+            if use_group.key[1] is None:
+                continue
+            use_cls, _, _ = _parse_frame(use_group.key[1])
+            if use_cls in arrays_done or not table.has(use_cls):
+                continue
+            pairs = logical_size_pairs(table, use_cls)
+            if pairs:
+                try:
+                    revised = clear_array_slot_on_remove(revised, use_cls)
+                    arrays_done.add(use_cls)
+                    report.actions.append(
+                        Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
+                               True, f"array liveness: cleared slots of {pairs} in {use_cls}"))
+                    return revised
+                except TransformError:
+                    pass
+        # Case B: the allocation is held by a local of the anchor
+        # method. Liveness on the anchor method pinpoints the local's
+        # last-use line (the profile's last-use frame may be in a
+        # callee — e.g. a fill() helper touching the buffer).
+        anchor = self._anchor(profile, group)
+        if anchor is None:
+            report.actions.append(
+                Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
+                       False, "no anchor frame in application code"))
+            return revised
+        a_cls, a_method, a_line = _parse_frame(anchor)
+        var = self._local_assigned_at(a_cls, a_method, a_line)
+        if var is None:
+            report.actions.append(
+                Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
+                       False, f"no local variable assigned at {anchor}"))
+            return revised
+        candidates = self._insertion_lines(profile.program, a_cls, a_method, var)
+        candidates = [line for line in candidates if line >= a_line]
+        if not candidates:
+            report.actions.append(
+                Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
+                       False, f"no liveness-safe nulling point for {var} in {a_cls}.{a_method}"))
+            return revised
+        last_error = None
+        for line in candidates[:5]:
+            try:
+                revised = assign_null_to_local(revised, a_cls, a_method, var, line)
+                report.actions.append(
+                    Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
+                           True, f"{var} = null inserted after {a_cls}.{a_method}:{line}"))
+                return revised
+            except TransformError as exc:
+                last_error = exc
+        report.actions.append(
+            Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
+                   False, str(last_error)))
+        return revised
+
+    # -- helpers --------------------------------------------------------------
+
+    def _anchor(self, profile, group: SiteGroup) -> Optional[str]:
+        from repro.core.anchor import anchor_site
+
+        return anchor_site(group, profile.program)
+
+    def _insertion_lines(self, compiled, class_name: str, method_name: str, var: str):
+        """Liveness-safe lines after which ``var = null`` may go."""
+        from repro.transform.assign_null import null_insertion_candidates
+
+        cls = compiled.classes.get(class_name)
+        if cls is None or method_name not in cls.methods:
+            return []
+        return null_insertion_candidates(cls.methods[method_name], var)
+
+    def _dominant_last_use(self, group: SiteGroup) -> Optional[str]:
+        votes = {}
+        for record in group.records:
+            if record.last_use_frame:
+                votes[record.last_use_frame] = (
+                    votes.get(record.last_use_frame, 0) + record.drag
+                )
+        if not votes:
+            return None
+        return max(sorted(votes), key=lambda k: votes[k])
+
+    def _ctor_assigned_field(self, class_name: str, line: int) -> Optional[str]:
+        cls = self.program_ast.find_class(class_name)
+        if cls is None:
+            return None
+        for ctor in cls.ctors:
+            for node in ctor.body.walk():
+                if isinstance(node, ast.Assign) and node.pos.line == line:
+                    if isinstance(node.target, ast.Name):
+                        return node.target.ident
+                    if isinstance(node.target, ast.FieldAccess) and isinstance(
+                        node.target.target, ast.This
+                    ):
+                        return node.target.name
+        for field in cls.fields:
+            if field.pos.line == line and field.init is not None:
+                return field.name
+        return None
+
+    def _local_assigned_at(self, class_name: str, method_name: str, line: int) -> Optional[str]:
+        cls = self.program_ast.find_class(class_name)
+        if cls is None:
+            return None
+        for method in cls.methods:
+            if method.name != method_name or method.body is None:
+                continue
+            for node in method.body.walk():
+                if node.pos.line != line:
+                    continue
+                if isinstance(node, ast.VarDecl) and node.init is not None:
+                    return node.name
+                if isinstance(node, ast.Assign) and isinstance(node.target, ast.Name):
+                    local_names = {
+                        n.name for n in method.body.walk() if isinstance(n, ast.VarDecl)
+                    } | {p.name for p in method.params}
+                    if node.target.ident in local_names:
+                        return node.target.ident
+        return None
+
+
+def optimize(
+    program_ast: ast.Program,
+    main_class: str,
+    args: Optional[List[str]] = None,
+    interval_bytes: int = 100 * 1024,
+    top: int = 12,
+):
+    """One-call automatic drag reduction: returns (revised_ast, report)."""
+    advisor = Advisor(program_ast, main_class, args, interval_bytes, top)
+    return advisor.run()
+
+
+def optimize_iteratively(
+    program_ast: ast.Program,
+    main_class: str,
+    args: Optional[List[str]] = None,
+    interval_bytes: int = 100 * 1024,
+    top: int = 12,
+    max_cycles: int = 4,
+):
+    """Repeat the profile→rewrite cycle until no transformation applies.
+
+    §3.2: "The tool was reapplied to the revised code in order to
+    measure the resulting drag ... Sometimes, the results revealed more
+    opportunities for drag reduction; in that case, another cycle of
+    code rewriting and applying the tool took place."
+
+    Returns (revised_ast, [report per cycle]).
+    """
+    current = program_ast
+    reports: List[AdvisorReport] = []
+    for _ in range(max_cycles):
+        advisor = Advisor(current, main_class, args, interval_bytes, top)
+        revised, report = advisor.run()
+        reports.append(report)
+        if not report.applied():
+            break
+        current = revised
+    return current, reports

@@ -1,0 +1,267 @@
+"""Assigning null to dead references (§3.3.1).
+
+Two validated variants:
+
+* :func:`assign_null_to_local` — inserts ``v = null;`` after the last
+  use of a local reference, validated by liveness analysis on the
+  original bytecode (§5.1): the slot must be dead at every later point.
+* :func:`clear_array_slot_on_remove` — the §5.2 vector case: in classes
+  with a verified logical-size (array, count) pair, inserts
+  ``array[count] = null;`` after every decrement of the count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SemanticError, TransformError
+from repro.analysis.array_liveness import logical_size_pairs, removal_points
+from repro.analysis.liveness import liveness
+from repro.bytecode.opcodes import Op
+from repro.mjava import ast
+from repro.mjava.compiler import compile_program
+from repro.mjava.sema import ClassTable
+from repro.transform.rewriter import clone_program, find_class, rewrite_block
+
+
+def _validate_dead_after_line(method, var_name: str, line: int) -> None:
+    """Liveness proof: inserting ``var = null`` after ``line`` preserves
+    semantics — no later program point may rely on the slot."""
+    try:
+        slot = method.slot_names.index(var_name)
+    except ValueError:
+        raise TransformError(f"no local {var_name} in {method.qualified_name}")
+    if method.slot_types[slot] != "ref":
+        raise TransformError(f"{var_name} is not a reference variable")
+    live = liveness(method)
+    # The insertion point is "after the statement at `line`": collect the
+    # control-flow successors that leave that line and require the slot
+    # to be dead at each of them. This is robust to loops (a back edge
+    # to an earlier line is still a successor and is checked).
+    stmt_pcs = [pc for pc, instr in enumerate(method.code) if instr.line == line]
+    if not stmt_pcs:
+        raise TransformError(
+            f"line {line} has no code in {method.qualified_name}"
+        )
+    on_line = set(stmt_pcs)
+    for pc in stmt_pcs:
+        for succ in live.cfg.succs[pc]:
+            if succ in on_line:
+                continue
+            if slot in live.live_in[succ]:
+                raise TransformError(
+                    f"{var_name} is still live after line {line} "
+                    f"(at pc {succ}, line {method.code[succ].line}); "
+                    "assigning null would change semantics"
+                )
+
+
+def null_insertion_candidates(method, var_name: str) -> List[int]:
+    """Lines after which ``var_name = null`` would be liveness-safe,
+    earliest first.
+
+    For a variable whose last read sits inside a loop there is no
+    single "last use instruction" (the backward analysis keeps it live
+    around the back edge); the death happens on the loop-exit edge, so
+    the safe insertion point is after the enclosing loop statement —
+    which this sweep finds naturally.
+    """
+    try:
+        slot = method.slot_names.index(var_name)
+    except ValueError:
+        return []
+    if method.slot_types[slot] != "ref":
+        return []
+    load_lines = [
+        instr.line
+        for instr in method.code
+        if instr.op == Op.LOAD and instr.args == (slot,)
+    ]
+    if not load_lines:
+        return []
+    first_load = min(load_lines)
+    candidates = sorted({instr.line for instr in method.code if instr.line >= first_load})
+    out = []
+    for line in candidates:
+        try:
+            _validate_dead_after_line(method, var_name, line)
+        except TransformError:
+            continue
+        out.append(line)
+    return out
+
+
+def assign_null_to_local(
+    program: ast.Program,
+    class_name: str,
+    method_name: str,
+    var_name: str,
+    after_line: int,
+    table: Optional[ClassTable] = None,
+) -> ast.Program:
+    """Insert ``var = null;`` after the statement at ``after_line`` in
+    ``class_name.method_name``. Returns a new (linked) program AST;
+    raises :class:`TransformError` if liveness cannot prove safety."""
+    compiled = compile_program(program, table=table)
+    cls = compiled.classes.get(class_name)
+    if cls is None or method_name not in cls.methods:
+        raise TransformError(f"no method {class_name}.{method_name}")
+    _validate_dead_after_line(cls.methods[method_name], var_name, after_line)
+
+    revised = clone_program(program)
+    target_cls = find_class(revised, class_name)
+    target_method = None
+    for method in target_cls.methods:
+        if method.name == method_name:
+            target_method = method
+    if target_method is None or target_method.body is None:
+        raise TransformError(f"no body for {class_name}.{method_name}")
+
+    inserted = []
+
+    def insert_after(stmt: ast.Stmt):
+        if (
+            stmt.pos.line == after_line
+            and not isinstance(stmt, ast.Block)
+            and not inserted
+        ):
+            inserted.append(stmt)
+            null_assign = ast.Assign(
+                ast.Name(var_name, pos=stmt.pos), ast.NullLit(pos=stmt.pos), pos=stmt.pos
+            )
+            return [stmt, null_assign]
+        return stmt
+
+    rewrite_block(target_method.body, insert_after)
+    if not inserted:
+        raise TransformError(
+            f"no statement at line {after_line} in {class_name}.{method_name}"
+        )
+    # Bytecode liveness is method-scoped but AST scoping is narrower: the
+    # chosen line may sit outside the variable's declaring block. A
+    # compile check catches that (and any other scoping surprise).
+    try:
+        compile_program(revised)
+    except SemanticError as exc:
+        raise TransformError(
+            f"insertion after line {after_line} is out of {var_name}'s scope: {exc}"
+        )
+    return revised
+
+
+def clear_array_slot_on_remove(
+    program: ast.Program,
+    class_name: str,
+    pair: Optional[Tuple[str, str]] = None,
+    table: Optional[ClassTable] = None,
+) -> ast.Program:
+    """Null out the slot of a logically-removed array element.
+
+    For each verified (array, count) pair of ``class_name`` and each
+    decrement of the count, rewrites::
+
+        count = count - 1;            count = count - 1;
+        return data[count];     =>    Object removed = data[count];
+                                      data[count] = null;
+                                      return removed;
+
+    (or simply appends ``data[count] = null;`` when the next statement
+    does not read the slot).
+    """
+    table = table or ClassTable(program)
+    pairs = logical_size_pairs(table, class_name)
+    if pair is not None:
+        if pair not in pairs:
+            raise TransformError(
+                f"({pair[0]}, {pair[1]}) is not a verified logical-size pair of {class_name}"
+            )
+        pairs = [pair]
+    if not pairs:
+        raise TransformError(f"{class_name} has no verified logical-size array")
+
+    revised = clone_program(program)
+    target_cls = find_class(revised, class_name)
+
+    for array_field, size_field in pairs:
+        decrements = {
+            id_stmt
+            for _, dec in removal_points(table, class_name, (array_field, size_field))
+            for id_stmt in [_stmt_signature(dec)]
+        }
+
+        def make_fixer(return_type: ast.Type):
+            def fix_block(block: ast.Block) -> None:
+                new_stmts: List[ast.Stmt] = []
+                i = 0
+                stmts = block.stmts
+                while i < len(stmts):
+                    stmt = stmts[i]
+                    _recurse_blocks(stmt, fix_block)
+                    new_stmts.append(stmt)
+                    if isinstance(stmt, ast.Assign) and _stmt_signature(stmt) in decrements:
+                        nxt = stmts[i + 1] if i + 1 < len(stmts) else None
+                        if (
+                            isinstance(nxt, ast.Return)
+                            and isinstance(nxt.value, ast.Index)
+                            and _reads_slot(nxt.value, array_field, size_field)
+                        ):
+                            pos = nxt.pos
+                            new_stmts.append(
+                                ast.VarDecl(return_type, "removedElement_", nxt.value, pos=pos)
+                            )
+                            new_stmts.append(_null_store(array_field, size_field, pos))
+                            new_stmts.append(
+                                ast.Return(ast.Name("removedElement_", pos=pos), pos=pos)
+                            )
+                            i += 2
+                            continue
+                        new_stmts.append(_null_store(array_field, size_field, stmt.pos))
+                    i += 1
+                block.stmts = new_stmts
+
+            return fix_block
+
+        for ctor in target_cls.ctors:
+            make_fixer(ast.OBJECT)(ctor.body)
+        for method in target_cls.methods:
+            if method.body is not None:
+                make_fixer(method.return_type)(method.body)
+    return revised
+
+
+def _stmt_signature(stmt: ast.Stmt):
+    """Position-based identity usable across a clone."""
+    return (stmt.pos.line, stmt.pos.col, type(stmt).__name__)
+
+
+def _recurse_blocks(stmt: ast.Stmt, fix_block) -> None:
+    if isinstance(stmt, ast.Block):
+        fix_block(stmt)
+    elif isinstance(stmt, ast.If):
+        _recurse_blocks(stmt.then, fix_block)
+        if stmt.otherwise is not None:
+            _recurse_blocks(stmt.otherwise, fix_block)
+    elif isinstance(stmt, (ast.While, ast.For)):
+        _recurse_blocks(stmt.body, fix_block)
+    elif isinstance(stmt, ast.Try):
+        fix_block(stmt.body)
+        for clause in stmt.catches:
+            fix_block(clause.body)
+    elif isinstance(stmt, ast.Synchronized):
+        fix_block(stmt.body)
+
+
+def _reads_slot(index_expr: ast.Index, array_field: str, size_field: str) -> bool:
+    from repro.analysis.array_liveness import _is_field_name
+
+    return _is_field_name(index_expr.array, array_field) and _is_field_name(
+        index_expr.index, size_field
+    )
+
+
+def _null_store(array_field: str, size_field: str, pos) -> ast.Assign:
+    return ast.Assign(
+        ast.Index(ast.Name(array_field, pos=pos), ast.Name(size_field, pos=pos), pos=pos),
+        ast.NullLit(pos=pos),
+        pos=pos,
+    )

@@ -1,0 +1,377 @@
+"""Dead-code removal of never-used allocations (§3.3.2).
+
+"Using a feature of the tool showing objects that are allocated but
+never used, we find allocation sites where all objects are never-used
+... We eliminate the allocation of these objects. ... We must guarantee
+that the constructor is the only code that references the object and
+that the constructor has no influence on the rest of the program."
+
+The automatic version removes:
+
+* assignments (and field initializers) to fields that usage /
+  indirect-usage analysis proves are never read in any call-graph-
+  reachable method, when the right-hand side is a removal-pure
+  allocation, and
+* declarations/assignments of local reference variables that are never
+  loaded, under the same right-hand-side purity requirement.
+
+Safety gates (§3.3.2, §5.5): the constructor must be pure and its only
+possible exception is OutOfMemoryError, which must have no handler in
+the program.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.exceptions import ThrownExceptions
+from repro.analysis.indirect_usage import indirectly_unused_fields
+from repro.analysis.purity import ctor_purity
+from repro.analysis.usage import field_usage
+from repro.bytecode.opcodes import Op
+from repro.mjava import ast
+from repro.mjava.compiler import compile_program
+from repro.mjava.sema import ClassTable
+from repro.transform.rewriter import clone_program, rewrite_block
+
+
+class Removal:
+    """One removed allocation, for reporting."""
+
+    __slots__ = ("kind", "where", "what")
+
+    def __init__(self, kind: str, where: str, what: str) -> None:
+        self.kind = kind  # 'field-store' | 'field-init' | 'local'
+        self.where = where
+        self.what = what
+
+    def __repr__(self) -> str:
+        return f"<removed {self.kind} {self.what} at {self.where}>"
+
+
+def _is_removal_pure_expr(table: ClassTable, expr: ast.Expr) -> bool:
+    """Side-effect-free except allocation; cannot throw anything but
+    OutOfMemoryError."""
+    if isinstance(expr, (ast.IntLit, ast.CharLit, ast.BoolLit, ast.NullLit, ast.StringLit)):
+        return True
+    if isinstance(expr, ast.New):
+        if not table.has(expr.class_name):
+            return False
+        if not ctor_purity(table, expr.class_name).pure:
+            return False
+        return all(_is_removal_pure_expr(table, a) for a in expr.args)
+    if isinstance(expr, ast.NewArray):
+        # A non-constant length could raise IndexOutOfBoundsException,
+        # which programs do catch — require a provably non-negative
+        # constant length.
+        return isinstance(expr.length, ast.IntLit) and expr.length.value >= 0
+    if isinstance(expr, ast.Binary) and expr.op == "+":
+        # string concatenation of pure parts (allocates only)
+        return _is_removal_pure_expr(table, expr.left) and _is_removal_pure_expr(
+            table, expr.right
+        )
+    return False
+
+
+def _stmt_signature(stmt: ast.Stmt):
+    return (stmt.pos.line, stmt.pos.col, type(stmt).__name__)
+
+
+def _bodies_of(decl: ast.ClassDecl):
+    out = [("<init>", ctor.body, [p.name for p in ctor.params]) for ctor in decl.ctors]
+    out += [
+        (m.name, m.body, [p.name for p in m.params])
+        for m in decl.methods
+        if m.body is not None
+    ]
+    return out
+
+
+def _write_only_array_removals(
+    program: ast.Program,
+    table: ClassTable,
+    reachable_keys,
+) -> List[Tuple[str, Tuple]]:
+    """The raytrace §3.4.2 pattern: a never-read array field whose
+    elements are only ever *written* in the constructor with pure
+    allocations. Returns (class_name, stmt signature) pairs naming the
+    element stores that can be removed.
+
+    Guards: the whole-array allocation must be a constant-length
+    ``new T[n]`` preceding the stores (so removal cannot hide an NPE),
+    each removed store must use a constant in-bounds index (so removal
+    cannot hide an IndexOutOfBoundsException), and every read of the
+    field in a call-graph-reachable method must itself be one of those
+    stores' bases.
+    """
+    removals: List[Tuple[str, Tuple]] = []
+    for decl in program.classes:
+        for field in decl.fields:
+            if field.mods.static or not isinstance(field.type, ast.ArrayType):
+                continue
+            fname = field.name
+            disqualified = False
+            element_stores: List[Tuple[str, ast.Assign, ast.Index]] = []
+            array_length: Optional[int] = None
+
+            for cls in program.classes:
+                resolved = table.resolve_field(cls.name, fname)
+                if resolved is None or resolved[0].name != decl.name:
+                    continue
+                for member_name, body, params in _bodies_of(cls):
+                    shadowed = fname in params or any(
+                        isinstance(n, ast.VarDecl) and n.name == fname
+                        for n in body.walk()
+                    )
+                    reachable = (cls.name, member_name) in reachable_keys
+                    for node in body.walk():
+                        if not isinstance(node, ast.Assign):
+                            continue
+                        target = node.target
+                        names_field = (
+                            isinstance(target, ast.Name)
+                            and target.ident == fname
+                            and not shadowed
+                        ) or (
+                            isinstance(target, ast.FieldAccess)
+                            and target.name == fname
+                            and isinstance(target.target, ast.This)
+                        )
+                        if names_field:
+                            # whole-array allocation with constant length
+                            if (
+                                member_name == "<init>"
+                                and isinstance(node.value, ast.NewArray)
+                                and isinstance(node.value.length, ast.IntLit)
+                            ):
+                                array_length = node.value.length.value
+                            continue
+                        if (
+                            isinstance(target, ast.Index)
+                            and (
+                                (
+                                    isinstance(target.array, ast.Name)
+                                    and target.array.ident == fname
+                                    and not shadowed
+                                )
+                                or (
+                                    isinstance(target.array, ast.FieldAccess)
+                                    and target.array.name == fname
+                                    and isinstance(target.array.target, ast.This)
+                                )
+                            )
+                        ):
+                            element_stores.append((cls.name, node, target))
+                    # Any *other* appearance of the field in a reachable
+                    # body is a real read and disqualifies the pattern.
+                    if not reachable:
+                        continue
+                    store_bases = {id(t.array) for _, _, t in element_stores}
+                    for node in body.walk():
+                        if isinstance(node, ast.Name) and node.ident == fname and not shadowed:
+                            if id(node) not in store_bases and not _is_write_target(
+                                body, node
+                            ):
+                                disqualified = True
+                        elif (
+                            isinstance(node, ast.FieldAccess)
+                            and node.name == fname
+                            and isinstance(node.target, ast.This)
+                        ):
+                            if id(node) not in store_bases and not _is_write_target(
+                                body, node
+                            ):
+                                disqualified = True
+                if disqualified:
+                    break
+            if disqualified or array_length is None:
+                continue
+            for cls_name, stmt, target in element_stores:
+                if (
+                    isinstance(target.index, ast.IntLit)
+                    and 0 <= target.index.value < array_length
+                    and isinstance(stmt.value, ast.New)
+                    and _is_removal_pure_expr(table, stmt.value)
+                ):
+                    removals.append((cls_name, _stmt_signature(stmt)))
+    return removals
+
+
+def _is_write_target(body: ast.Block, node: ast.Expr) -> bool:
+    """Is ``node`` exactly the target of some assignment in the body?"""
+    for stmt in body.walk():
+        if isinstance(stmt, ast.Assign) and stmt.target is node:
+            return True
+    return False
+
+
+def remove_dead_allocations(
+    program: ast.Program,
+    main_class: str,
+    table: Optional[ClassTable] = None,
+) -> Tuple[ast.Program, List[Removal]]:
+    """Apply dead-code removal program-wide; returns (revised program,
+    removal report). The input program must be library-linked."""
+    table = table or ClassTable(program)
+    compiled = compile_program(program, main_class=main_class, table=table)
+    callgraph = build_call_graph(compiled)
+    reachable = callgraph.reachable_compiled_methods()
+    usage = field_usage(compiled, reachable)
+    exceptions = ThrownExceptions(compiled, callgraph)
+    oom_handled = exceptions.program_has_handler_for("OutOfMemoryError")
+
+    dead_statics: Set[Tuple[str, str]] = set(usage.written_never_read_statics())
+    dead_fields: Set[Tuple[str, str]] = set(usage.written_never_read_instance_fields())
+    for key in indirectly_unused_fields(compiled, usage):
+        cls = compiled.classes.get(key[0])
+        if cls is not None and key[1] in cls.static_descriptors:
+            dead_statics.add(key)
+        else:
+            dead_fields.add(key)
+    dead_field_names = {f for _, f in dead_fields}
+
+    dead_locals = _never_loaded_ref_locals(compiled, callgraph)
+    array_store_sigs: Set[Tuple[str, Tuple]] = (
+        set()
+        if oom_handled
+        else set(_write_only_array_removals(program, table, callgraph.reachable))
+    )
+
+    revised = clone_program(program)
+    removals: List[Removal] = []
+
+    for cls in revised.classes:
+        # Field initializers of dead fields.
+        for field in cls.fields:
+            key = (cls.name, field.name)
+            is_dead = key in dead_statics if field.mods.static else key in dead_fields
+            if is_dead and field.init is not None and _is_removal_pure_expr(table, field.init):
+                if _allocates(field.init) and oom_handled:
+                    continue
+                removals.append(
+                    Removal("field-init", f"{cls.name}.{field.name}", _describe(field.init))
+                )
+                field.init = None
+        # Statement rewrites in every body.
+        bodies = [
+            (f"{cls.name}.<init>", ctor.body, [p.name for p in ctor.params])
+            for ctor in cls.ctors
+        ]
+        bodies += [
+            (f"{cls.name}.{m.name}", m.body, [p.name for p in m.params])
+            for m in cls.methods
+            if m.body is not None
+        ]
+        for where, body, param_names in bodies:
+            method_dead_locals = set(dead_locals.get(where, set()))
+            local_names = {
+                node.name for node in body.walk() if isinstance(node, ast.VarDecl)
+            }
+            local_names.update(param_names)
+            # A local is only removable when every store to it is pure;
+            # otherwise removing its declaration would orphan the store.
+            for node in body.walk():
+                if (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.target, ast.Name)
+                    and node.target.ident in method_dead_locals
+                    and not _is_removal_pure_expr(table, node.value)
+                ):
+                    method_dead_locals.discard(node.target.ident)
+
+            def remove_dead(stmt: ast.Stmt):
+                if (
+                    isinstance(stmt, ast.Assign)
+                    and (cls.name, _stmt_signature(stmt)) in array_store_sigs
+                ):
+                    removals.append(
+                        Removal("array-store", where, _describe(stmt.value))
+                    )
+                    return None
+                if isinstance(stmt, ast.Assign):
+                    target = stmt.target
+                    is_dead_target = (
+                        isinstance(target, ast.Name)
+                        and (
+                            target.ident in method_dead_locals
+                            or (
+                                target.ident not in local_names
+                                and _field_key(
+                                    table, cls.name, target.ident, dead_fields, dead_statics
+                                )
+                            )
+                        )
+                    ) or (
+                        isinstance(target, ast.FieldAccess)
+                        and isinstance(target.target, ast.This)
+                        and target.name in dead_field_names
+                    )
+                    if is_dead_target and _is_removal_pure_expr(table, stmt.value):
+                        if _allocates(stmt.value) and oom_handled:
+                            return stmt
+                        removals.append(
+                            Removal("field-store", where, _describe(stmt.value))
+                        )
+                        return None
+                if isinstance(stmt, ast.VarDecl) and stmt.name in method_dead_locals:
+                    if stmt.init is None or _is_removal_pure_expr(table, stmt.init):
+                        if stmt.init is not None and _allocates(stmt.init) and oom_handled:
+                            return stmt
+                        removals.append(
+                            Removal("local", where, _describe(stmt.init) if stmt.init else stmt.name)
+                        )
+                        return None
+                return stmt
+
+            rewrite_block(body, remove_dead)
+    return revised, removals
+
+
+def _allocates(expr: ast.Expr) -> bool:
+    return any(
+        isinstance(node, (ast.New, ast.NewArray, ast.StringLit, ast.Binary))
+        for node in expr.walk()
+    )
+
+
+def _describe(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.New):
+        return f"new {expr.class_name}(...)"
+    if isinstance(expr, ast.NewArray):
+        return f"new {expr.element_type}[...]"
+    return type(expr).__name__
+
+
+def _field_key(table, class_name, name, dead_fields, dead_statics) -> bool:
+    resolved = table.resolve_field(class_name, name)
+    if resolved is None:
+        return False
+    declaring, field = resolved
+    key = (declaring.name, name)
+    return key in dead_statics if field.mods.static else key in dead_fields
+
+
+def _never_loaded_ref_locals(compiled, callgraph) -> Dict[str, Set[str]]:
+    """Per qualified method: declared ref locals never LOADed.
+
+    A local is removable only if *all* its stores have pure right-hand
+    sides — that is checked at rewrite time; here we only demand it is
+    never read. Parameters are excluded (callers still pass them)."""
+    out: Dict[str, Set[str]] = {}
+    for method in callgraph.reachable_compiled_methods():
+        if method.is_native or not method.code:
+            continue
+        loaded = {i.args[0] for i in method.code if i.op == Op.LOAD}
+        dead = set()
+        first_local = method.param_count + (0 if method.is_static else 1)
+        for slot in range(first_local, method.nlocals):
+            if (
+                slot not in loaded
+                and method.slot_types[slot] == "ref"
+                and not method.slot_names[slot].startswith("$")
+            ):
+                dead.add(method.slot_names[slot])
+        if dead:
+            out[method.qualified_name] = dead
+    return out

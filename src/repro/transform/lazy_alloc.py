@@ -1,0 +1,272 @@
+"""Lazy allocation (§3.3.3).
+
+"We eliminate the original allocation of the object and the variable
+that would have referenced the object remains null ... Then, at every
+possible first use of the object, there is a test to check whether the
+variable is still null. If so, the object is allocated."
+
+The automatic version targets an instance field initialized in the
+constructor (the jack pattern: one Vector and two HashTables assigned to
+package-visible instance fields). Preconditions (§3.3.3, §5.5):
+
+* the field is assigned exactly once, in the constructor (or a field
+  initializer), with ``new C(constant args)``;
+* C's constructor is pure and reads no program state (``lazy_safe``);
+* the only possible exception is OutOfMemoryError and the program has
+  no handler for it;
+* every read of the field is rewritable (reads occur as ``f`` /
+  ``this.f`` in the declaring class — package scope is validated by
+  scanning all classes).
+
+The rewrite inserts the §5.1 "minimal code insertion" in its simplest
+form: reads go through a package-visible accessor performing the
+null-check-then-allocate test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import TransformError
+from repro.analysis.callgraph import build_call_graph
+from repro.analysis.exceptions import ThrownExceptions
+from repro.analysis.purity import ctor_purity
+from repro.mjava import ast
+from repro.mjava.compiler import compile_program
+from repro.mjava.sema import ClassTable
+from repro.transform.rewriter import (
+    clone_program,
+    find_class,
+    rewrite_block,
+    rewrite_exprs_in_stmt,
+)
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    return isinstance(expr, (ast.IntLit, ast.CharLit, ast.BoolLit, ast.StringLit, ast.NullLit))
+
+
+def _field_reads_in(cls: ast.ClassDecl, field_name: str) -> List[ast.Expr]:
+    """Expressions reading ``field_name`` in a class body (Name or
+    this.f), excluding assignment-target writes."""
+    reads: List[ast.Expr] = []
+
+    def collect(node: ast.Node) -> None:
+        for sub in node.walk():
+            if isinstance(sub, ast.Name) and sub.ident == field_name:
+                reads.append(sub)
+            elif (
+                isinstance(sub, ast.FieldAccess)
+                and sub.name == field_name
+                and isinstance(sub.target, ast.This)
+            ):
+                reads.append(sub)
+
+    bodies = [ctor.body for ctor in cls.ctors] + [
+        m.body for m in cls.methods if m.body is not None
+    ]
+    for body in bodies:
+        for stmt in body.walk():
+            if isinstance(stmt, ast.Assign):
+                if not isinstance(stmt.target, ast.Name):
+                    collect(stmt.target)
+                collect(stmt.value)
+            elif isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+                collect(stmt.init)
+            elif isinstance(stmt, (ast.ExprStmt,)):
+                collect(stmt.expr)
+            elif isinstance(stmt, (ast.Return, ast.Throw)) and stmt.value is not None:
+                collect(stmt.value)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                collect(stmt.cond)
+            elif isinstance(stmt, ast.For) and stmt.cond is not None:
+                collect(stmt.cond)
+            elif isinstance(stmt, ast.Synchronized):
+                collect(stmt.monitor)
+            elif isinstance(stmt, ast.SuperCall):
+                for arg in stmt.args:
+                    collect(arg)
+    return reads
+
+
+def lazy_allocate_field(
+    program: ast.Program,
+    class_name: str,
+    field_name: str,
+    main_class: Optional[str] = None,
+    table: Optional[ClassTable] = None,
+) -> ast.Program:
+    """Make ``class_name.field_name`` lazily allocated; returns a new
+    program AST or raises :class:`TransformError` if unsafe."""
+    table = table or ClassTable(program)
+    info = table.get(class_name)
+    field = info.fields.get(field_name)
+    if field is None:
+        raise TransformError(f"no field {class_name}.{field_name}")
+    if field.mods.static:
+        raise TransformError("lazy allocation targets instance fields")
+    if not isinstance(field.type, ast.ClassType):
+        raise TransformError("lazy allocation needs a class-typed field")
+
+    # Find the single initializing assignment.
+    init_sources: List[Tuple[str, ast.New]] = []
+    if field.init is not None:
+        if isinstance(field.init, ast.New):
+            init_sources.append(("<field-init>", field.init))
+        else:
+            raise TransformError("field initializer is not a plain allocation")
+    ctor = info.ctor
+    ctor_assigns: List[ast.Assign] = []
+    if ctor is not None:
+        for node in ctor.body.walk():
+            if isinstance(node, ast.Assign) and (
+                (isinstance(node.target, ast.Name) and node.target.ident == field_name)
+                or (
+                    isinstance(node.target, ast.FieldAccess)
+                    and node.target.name == field_name
+                    and isinstance(node.target.target, ast.This)
+                )
+            ):
+                ctor_assigns.append(node)
+                if isinstance(node.value, ast.New):
+                    init_sources.append(("<ctor>", node.value))
+                else:
+                    raise TransformError("constructor assigns a non-allocation value")
+    if len(init_sources) != 1:
+        raise TransformError(
+            f"{class_name}.{field_name} must have exactly one initializing allocation"
+        )
+    _, allocation = init_sources[0]
+
+    # No method anywhere (the declaring class's non-ctor methods, or any
+    # other class) may assign the field: the constructor must be the
+    # single initialization point.
+    for cls in program.classes:
+        for method in cls.methods:
+            if method.body is None:
+                continue
+            for node in method.body.walk():
+                if not isinstance(node, ast.Assign):
+                    continue
+                target = node.target
+                assigns_field = (
+                    isinstance(target, ast.FieldAccess) and target.name == field_name
+                ) or (
+                    cls.name == class_name
+                    and isinstance(target, ast.Name)
+                    and target.ident == field_name
+                )
+                if assigns_field:
+                    raise TransformError(
+                        f"{cls.name}.{method.name} assigns {field_name}; "
+                        "cannot prove a single initialization point"
+                    )
+
+    # §3.3.3 constant-argument and purity requirements.
+    if not all(_is_constant(a) for a in allocation.args):
+        raise TransformError("constructor arguments are not constants")
+    purity = ctor_purity(table, allocation.class_name)
+    if not purity.lazy_safe:
+        raise TransformError(
+            f"constructor of {allocation.class_name} is not lazy-safe: {purity.reasons}"
+        )
+
+    # Exception check: only OOM possible; program must not handle it.
+    compiled = compile_program(program, main_class=main_class, table=table)
+    exceptions = ThrownExceptions(compiled, build_call_graph(compiled))
+    if exceptions.program_has_handler_for("OutOfMemoryError"):
+        raise TransformError("program has a handler for OutOfMemoryError")
+
+    # Reads outside the declaring class make the rewrite non-local; the
+    # jack fields are package-visible but only read in their class.
+    for cls in program.classes:
+        if cls.name != class_name and _field_reads_in(cls, field_name):
+            resolved = table.resolve_field(cls.name, field_name)
+            if resolved is not None and resolved[0].name == class_name:
+                raise TransformError(
+                    f"{field_name} is read in {cls.name}; rewrite only supports in-class reads"
+                )
+
+    # ---- rewrite ---------------------------------------------------------
+    revised = clone_program(program)
+    target_cls = find_class(revised, class_name)
+    accessor_name = "lazyInit_" + field_name
+
+    for rfield in target_cls.fields:
+        if rfield.name == field_name:
+            rfield.init = None
+
+    def drop_init(stmt: ast.Stmt):
+        if isinstance(stmt, ast.Assign) and (
+            (isinstance(stmt.target, ast.Name) and stmt.target.ident == field_name)
+            or (
+                isinstance(stmt.target, ast.FieldAccess)
+                and stmt.target.name == field_name
+                and isinstance(stmt.target.target, ast.This)
+            )
+        ):
+            return None
+        return stmt
+
+    def to_accessor(expr: ast.Expr) -> ast.Expr:
+        if isinstance(expr, ast.Name) and expr.ident == field_name:
+            return ast.Call(None, accessor_name, [], pos=expr.pos)
+        if (
+            isinstance(expr, ast.FieldAccess)
+            and expr.name == field_name
+            and isinstance(expr.target, ast.This)
+        ):
+            return ast.Call(ast.This(pos=expr.pos), accessor_name, [], pos=expr.pos)
+        return expr
+
+    for rctor in target_cls.ctors:
+        rewrite_block(rctor.body, drop_init)
+        rewrite_exprs_in_stmt(rctor.body, to_accessor)
+
+    for method in target_cls.methods:
+        if method.body is None or any(p.name == field_name for p in method.params):
+            continue
+        if any(
+            isinstance(n, ast.VarDecl) and n.name == field_name
+            for n in method.body.walk()
+        ):
+            continue  # shadowed by a local; reads hit the local, not the field
+        rewrite_exprs_in_stmt(method.body, to_accessor)
+
+    pos = field.pos
+    accessor = ast.MethodDecl(
+        ast.Modifiers("package"),
+        field.type,
+        accessor_name,
+        [],
+        ast.Block(
+            [
+                ast.If(
+                    ast.Binary("==", ast.Name(field_name, pos=pos), ast.NullLit(pos=pos), pos=pos),
+                    ast.Block(
+                        [
+                            ast.Assign(
+                                ast.Name(field_name, pos=pos),
+                                clone_node_expr(allocation),
+                                pos=pos,
+                            )
+                        ],
+                        pos=pos,
+                    ),
+                    None,
+                    pos=pos,
+                ),
+                ast.Return(ast.Name(field_name, pos=pos), pos=pos),
+            ],
+            pos=pos,
+        ),
+        pos=pos,
+    )
+    target_cls.methods.append(accessor)
+    return revised
+
+
+def clone_node_expr(expr: ast.Expr) -> ast.Expr:
+    from repro.transform.rewriter import clone_node
+
+    return clone_node(expr)

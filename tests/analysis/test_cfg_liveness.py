@@ -1,0 +1,150 @@
+"""CFG construction and local liveness analysis."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import liveness
+from repro.bytecode.opcodes import Op
+from tests.conftest import compile_app
+
+
+def method_of(source, class_name, method_name):
+    program = compile_app(source, main_class=None)
+    return program.classes[class_name].methods[method_name]
+
+
+def test_straightline_cfg():
+    method = method_of(
+        "class C { int f(int a) { int b = a + 1; return b; } }", "C", "f"
+    )
+    cfg = build_cfg(method)
+    # every non-terminal instruction falls through
+    for pc in range(len(cfg) - 1):
+        if method.code[pc].op not in (Op.RET, Op.RETV, Op.JUMP):
+            assert pc + 1 in cfg.succs[pc]
+    assert cfg.exits
+
+
+def test_branch_creates_two_successors():
+    method = method_of(
+        "class C { int f(boolean b) { if (b) { return 1; } return 2; } }", "C", "f"
+    )
+    cfg = build_cfg(method)
+    jif_pcs = [pc for pc, i in enumerate(method.code) if i.op == Op.JIF]
+    assert jif_pcs
+    assert len(cfg.succs[jif_pcs[0]]) == 2
+
+
+def test_exception_edge_to_handler():
+    source = """
+    class C {
+        int f(Object o) {
+            try { return o.hashCode(); }
+            catch (NullPointerException e) { return 0; }
+        }
+    }
+    """
+    method = method_of(source, "C", "f")
+    cfg = build_cfg(method)
+    handler = method.exception_table[0].handler
+    invoke_pcs = [pc for pc, i in enumerate(method.code) if i.op == Op.INVOKEV]
+    assert any(handler in cfg.succs[pc] for pc in invoke_pcs)
+
+
+def test_liveness_param_live_until_last_use():
+    method = method_of(
+        "class C { int f(int a) { int b = a + a; return b; } }", "C", "f"
+    )
+    live = liveness(method)
+    slot_a = method.slot_names.index("a")
+    assert slot_a in live.live_in[0]
+    # after the last LOAD of a, it is dead
+    last_load = max(
+        pc for pc, i in enumerate(method.code) if i.op == Op.LOAD and i.args == (slot_a,)
+    )
+    assert live.dead_after(last_load, slot_a)
+
+
+def test_liveness_through_loop_keeps_variable_alive():
+    source = """
+    class C {
+        int sum(int n) {
+            int total = 0;
+            for (int i = 0; i < n; i = i + 1) { total = total + i; }
+            return total;
+        }
+    }
+    """
+    method = method_of(source, "C", "sum")
+    live = liveness(method)
+    slot_total = method.slot_names.index("total")
+    # total is live around the loop: at the condition test (first load
+    # of i) the next use of total may be the body read or the return.
+    slot_i = method.slot_names.index("i")
+    loads_of_i = [
+        pc for pc, ins in enumerate(method.code) if ins.op == Op.LOAD and ins.args == (slot_i,)
+    ]
+    assert loads_of_i
+    assert slot_total in live.live_in[loads_of_i[0]]
+    # ...but inside `total = total + i`, after the read of total and
+    # before the store, total is momentarily dead on the redefining path.
+    body_load_total = [
+        pc
+        for pc, ins in enumerate(method.code)
+        if ins.op == Op.LOAD and ins.args == (slot_total,)
+    ][0]
+    assert live.dead_after(body_load_total, slot_total)
+
+
+def test_dead_reference_detected_after_last_use():
+    source = """
+    class C {
+        void f() {
+            Object big = new Object();
+            big.hashCode();
+            this.spin();
+        }
+        void spin() { }
+    }
+    """
+    method = method_of(source, "C", "f")
+    live = liveness(method)
+    slot = method.slot_names.index("big")
+    assert live.is_ref_slot(slot)
+    points = live.last_use_points(slot)
+    assert len(points) == 1
+    # 'big' is dead after its hashCode() receiver load
+    assert live.dead_after(points[0], slot)
+
+
+def test_variable_reassigned_later_is_dead_in_between():
+    source = """
+    class C {
+        int f() {
+            int x = 1;
+            int y = x + 1;
+            x = 10;
+            return x + y;
+        }
+    }
+    """
+    method = method_of(source, "C", "f")
+    live = liveness(method)
+    slot_x = method.slot_names.index("x")
+    # Between the use at 'x + 1' and the redefinition, x is dead: find
+    # the STORE that redefines x and check x not live-in there.
+    stores = [
+        pc for pc, i in enumerate(method.code) if i.op == Op.STORE and i.args == (slot_x,)
+    ]
+    redefinition = stores[1]
+    assert slot_x not in live.live_in[redefinition]
+
+
+def test_unused_variable_never_live():
+    method = method_of(
+        "class C { void f() { Object unused = new Object(); this.g(); } void g() { } }",
+        "C",
+        "f",
+    )
+    live = liveness(method)
+    slot = method.slot_names.index("unused")
+    assert all(slot not in s for s in live.live_in)
+    assert live.last_use_points(slot) == []

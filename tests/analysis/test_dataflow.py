@@ -1,0 +1,123 @@
+"""The generic dataflow solver: forward (reaching definitions) and
+backward (liveness core) on hand-built and compiled CFGs."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import solve_backward, solve_forward
+from repro.bytecode.opcodes import Op
+from tests.conftest import compile_app
+
+
+def method_of(source, class_name, method_name):
+    program = compile_app(source, main_class=None)
+    return program.classes[class_name].methods[method_name]
+
+
+def reaching_definitions(method):
+    """Classic forward may-analysis: which STORE instructions may have
+    produced each slot's current value."""
+    cfg = build_cfg(method)
+    stores_by_slot = {}
+    for pc, instr in enumerate(method.code):
+        if instr.op == Op.STORE:
+            stores_by_slot.setdefault(instr.args[0], set()).add(pc)
+
+    def gen_kill(pc):
+        instr = method.code[pc]
+        if instr.op == Op.STORE:
+            slot = instr.args[0]
+            return frozenset({pc}), frozenset(stores_by_slot[slot] - {pc})
+        return frozenset(), frozenset()
+
+    return cfg, solve_forward(cfg, gen_kill)
+
+
+def test_reaching_definitions_straight_line():
+    method = method_of(
+        "class C { int f() { int x = 1; x = 2; return x; } }", "C", "f"
+    )
+    cfg, (ins, outs) = reaching_definitions(method)
+    stores = [pc for pc, i in enumerate(method.code) if i.op == Op.STORE]
+    first, second = stores
+    # after the second store, only it reaches
+    assert second in outs[second]
+    assert first not in outs[second]
+
+
+def test_reaching_definitions_merge_at_join():
+    source = """
+    class C {
+        int f(boolean b) {
+            int x = 1;
+            if (b) { x = 2; }
+            return x;
+        }
+    }
+    """
+    method = method_of(source, "C", "f")
+    cfg, (ins, outs) = reaching_definitions(method)
+    slot_x = method.slot_names.index("x")
+    stores = [
+        pc for pc, i in enumerate(method.code) if i.op == Op.STORE and i.args == (slot_x,)
+    ]
+    # at the final load of x, both definitions may reach (the join)
+    final_load = max(
+        pc for pc, i in enumerate(method.code) if i.op == Op.LOAD and i.args == (slot_x,)
+    )
+    reaching = ins[final_load] & set(stores)
+    assert len(reaching) == 2
+
+
+def test_reaching_definitions_loop_fixpoint():
+    source = """
+    class C {
+        int f(int n) {
+            int x = 0;
+            for (int i = 0; i < n; i = i + 1) { x = x + 1; }
+            return x;
+        }
+    }
+    """
+    method = method_of(source, "C", "f")
+    cfg, (ins, outs) = reaching_definitions(method)
+    slot_x = method.slot_names.index("x")
+    stores = [
+        pc for pc, i in enumerate(method.code) if i.op == Op.STORE and i.args == (slot_x,)
+    ]
+    init, loop = stores
+    # inside the loop body both the init and the loop store may reach
+    body_load = min(
+        pc
+        for pc, i in enumerate(method.code)
+        if i.op == Op.LOAD and i.args == (slot_x,)
+    )
+    assert {init, loop} <= ins[body_load] or {init, loop} <= outs[body_load] | ins[body_load]
+
+
+def test_backward_boundary_applies_at_exits():
+    method = method_of("class C { void f() { int x = 1; } }", "C", "f")
+    cfg = build_cfg(method)
+
+    def gen_kill(pc):
+        return frozenset(), frozenset()
+
+    ins, outs = solve_backward(cfg, gen_kill, boundary=frozenset({"token"}))
+    # with identity transfer, the boundary fact flows everywhere
+    assert all("token" in s for s in ins)
+
+
+def test_forward_entry_fact_flows_through():
+    method = method_of("class C { void f() { int x = 1; int y = 2; } }", "C", "f")
+    cfg = build_cfg(method)
+
+    def gen_kill(pc):
+        return frozenset(), frozenset()
+
+    ins, outs = solve_forward(cfg, gen_kill, entry=frozenset({"seed"}))
+    assert "seed" in outs[len(method.code) - 1] or "seed" in ins[len(method.code) - 1]
+
+
+def test_empty_method_handled():
+    method = method_of("class C { native void f(); }", "C", "f")
+    cfg = build_cfg(method)
+    ins, outs = solve_forward(cfg, lambda pc: (frozenset(), frozenset()))
+    assert ins == [] and outs == []

@@ -1,0 +1,232 @@
+"""Exception analysis (§5.5) and constructor purity."""
+
+from repro.analysis.exceptions import ANY, ThrownExceptions
+from repro.analysis.purity import ctor_purity
+from repro.mjava.sema import ClassTable
+from repro.runtime.library import link
+from tests.conftest import compile_app
+
+
+def thrown(source, cls, method):
+    program = compile_app(source)
+    return ThrownExceptions(program).of(cls, method)
+
+
+def table_of(source):
+    return ClassTable(link(source))
+
+
+def test_division_may_throw_arithmetic():
+    source = """
+    class Main {
+        public static void main(String[] args) { System.printInt(div(6, 2)); }
+        static int div(int a, int b) { return a / b; }
+    }
+    """
+    assert "ArithmeticException" in thrown(source, "Main", "div")
+
+
+def test_caught_exception_does_not_escape():
+    source = """
+    class Main {
+        public static void main(String[] args) { safeDiv(1, 0); }
+        static int safeDiv(int a, int b) {
+            try { return a / b; } catch (ArithmeticException e) { return 0; }
+        }
+    }
+    """
+    assert "ArithmeticException" not in thrown(source, "Main", "safeDiv")
+
+
+def test_explicit_throw_propagates_through_calls():
+    source = """
+    class Main {
+        public static void main(String[] args) { outer(); }
+        static void outer() { inner(); }
+        static void inner() { throw new NumberFormatException("x"); }
+    }
+    """
+    assert "NumberFormatException" in thrown(source, "Main", "outer")
+
+
+def test_catch_in_caller_stops_propagation():
+    source = """
+    class Main {
+        public static void main(String[] args) { outer(); }
+        static void outer() {
+            try { inner(); } catch (RuntimeException e) { }
+        }
+        static void inner() { throw new NumberFormatException("x"); }
+    }
+    """
+    assert "NumberFormatException" not in thrown(source, "Main", "outer")
+
+
+def test_field_access_may_throw_npe():
+    source = """
+    class Box { int v; }
+    class Main {
+        public static void main(String[] args) { get(new Box()); }
+        static int get(Box b) { return b.v; }
+    }
+    """
+    assert "NullPointerException" in thrown(source, "Main", "get")
+
+
+def test_allocation_may_throw_oom():
+    source = """
+    class Main {
+        public static void main(String[] args) { make(); }
+        static Object make() { return new Object(); }
+    }
+    """
+    assert "OutOfMemoryError" in thrown(source, "Main", "make")
+
+
+def test_program_handler_lookup():
+    source_without = """
+    class Main { public static void main(String[] args) { Object o = new Object(); } }
+    """
+    program = compile_app(source_without)
+    exc = ThrownExceptions(program)
+    assert not exc.program_has_handler_for("OutOfMemoryError")
+
+    source_with = """
+    class Main {
+        public static void main(String[] args) {
+            try { Object o = new Object(); } catch (OutOfMemoryError e) { }
+        }
+    }
+    """
+    program2 = compile_app(source_with)
+    exc2 = ThrownExceptions(program2)
+    assert exc2.program_has_handler_for("OutOfMemoryError")
+    # handler for a supertype counts too
+    source_super = """
+    class Main {
+        public static void main(String[] args) {
+            try { Object o = new Object(); } catch (Throwable t) { }
+        }
+    }
+    """
+    assert ThrownExceptions(compile_app(source_super)).program_has_handler_for(
+        "OutOfMemoryError"
+    )
+
+
+# -- purity -------------------------------------------------------------------
+
+
+def test_simple_initializing_ctor_is_pure():
+    table = table_of(
+        """
+        class Point { int x; int y; Point(int x, int y) { this.x = x; this.y = y; } }
+        """
+    )
+    result = ctor_purity(table, "Point")
+    assert result.pure
+    assert result.lazy_safe
+
+
+def test_ctor_allocating_own_arrays_is_pure():
+    table = table_of(
+        """
+        class Buf {
+            char[] data;
+            int len;
+            Buf(int n) {
+                data = new char[n];
+                for (int i = 0; i < n; i = i + 1) { data[i] = 'x'; }
+                len = n;
+            }
+        }
+        """
+    )
+    assert ctor_purity(table, "Buf").pure
+
+
+def test_ctor_writing_static_is_impure():
+    table = table_of(
+        """
+        class Counter {
+            static int instances;
+            Counter() { instances = instances + 1; }
+        }
+        """
+    )
+    result = ctor_purity(table, "Counter")
+    assert not result.pure
+
+
+def test_ctor_reading_static_is_pure_but_not_lazy_safe():
+    table = table_of(
+        """
+        class Stamp {
+            static int epoch = 5;
+            int at;
+            Stamp() { at = epoch; }
+        }
+        """
+    )
+    result = ctor_purity(table, "Stamp")
+    assert result.pure
+    assert result.reads_statics
+    assert not result.lazy_safe
+
+
+def test_ctor_calling_method_is_impure():
+    table = table_of(
+        """
+        class Chatty { Chatty() { System.println("hi"); } }
+        """
+    )
+    assert not ctor_purity(table, "Chatty").pure
+
+
+def test_ctor_writing_other_object_is_impure():
+    table = table_of(
+        """
+        class Registry { Object last; }
+        class Item { Item(Registry r) { r.last = this; } }
+        """
+    )
+    assert not ctor_purity(table, "Item").pure
+
+
+def test_ctor_throwing_is_impure():
+    table = table_of(
+        """
+        class Picky { Picky(int n) { if (n < 0) { throw new RuntimeException("neg"); } } }
+        """
+    )
+    assert not ctor_purity(table, "Picky").pure
+
+
+def test_purity_is_transitive_through_super_and_new():
+    table = table_of(
+        """
+        class Base { int b; Base() { b = 1; } }
+        class Inner { Inner() { System.println("side effect"); } }
+        class CleanChild extends Base { CleanChild() { super(); } }
+        class DirtyChild extends Base { Inner i; DirtyChild() { i = new Inner(); } }
+        """
+    )
+    assert ctor_purity(table, "CleanChild").pure
+    assert not ctor_purity(table, "DirtyChild").pure
+
+
+def test_vector_and_hashtable_ctors_are_lazy_safe():
+    """The jack transformation relies on these being postponable."""
+    table = table_of("class Dummy { }")
+    assert ctor_purity(table, "Vector").lazy_safe
+    assert ctor_purity(table, "HashTable").lazy_safe
+    assert ctor_purity(table, "StringBuilder").lazy_safe
+
+
+def test_recursive_ctor_does_not_hang():
+    table = table_of(
+        """
+        class Node { Node next; Node() { next = null; } }
+        """
+    )
+    assert ctor_purity(table, "Node").pure

@@ -1,0 +1,101 @@
+"""Minimal-code-insertion points for lazy allocation (§5.1)."""
+
+from repro.analysis.lazy_points import first_use_sites
+from repro.mjava.sema import ClassTable
+from repro.runtime.library import link
+
+
+def table_of(source):
+    return ClassTable(link(source))
+
+
+SOURCE = """
+class Box {
+    Vector items;
+    Box() { items = new Vector(8); }
+    void add(Object o) { items.add(o); }
+    int size() { return items.size(); }
+    void reset() { items = null; }
+    boolean check() { return items == null; }
+}
+"""
+
+
+def test_reads_found_with_member_and_line():
+    table = table_of(SOURCE)
+    sites = first_use_sites(table, "Box", "items")
+    members = {(s.member, s.kind) for s in sites}
+    assert ("add", "name") in members
+    assert ("size", "name") in members
+    assert ("check", "name") in members
+    assert all(s.class_name == "Box" for s in sites)
+    assert all(s.line > 0 for s in sites)
+
+
+def test_plain_writes_are_not_first_uses():
+    table = table_of(SOURCE)
+    sites = first_use_sites(table, "Box", "items")
+    # the ctor's "items = new Vector(8)" and reset's "items = null" are
+    # writes, not uses
+    assert all(s.member not in ("<init>", "reset") for s in sites)
+
+
+def test_this_qualified_reads_found():
+    table = table_of(
+        """
+        class Box {
+            Vector items;
+            int size() { return this.items.size(); }
+        }
+        """
+    )
+    sites = first_use_sites(table, "Box", "items")
+    assert any(s.kind == "this-field" for s in sites)
+
+
+def test_private_field_scope_is_declaring_class():
+    table = table_of(
+        """
+        class A {
+            private Vector data;
+            int size() { return data.size(); }
+        }
+        class B {
+            Vector data;
+            int size() { return data.size(); }
+        }
+        """
+    )
+    sites = first_use_sites(table, "A", "data")
+    assert {s.class_name for s in sites} == {"A"}
+
+
+def test_package_field_read_through_receiver_counted():
+    table = table_of(
+        """
+        class Box { Vector items; }
+        class Client {
+            int probe(Box box) { return box.items.size(); }
+        }
+        """
+    )
+    sites = first_use_sites(table, "Box", "items")
+    assert any(s.class_name == "Client" and s.kind == "field-access" for s in sites)
+
+
+def test_unknown_field_returns_empty():
+    table = table_of(SOURCE)
+    assert first_use_sites(table, "Box", "ghost") == []
+
+
+def test_inherited_field_reads_bind_to_declaring_class():
+    table = table_of(
+        """
+        class Base { Vector shared; }
+        class Child extends Base {
+            int size() { return shared.size(); }
+        }
+        """
+    )
+    sites = first_use_sites(table, "Base", "shared")
+    assert any(s.class_name == "Child" for s in sites)

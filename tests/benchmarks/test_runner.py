@@ -1,0 +1,112 @@
+"""Benchmark runner unit tests: compilation, savings rows, cost model,
+Figure-2 series."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark, run_pair
+from repro.benchmarks.registry import Benchmark
+from repro.benchmarks.runner import (
+    compile_benchmark,
+    figure2_series,
+    run_runtime_pair,
+    simulated_runtime,
+)
+
+
+@pytest.fixture(scope="module")
+def juru_run():
+    return run_pair(get_benchmark("juru"), "primary")
+
+
+def test_args_for_validates_input_name():
+    bench = get_benchmark("db")
+    assert bench.args_for("primary") == bench.primary_args
+    assert bench.args_for("alternate") == bench.alternate_args
+    with pytest.raises(ValueError):
+        bench.args_for("tertiary")
+
+
+def test_compile_benchmark_links_library():
+    program = compile_benchmark(get_benchmark("juru"), revised=False)
+    assert "Vector" in program.classes
+    assert "Juru" in program.classes
+    assert program.classes["Vector"].is_library
+    assert not program.classes["Juru"].is_library
+
+
+def test_revised_library_overrides_applied():
+    bench = get_benchmark("jess")
+    original = compile_benchmark(bench, revised=False)
+    revised = compile_benchmark(bench, revised=True)
+    # the original Locale's <clinit> allocates constants; the revised
+    # JDK's constants are null so its <clinit> has no NEWINIT
+    from repro.bytecode.opcodes import Op
+
+    orig_clinit = original.classes["Locale"].clinit
+    rev_clinit = revised.classes["Locale"].clinit
+    assert any(i.op == Op.NEWINIT for i in orig_clinit.code)
+    assert rev_clinit is None or not any(i.op == Op.NEWINIT for i in rev_clinit.code)
+
+
+def test_savings_row_consistency(juru_run):
+    s = juru_run.savings
+    assert s.original_reachable >= s.original_in_use > 0
+    assert s.reduced_reachable >= s.reduced_in_use > 0
+    reduction = s.original_reachable - s.reduced_reachable
+    drag = s.original_reachable - s.original_in_use
+    assert abs(s.space_saving_pct - 100 * reduction / s.original_reachable) < 1e-9
+    assert abs(s.drag_saving_pct - 100 * reduction / drag) < 1e-9
+
+
+def test_figure2_series_has_four_curves(juru_run):
+    curves = figure2_series(juru_run)
+    assert set(curves) == {
+        "original_reachable",
+        "original_in_use",
+        "revised_reachable",
+        "revised_in_use",
+    }
+    end = juru_run.original.end_time
+    mid = end // 2
+    assert curves["original_reachable"].value_at(mid) >= curves[
+        "original_in_use"
+    ].value_at(mid)
+
+
+def test_simulated_runtime_components():
+    class FakeStats:
+        objects_allocated = 10
+        bytes_allocated = 1000
+        objects_marked = 5
+        objects_swept = 3
+        finalizers_run = 1
+
+    class FakeResult:
+        instructions = 100
+        heap_stats = FakeStats()
+
+    cost = simulated_runtime(FakeResult())
+    expected = 100 * 1.0 + 10 * 12.0 + 1000 * 0.02 + 5 * 3.0 + 3 * 1.5 + 1 * 40.0
+    assert cost == expected
+
+
+def test_runtime_pair_raises_on_output_divergence():
+    bad = Benchmark(
+        name="bad",
+        description="diverges",
+        main_class="Main",
+        original='class Main { public static void main(String[] args) { System.println("a"); } }',
+        revised='class Main { public static void main(String[] args) { System.println("b"); } }',
+        primary_args=[],
+        alternate_args=[],
+        rewritings=[],
+    )
+    with pytest.raises(AssertionError):
+        run_runtime_pair(bad)
+
+
+def test_runtime_pair_reports_costs(juru_run):
+    run = run_runtime_pair(get_benchmark("juru"))
+    assert run.original_runtime > 0
+    assert run.revised_runtime > 0
+    assert -100 < run.saving_pct < 100

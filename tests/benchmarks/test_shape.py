@@ -1,0 +1,148 @@
+"""Expected-shape criteria (DESIGN.md §4): the qualitative features of
+Tables 2-4 and Figure 2 that define a successful reproduction."""
+
+import pytest
+
+from repro.benchmarks import all_benchmarks, run_pair
+from repro.benchmarks.runner import figure2_series, run_runtime_pair
+from repro.core.integrals import integral_bytes2
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {name: run_pair(bench, "primary") for name, bench in all_benchmarks().items()}
+
+
+def test_all_outputs_match(runs):
+    for name, run in runs.items():
+        assert run.outputs_match(), name
+
+
+def test_savings_are_nonnegative_everywhere(runs):
+    for name, run in runs.items():
+        assert run.savings.space_saving_pct >= 0, name
+        assert run.savings.drag_saving_pct >= 0, name
+
+
+def test_db_has_zero_savings(runs):
+    assert runs["db"].savings.space_saving_pct == 0.0
+    assert runs["db"].savings.drag_saving_pct == 0.0
+
+
+def test_jack_has_largest_space_saving(runs):
+    jack = runs["jack"].savings.space_saving_pct
+    for name, run in runs.items():
+        if name != "jack":
+            assert run.savings.space_saving_pct < jack, name
+
+
+def test_mc_drag_saving_exceeds_100_percent(runs):
+    """§4.1: 'This leads to 168% savings of drag, since we saved even
+    more than the original drag' — reduced reachable dips below the
+    original in-use integral."""
+    s = runs["mc"].savings
+    assert s.drag_saving_pct > 100.0
+    assert s.reduced_reachable < s.original_in_use
+
+
+def test_ordering_matches_paper_qualitatively(runs):
+    """jack >> javac in both ratios; raytrace among the top space
+    savers; jess and javac in the modest band."""
+    space = {n: r.savings.space_saving_pct for n, r in runs.items()}
+    drag = {n: r.savings.drag_saving_pct for n, r in runs.items()}
+    assert space["jack"] > 3 * space["javac"]
+    assert drag["jack"] > 2 * drag["javac"] or drag["jack"] > 60
+    assert space["raytrace"] > space["jess"]
+    assert drag["euler"] > 50
+    assert 0 < space["jess"] < 25
+    assert 0 < space["juru"] < 25
+
+
+def test_average_space_saving_in_paper_band(runs):
+    """§4.1: 'The average space savings for all the benchmarks
+    (including db) is 14%' — we accept a generous band around it."""
+    avg = sum(r.savings.space_saving_pct for r in runs.values()) / len(runs)
+    assert 8.0 <= avg <= 30.0, avg
+
+
+def test_reachable_dominates_in_use_in_every_profile(runs):
+    for name, run in runs.items():
+        for profile in (run.original, run.revised):
+            reach = integral_bytes2(profile.records, "reachable")
+            in_use = integral_bytes2(profile.records, "in_use")
+            assert reach >= in_use, name
+
+
+# -- Figure 2 qualitative features -------------------------------------------------
+
+
+def test_figure2_euler_revised_reachable_tracks_in_use(runs):
+    """§4.1: 'the optimized heap size almost coincides with the in-use
+    object size' for euler."""
+    curves = figure2_series(runs["euler"])
+    reach = integral_bytes2(runs["euler"].revised.records, "reachable")
+    in_use = integral_bytes2(runs["euler"].revised.records, "in_use")
+    assert in_use > 0.85 * reach
+    del curves
+
+
+def test_figure2_raytrace_constant_offset_reduction(runs):
+    """§4.1: raytrace's reachable curve drops 'by an almost constant
+    size, and the in-use object size remains the same'."""
+    run = runs["raytrace"]
+    curves = figure2_series(run)
+    end = min(run.original.end_time, run.revised.end_time)
+    offsets = []
+    for frac in (0.4, 0.6, 0.8):
+        t = int(end * frac)
+        offsets.append(
+            curves["original_reachable"].value_at(t)
+            - curves["revised_reachable"].value_at(int(run.revised.end_time * frac))
+        )
+    assert all(o > 0 for o in offsets)
+    # roughly constant: max/min within 2x
+    assert max(offsets) < 2 * max(1, min(offsets))
+    # in-use essentially unchanged
+    in_use_orig = integral_bytes2(run.original.records, "in_use")
+    in_use_rev = integral_bytes2(run.revised.records, "in_use")
+    assert abs(in_use_orig - in_use_rev) < 0.15 * in_use_orig
+
+
+def test_figure2_analyzer_savings_start_after_phase1(runs):
+    """§4.1: analyzer's reachable heap 'is reduced only after
+    allocating the first 78MB' — i.e. after phase 1 (scaled)."""
+    run = runs["analyzer"]
+    curves = figure2_series(run)
+    early_orig = curves["original_reachable"].value_at(int(run.original.end_time * 0.10))
+    early_rev = curves["revised_reachable"].value_at(int(run.revised.end_time * 0.10))
+    late_orig = curves["original_reachable"].value_at(int(run.original.end_time * 0.7))
+    late_rev = curves["revised_reachable"].value_at(int(run.revised.end_time * 0.7))
+    # early: nearly identical; late: clearly reduced
+    assert abs(early_orig - early_rev) < 0.15 * max(early_orig, 1)
+    assert late_rev < 0.85 * late_orig
+
+
+def test_figure2_juru_is_cyclic(runs):
+    """§4.1: 'juru acts in cycles, with the same reduction on every
+    cycle' — the original reachable curve oscillates."""
+    run = runs["juru"]
+    curve = figure2_series(run)["original_reachable"]
+    end = run.original.end_time
+    samples = [curve.value_at(int(end * f / 40)) for f in range(8, 40)]
+    rises = sum(1 for a, b in zip(samples, samples[1:]) if b > a)
+    falls = sum(1 for a, b in zip(samples, samples[1:]) if b < a)
+    assert rises >= 4 and falls >= 4
+
+
+# -- Table 4 direction ---------------------------------------------------------------
+
+
+def test_runtime_savings_direction():
+    """Table 4: small runtime effects; clearly positive for jack (fewer
+    allocations) and never a large regression anywhere."""
+    benches = all_benchmarks()
+    jack = run_runtime_pair(benches["jack"])
+    assert jack.saving_pct > 0.2
+    for name in ("juru", "mc", "raytrace"):
+        run = run_runtime_pair(benches[name])
+        assert run.saving_pct > -1.0, name

@@ -1,0 +1,90 @@
+"""Disassembler output and Table-1 source metrics."""
+
+from repro.bytecode.disasm import disassemble_method, disassemble_program
+from repro.bytecode.program import align
+from repro.mjava.metrics import count_classes, count_statements, source_metrics
+from repro.mjava.parser import parse_program
+from repro.runtime.library import link
+from tests.conftest import compile_app
+
+SOURCE = """
+class Main {
+    public static void main(String[] args) {
+        int x = 1 + 2;
+        Object o = new Object();
+        System.printInt(x);
+    }
+}
+"""
+
+
+def test_disassemble_method_lists_instructions():
+    program = compile_app(SOURCE)
+    text = disassemble_method(program.classes["Main"].methods["main"])
+    assert "Main.main" in text
+    assert "NEWINIT" in text
+    assert "CONST 1" in text
+    # pc numbers are sequential from 0
+    assert "   0:" in text
+
+
+def test_disassemble_method_shows_sites():
+    program = compile_app(SOURCE)
+    text = disassemble_method(program.classes["Main"].methods["main"])
+    assert "; site" in text
+
+
+def test_disassemble_program_covers_library_and_app():
+    program = compile_app(SOURCE)
+    text = disassemble_program(program)
+    assert "class Main" in text
+    assert "class Vector" in text
+    assert "native String.length" in text or "native" in text
+
+
+def test_disassemble_exception_table():
+    program = compile_app(
+        "class Main { public static void main(String[] args) { "
+        "try { int x = 1 / 0; } catch (ArithmeticException e) { } } }"
+    )
+    text = disassemble_method(program.classes["Main"].methods["main"])
+    assert "catch[" in text
+    assert "ArithmeticException" in text
+
+
+# -- metrics -------------------------------------------------------------------------
+
+
+def test_count_statements_counts_stmts_not_blocks():
+    program = parse_program(
+        "class A { void m() { { int x = 1; } if (true) { x = 2; } } }"
+    )
+    # VarDecl + If + Assign = 3 (blocks excluded)
+    assert count_statements(program) == 3
+
+
+def test_field_declarations_count_as_statements():
+    program = parse_program("class A { int x; int y; }")
+    assert count_statements(program) == 2
+
+
+def test_library_classes_excluded_by_default():
+    linked = link("class Main { public static void main(String[] args) { } }")
+    app_only = count_statements(linked)
+    with_lib = count_statements(linked, include_library=True)
+    assert app_only == 0
+    assert with_lib > 100
+    assert count_classes(linked) == 1
+    assert count_classes(linked, include_library=True) > 15
+
+
+def test_source_metrics_tuple():
+    classes, stmts = source_metrics(
+        "class A { int f; void m() { f = 1; } } class B { }"
+    )
+    assert classes == 2
+    assert stmts == 2  # field decl + assignment
+
+
+def test_align_reexport_sanity():
+    assert align(13) == 16

@@ -1,0 +1,152 @@
+"""Phase-2 analyzer: partitions, drag sums, sorting, never-used sites."""
+
+from repro.core import DragAnalysis
+from repro.core.trailer import ObjectRecord
+
+
+def make_record(
+    handle=1,
+    type_name="Object",
+    size=16,
+    created=100,
+    last_use=0,
+    collected=1000,
+    site_label="App.m:1",
+    nested=None,
+    use_frame=None,
+    site_lib=False,
+    excluded=False,
+):
+    return ObjectRecord(
+        handle=handle,
+        type_name=type_name,
+        size=size,
+        creation_time=created,
+        last_use_time=last_use,
+        collection_time=collected,
+        alloc_site=0,
+        site_label=site_label,
+        site_kind="new",
+        site_is_library=site_lib,
+        nested_alloc=tuple(nested or (site_label,)),
+        last_use_frame=use_frame,
+        last_use_chain=None,
+        excluded=excluded,
+        survived_to_end=False,
+    )
+
+
+def test_drag_of_used_object():
+    r = make_record(created=100, last_use=400, collected=1000, size=10)
+    assert r.drag_time == 600
+    assert r.drag == 6000
+    assert r.in_use_time == 300
+
+
+def test_drag_of_never_used_object_spans_lifetime():
+    r = make_record(created=100, last_use=0, collected=1000, size=10)
+    assert r.never_used
+    assert r.drag_time == 900
+    assert r.drag == 9000
+
+
+def test_groups_by_site_label():
+    records = [
+        make_record(handle=1, site_label="A.m:1"),
+        make_record(handle=2, site_label="A.m:1"),
+        make_record(handle=3, site_label="B.n:9"),
+    ]
+    analysis = DragAnalysis(records)
+    assert set(analysis.by_site) == {"A.m:1", "B.n:9"}
+    assert analysis.by_site["A.m:1"].count == 2
+
+
+def test_sites_sorted_by_drag_descending():
+    records = [
+        make_record(handle=1, site_label="small", size=1, collected=200),
+        make_record(handle=2, site_label="big", size=1000, collected=100000),
+    ]
+    analysis = DragAnalysis(records)
+    assert [g.key for g in analysis.sorted_sites()] == ["big", "small"]
+
+
+def test_total_drag_is_sum_over_groups():
+    records = [
+        make_record(handle=i, site_label=f"s{i % 3}", collected=500 + i)
+        for i in range(12)
+    ]
+    analysis = DragAnalysis(records)
+    assert analysis.total_drag == sum(g.total_drag for g in analysis.by_site.values())
+
+
+def test_nested_partition_is_finer_than_site_partition():
+    records = [
+        make_record(handle=1, site_label="Lib.alloc:5", nested=("Lib.alloc:5", "App.a:10")),
+        make_record(handle=2, site_label="Lib.alloc:5", nested=("Lib.alloc:5", "App.b:20")),
+    ]
+    analysis = DragAnalysis(records)
+    assert len(analysis.by_site) == 1
+    assert len(analysis.by_nested) == 2
+
+
+def test_partition_by_last_use_site():
+    records = [
+        make_record(handle=1, last_use=150, use_frame="App.use:3"),
+        make_record(handle=2, last_use=150, use_frame="App.use:3"),
+        make_record(handle=3, last_use=150, use_frame="App.other:7"),
+    ]
+    analysis = DragAnalysis(records)
+    group = analysis.by_site["App.m:1"]
+    parts = group.partition_by_last_use()
+    assert parts["App.use:3"].count == 2
+    assert parts["App.other:7"].count == 1
+
+
+def test_never_used_sites_only_lists_fully_never_used():
+    records = [
+        make_record(handle=1, site_label="pure", last_use=0),
+        make_record(handle=2, site_label="mixed", last_use=0),
+        make_record(handle=3, site_label="mixed", last_use=500),
+    ]
+    analysis = DragAnalysis(records)
+    assert [g.key for g in analysis.never_used_sites()] == ["pure"]
+
+
+def test_excluded_records_dropped():
+    records = [
+        make_record(handle=1, excluded=True),
+        make_record(handle=2),
+    ]
+    analysis = DragAnalysis(records)
+    assert analysis.object_count == 1
+
+
+def test_library_filter():
+    records = [
+        make_record(handle=1, site_lib=True, site_label="Lib.x:1"),
+        make_record(handle=2, site_label="App.y:2"),
+    ]
+    app_only = DragAnalysis(records, include_library_sites=False)
+    assert set(app_only.by_site) == {"App.y:2"}
+    both = DragAnalysis(records)
+    assert len(both.by_site) == 2
+
+
+def test_never_used_fraction():
+    records = [
+        make_record(handle=1, last_use=0, size=10, created=0, collected=100),
+        make_record(handle=2, last_use=50, size=10, created=0, collected=100),
+    ]
+    analysis = DragAnalysis(records)
+    group = analysis.by_site["App.m:1"]
+    # drags: 1000 (never-used) and 500 -> fraction 2/3
+    assert abs(group.never_used_fraction - (1000 / 1500)) < 1e-9
+
+
+def test_sorting_is_deterministic_under_ties():
+    records = [
+        make_record(handle=1, site_label="zeta"),
+        make_record(handle=2, site_label="alpha"),
+    ]
+    analysis = DragAnalysis(records)
+    assert [g.key for g in analysis.sorted_sites()] == ["alpha", "zeta"]

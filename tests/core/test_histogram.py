@@ -1,0 +1,72 @@
+"""§3.4 lifetime-characteristic partitions: per-site histograms of drag
+time, in-use time, and collection time."""
+
+from repro.core import DragAnalysis, drag_report, profile_source
+from repro.core.analyzer import Histogram, SiteGroup
+from tests.core.test_analyzer import make_record
+
+
+def group_of(records):
+    g = SiteGroup("site")
+    for r in records:
+        g.add(r)
+    return g
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram("drag_time", [0, 10, 20, 30, 100], buckets=4)
+    assert h.minimum == 0
+    assert h.maximum == 100
+    assert h.median == 20
+    assert sum(h.counts) == 5
+    assert len(h.counts) == 4
+    assert h.edges[0] == 0
+
+
+def test_histogram_empty():
+    h = Histogram("drag_time", [], buckets=4)
+    assert h.minimum is None and h.median is None and h.mean is None
+    assert "(empty)" in h.summary()
+
+
+def test_histogram_single_value():
+    h = Histogram("drag_time", [42], buckets=4)
+    assert h.minimum == h.maximum == h.median == 42
+    assert sum(h.counts) == 1
+
+
+def test_group_breakdown_attributes():
+    records = [
+        make_record(handle=i, created=0, last_use=100 * i, collected=1000 + i)
+        for i in range(1, 9)
+    ]
+    group = group_of(records)
+    for attr in ("drag_time", "in_use_time", "collection_time", "lifetime", "drag"):
+        h = group.lifetime_breakdown(attr)
+        assert sum(h.counts) == len(records), attr
+        assert h.attr == attr
+
+
+def test_summary_format():
+    h = Histogram("in_use_time", [5, 5, 10, 80], buckets=2)
+    text = h.summary()
+    assert text.startswith("in_use_time:")
+    assert "median=" in text
+    assert "):" in text  # bucket rows
+
+
+def test_report_includes_breakdown_line():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            for (int i = 0; i < 15; i = i + 1) {
+                char[] junk = new char[800];
+                junk[0] = 'x';
+            }
+        }
+    }
+    """
+    result = profile_source(source, "Main", interval_bytes=2048)
+    analysis = DragAnalysis(result.records)
+    text = drag_report(analysis, top=2, interval_bytes=2048)
+    assert "drag_time: min=" in text

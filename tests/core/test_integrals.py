@@ -1,0 +1,136 @@
+"""Space-time integrals and curves, with invariants as property tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.integrals import (
+    HeapCurve,
+    SavingsRow,
+    curve_from_records,
+    integral_bytes2,
+    integral_mb2,
+    savings,
+)
+from tests.core.test_analyzer import make_record
+
+
+def test_reachable_integral_single_object():
+    r = make_record(created=100, collected=300, size=10)
+    assert integral_bytes2([r], "reachable") == 10 * 200
+
+
+def test_in_use_integral_excludes_never_used():
+    used = make_record(handle=1, created=100, last_use=200, collected=300, size=10)
+    never = make_record(handle=2, created=100, last_use=0, collected=300, size=10)
+    assert integral_bytes2([used, never], "in_use") == 10 * 100
+
+
+def test_drag_integral_complements_in_use():
+    r = make_record(created=100, last_use=200, collected=300, size=10)
+    reach = integral_bytes2([r], "reachable")
+    in_use = integral_bytes2([r], "in_use")
+    drag = integral_bytes2([r], "drag")
+    assert reach == in_use + drag
+
+
+def test_curve_steps():
+    r1 = make_record(handle=1, created=0, collected=100, size=10)
+    r2 = make_record(handle=2, created=50, collected=150, size=20)
+    curve = curve_from_records([r1, r2], "reachable")
+    assert curve.value_at(0) == 10
+    assert curve.value_at(49) == 10
+    assert curve.value_at(50) == 30
+    assert curve.value_at(100) == 20
+    assert curve.value_at(149) == 20
+    assert curve.value_at(150) == 0
+
+
+def test_curve_integral_matches_exact_integral():
+    records = [
+        make_record(handle=i, created=i * 10, last_use=i * 10 + 5, collected=i * 10 + 100, size=8 * (i + 1))
+        for i in range(20)
+    ]
+    curve = curve_from_records(records, "reachable")
+    assert curve.integral() == integral_bytes2(records, "reachable")
+
+
+def test_mb2_scaling():
+    r = make_record(created=0, collected=2 ** 20, size=2 ** 20)
+    assert abs(integral_mb2([r], "reachable") - 1.0) < 1e-12
+
+
+def test_savings_row_ratios():
+    orig = [make_record(handle=1, created=0, last_use=100, collected=1000, size=100)]
+    # revised: same in-use, collected earlier
+    revised = [make_record(handle=1, created=0, last_use=100, collected=200, size=100)]
+    row = savings(orig, revised)
+    # reachable: orig 100*1000, revised 100*200; in-use: 100*100
+    assert abs(row.space_saving_pct - 80.0) < 1e-9
+    # drag saving = (100000-20000)/(100000-10000) = 88.88%
+    assert abs(row.drag_saving_pct - 100.0 * 80000 / 90000) < 1e-6
+
+
+def test_drag_saving_can_exceed_100_percent():
+    """The mc case: the revised run eliminates allocations entirely, so
+    the reduced reachable integral dips below the original in-use."""
+    orig = [make_record(handle=1, created=0, last_use=500, collected=1000, size=100)]
+    revised = []
+    row = savings(orig, revised)
+    assert row.drag_saving_pct > 100.0
+    assert abs(row.space_saving_pct - 100.0) < 1e-9
+
+
+def test_empty_profiles_do_not_divide_by_zero():
+    row = savings([], [])
+    assert row.drag_saving_pct == 0.0
+    assert row.space_saving_pct == 0.0
+
+
+# -- property tests -----------------------------------------------------------
+
+record_strategy = st.builds(
+    lambda h, c, use_len, drag_len, size: make_record(
+        handle=h,
+        created=c,
+        last_use=0 if use_len == 0 else c + use_len,
+        collected=c + use_len + drag_len,
+        size=size * 8,
+    ),
+    h=st.integers(min_value=1, max_value=10 ** 6),
+    c=st.integers(min_value=1, max_value=10 ** 6),
+    use_len=st.integers(min_value=0, max_value=10 ** 5),
+    drag_len=st.integers(min_value=0, max_value=10 ** 5),
+    size=st.integers(min_value=1, max_value=10 ** 4),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(record_strategy, max_size=40))
+def test_reachable_dominates_in_use_property(records):
+    """At every time, reachable bytes >= in-use bytes, and the integrals
+    decompose: reachable = in_use + drag."""
+    reach = integral_bytes2(records, "reachable")
+    in_use = integral_bytes2(records, "in_use")
+    drag = integral_bytes2(records, "drag")
+    assert reach == in_use + drag
+    assert reach >= in_use >= 0
+    reach_curve = curve_from_records(records, "reachable")
+    use_curve = curve_from_records(records, "in_use")
+    probe_times = sorted({t for t in reach_curve.times} | {t for t in use_curve.times})
+    for t in probe_times:
+        assert reach_curve.value_at(t) >= use_curve.value_at(t)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(record_strategy, max_size=30))
+def test_curve_integral_equals_exact_property(records):
+    for kind in ("reachable", "in_use", "drag"):
+        assert curve_from_records(records, kind).integral() == integral_bytes2(
+            records, kind
+        )
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(record_strategy, min_size=1, max_size=30))
+def test_per_record_drag_sums_to_drag_integral(records):
+    assert sum(r.drag for r in records) == integral_bytes2(records, "drag")

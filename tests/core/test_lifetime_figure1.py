@@ -1,0 +1,71 @@
+"""Figure 1: the lifetime of an object — creation, last use, drag,
+unreachability — walked through end to end on a real profiled run."""
+
+from repro.core import profile_source
+
+
+def test_figure1_lifetime_phases():
+    """One object goes through exactly the Figure-1 phases:
+
+        creation ---- in-use ---- last use ---- drag ---- unreachable
+    """
+    source = """
+    class Main {
+        static Object subject;
+        public static void main(String[] args) {
+            subject = new Object();          // creation
+            pad();
+            subject.hashCode();              // uses...
+            pad();
+            subject.hashCode();              // ...last use
+            pad();
+            pad();
+            subject = null;                  // becomes unreachable
+            pad();
+        }
+        static void pad() {
+            for (int i = 0; i < 20; i = i + 1) { char[] junk = new char[512]; }
+        }
+    }
+    """
+    result = profile_source(source, "Main", interval_bytes=4 * 1024)
+    record = [r for r in result.records if r.type_name == "Object"][0]
+
+    # Phases are ordered and the object did not survive to program end.
+    assert 0 < record.creation_time < record.last_use_time < record.collection_time
+    assert not record.survived_to_end
+
+    # In-use spans roughly the two pad() calls between creation and last
+    # use (~2 * 20 * 520 bytes); drag spans the two pads before the null
+    # assignment plus collection latency (at most drag + one interval).
+    pad_bytes = 20 * 1040  # char[512] = align(12 + 2*512) = 1040 bytes
+    assert record.in_use_time >= 2 * pad_bytes * 0.9
+    assert record.drag_time >= 2 * pad_bytes * 0.9
+    assert record.drag_time <= 3 * pad_bytes + 4 * 1024
+
+    # Drag as defined: reachable-but-not-in-use, and the space-time
+    # product scales with size.
+    assert record.drag == record.size * record.drag_time
+    assert record.lifetime == record.in_use_time + record.drag_time
+
+
+def test_figure1_never_used_object_is_all_drag():
+    source = """
+    class Main {
+        static Object subject;
+        public static void main(String[] args) {
+            subject = new Object();
+            pad();
+            subject = null;
+            pad();
+        }
+        static void pad() {
+            for (int i = 0; i < 20; i = i + 1) { char[] junk = new char[512]; }
+        }
+    }
+    """
+    result = profile_source(source, "Main", interval_bytes=4 * 1024)
+    record = [r for r in result.records if r.type_name == "Object"][0]
+    assert record.never_used
+    assert record.in_use_time == 0
+    assert record.drag_time == record.lifetime

@@ -1,0 +1,82 @@
+"""Log file round trip and error handling."""
+
+import json
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.core.logfile import read_log, write_log
+from repro.core import profile_source
+from tests.core.test_analyzer import make_record
+
+
+def test_roundtrip_preserves_records(tmp_path):
+    records = [
+        make_record(handle=1, last_use=0),
+        make_record(handle=2, last_use=555, use_frame="A.b:3", nested=("A.b:3", "A.a:1")),
+    ]
+    path = tmp_path / "run.log"
+    count = write_log(path, records, end_time=12345, metadata={"bench": "test"})
+    assert count == 2
+    loaded = read_log(path)
+    assert loaded.end_time == 12345
+    assert loaded.metadata == {"bench": "test"}
+    assert len(loaded.records) == 2
+    for original, parsed in zip(records, loaded.records):
+        assert parsed.to_dict() == original.to_dict()
+
+
+def test_roundtrip_of_real_profile(tmp_path):
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            for (int i = 0; i < 20; i = i + 1) { char[] junk = new char[500]; }
+        }
+    }
+    """
+    result = profile_source(source, "Main", interval_bytes=4096)
+    path = tmp_path / "real.log"
+    write_log(path, result.records, end_time=result.end_time)
+    loaded = read_log(path)
+    assert len(loaded.records) == len(result.records)
+    assert sum(r.drag for r in loaded.records) == sum(r.drag for r in result.records)
+
+
+def test_empty_file_rejected(tmp_path):
+    path = tmp_path / "empty.log"
+    path.write_text("")
+    with pytest.raises(ProfileError):
+        read_log(path)
+
+
+def test_wrong_format_rejected(tmp_path):
+    path = tmp_path / "bad.log"
+    path.write_text(json.dumps({"format": "something-else", "version": 1}) + "\n")
+    with pytest.raises(ProfileError):
+        read_log(path)
+
+
+def test_wrong_version_rejected(tmp_path):
+    path = tmp_path / "bad2.log"
+    path.write_text(json.dumps({"format": "repro-drag-log", "version": 99}) + "\n")
+    with pytest.raises(ProfileError):
+        read_log(path)
+
+
+def test_corrupt_record_reports_line(tmp_path):
+    path = tmp_path / "bad3.log"
+    path.write_text(
+        json.dumps({"format": "repro-drag-log", "version": 1}) + "\n{not json}\n"
+    )
+    with pytest.raises(ProfileError) as excinfo:
+        read_log(path)
+    assert ":2:" in str(excinfo.value)
+
+
+def test_blank_lines_tolerated(tmp_path):
+    records = [make_record(handle=1)]
+    path = tmp_path / "gaps.log"
+    write_log(path, records)
+    with open(path, "a") as f:
+        f.write("\n\n")
+    assert len(read_log(path).records) == 1

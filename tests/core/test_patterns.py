@@ -1,0 +1,125 @@
+"""Lifetime-pattern classification (§3.4 patterns 1-4)."""
+
+from repro.core.analyzer import SiteGroup
+from repro.core.patterns import (
+    LifetimePattern,
+    classify_group,
+    constructor_only_use,
+    suggest_transformation,
+)
+from tests.core.test_analyzer import make_record
+
+INTERVAL = 10_000
+
+
+def group_of(records):
+    g = SiteGroup("site")
+    for r in records:
+        g.add(r)
+    return g
+
+
+def test_pattern1_all_never_used():
+    records = [
+        make_record(handle=i, created=100, last_use=0, collected=100_000)
+        for i in range(5)
+    ]
+    assert classify_group(group_of(records), INTERVAL) is LifetimePattern.ALL_NEVER_USED
+
+
+def test_pattern1_counts_constructor_only_uses():
+    records = [
+        make_record(
+            handle=i,
+            created=100,
+            last_use=120,  # tiny in-use window...
+            collected=100_000,
+            use_frame="Thing.<init>:4",  # ...inside the constructor
+        )
+        for i in range(5)
+    ]
+    assert classify_group(group_of(records), INTERVAL) is LifetimePattern.ALL_NEVER_USED
+
+
+def test_zero_duration_use_outside_ctor_is_not_never_used():
+    records = [
+        make_record(
+            handle=i,
+            created=100,
+            last_use=100,  # same clock: used with no intervening allocation
+            collected=100_000,
+            use_frame="App.work:9",
+        )
+        for i in range(5)
+    ]
+    pattern = classify_group(group_of(records), INTERVAL)
+    assert pattern is not LifetimePattern.ALL_NEVER_USED
+    assert pattern is not LifetimePattern.MOSTLY_NEVER_USED
+
+
+def test_pattern2_mostly_never_used():
+    never = [
+        make_record(handle=i, created=0, last_use=0, collected=100_000, size=16)
+        for i in range(7)
+    ]
+    used = [
+        make_record(handle=100 + i, created=0, last_use=60_000, collected=100_000, size=16)
+        for i in range(3)
+    ]
+    assert (
+        classify_group(group_of(never + used), INTERVAL)
+        is LifetimePattern.MOSTLY_NEVER_USED
+    )
+
+
+def test_pattern3_large_drag():
+    records = [
+        make_record(handle=i, created=0, last_use=10_000, collected=10_000 + 2 * INTERVAL)
+        for i in range(6)
+    ]
+    assert classify_group(group_of(records), INTERVAL) is LifetimePattern.LARGE_DRAG
+
+
+def test_pattern4_high_variance():
+    # a db-like repository: a few objects used late (tiny drag), most
+    # with wildly varying drags
+    records = []
+    for i in range(20):
+        drag_len = 100 if i % 4 else 500_000
+        records.append(
+            make_record(
+                handle=i,
+                created=0,
+                last_use=50_000,
+                collected=50_000 + drag_len,
+                use_frame="Db.query:7",
+            )
+        )
+    assert classify_group(group_of(records), INTERVAL) is LifetimePattern.HIGH_VARIANCE
+
+
+def test_empty_group_unclassified():
+    assert classify_group(group_of([]), INTERVAL) is LifetimePattern.UNCLASSIFIED
+
+
+def test_zero_drag_group_unclassified():
+    records = [make_record(created=100, last_use=500, collected=500)]
+    assert classify_group(group_of(records), INTERVAL) is LifetimePattern.UNCLASSIFIED
+
+
+def test_suggestions_match_paper():
+    assert suggest_transformation(LifetimePattern.ALL_NEVER_USED) == "dead-code-removal"
+    assert suggest_transformation(LifetimePattern.MOSTLY_NEVER_USED) == "lazy-allocation"
+    assert suggest_transformation(LifetimePattern.LARGE_DRAG) == "assign-null"
+    assert suggest_transformation(LifetimePattern.HIGH_VARIANCE) is None
+
+
+def test_constructor_only_use_helper():
+    never = make_record(last_use=0)
+    assert constructor_only_use(never)
+    ctor_use = make_record(created=10, last_use=20, use_frame="X.<init>:3")
+    assert constructor_only_use(ctor_use)
+    late_ctor_use = make_record(created=10, last_use=50_000, use_frame="X.<init>:3")
+    assert not constructor_only_use(late_ctor_use)
+    normal_use = make_record(created=10, last_use=20, use_frame="X.run:3")
+    assert not constructor_only_use(normal_use)

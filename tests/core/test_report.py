@@ -1,0 +1,85 @@
+"""Drag report rendering and the ASCII heap chart."""
+
+from repro.core import DragAnalysis, drag_report, profile_source
+from repro.core.integrals import HeapCurve, curve_from_records
+from repro.core.report import heap_profile_chart
+from tests.core.test_analyzer import make_record
+
+SOURCE = """
+class Main {
+    public static void main(String[] args) {
+        char[] wasted = new char[4000];
+        for (int i = 0; i < 30; i = i + 1) { char[] junk = new char[300]; }
+        System.println("done");
+    }
+}
+"""
+
+
+def test_report_contains_totals_and_sites():
+    result = profile_source(SOURCE, "Main", interval_bytes=4096)
+    analysis = DragAnalysis(result.records)
+    text = drag_report(analysis, top=3, interval_bytes=4096, program=result.program)
+    assert "=== Drag report ===" in text
+    assert "total drag" in text
+    assert "Main.main" in text
+    assert "pattern:" in text
+    assert "suggest:" in text
+
+
+def test_report_flags_never_used_sure_bets():
+    result = profile_source(SOURCE, "Main", interval_bytes=4096)
+    analysis = DragAnalysis(result.records)
+    text = drag_report(analysis, top=5, interval_bytes=4096)
+    assert "sure bets" in text
+    assert "all never used" in text
+
+
+def test_report_nested_mode():
+    result = profile_source(SOURCE, "Main", interval_bytes=4096)
+    analysis = DragAnalysis(result.records)
+    text = drag_report(analysis, top=3, interval_bytes=4096, nested=True)
+    assert "nested allocation sites" in text
+
+
+def test_report_shows_drag_share_percentages():
+    result = profile_source(SOURCE, "Main", interval_bytes=4096)
+    analysis = DragAnalysis(result.records)
+    text = drag_report(analysis, top=3, interval_bytes=4096)
+    assert "% of total" in text
+
+
+def test_report_last_use_partition_lines():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            char[] buffer = new char[3000];
+            touch(buffer);
+            for (int i = 0; i < 30; i = i + 1) { char[] junk = new char[300]; }
+        }
+        static void touch(char[] b) { b[0] = 'x'; }
+    }
+    """
+    result = profile_source(source, "Main", interval_bytes=4096)
+    analysis = DragAnalysis(result.records)
+    text = drag_report(analysis, top=2, interval_bytes=4096)
+    assert "last-use Main.touch" in text
+
+
+def test_chart_renders_curves():
+    records = [
+        make_record(handle=i, created=i * 1000, collected=i * 1000 + 50000, size=4096)
+        for i in range(10)
+    ]
+    curve = curve_from_records(records, "reachable")
+    text = heap_profile_chart({"#": curve}, width=40, height=8)
+    lines = text.splitlines()
+    assert len(lines) == 8 + 2  # grid + separator + axis label
+    assert any("#" in line for line in lines[:8])
+    assert "MB allocated" in lines[-1]
+
+
+def test_chart_handles_empty_input():
+    assert "(no curves)" in heap_profile_chart({})
+    empty = HeapCurve([], [])
+    assert "(empty profile)" in heap_profile_chart({"#": empty})

@@ -1,0 +1,85 @@
+"""Cross-checks between the on-line samples (phase 1) and the off-line
+curves reconstructed from the object log (phase 2), plus profiling
+under the generational collector."""
+
+from repro.core import HeapProfiler, curve_from_records, profile_source
+from repro.runtime.generational import GenerationalCollector
+from repro.runtime.interpreter import Interpreter
+from tests.conftest import compile_app
+
+SOURCE = """
+class Main {
+    static Vector keep = new Vector(8);
+    public static void main(String[] args) {
+        for (int i = 0; i < 60; i = i + 1) {
+            char[] work = new char[600];
+            work[0] = 'x';
+            if (i % 10 == 0) { keep.add(work); }
+        }
+        for (int k = 0; k < keep.size(); k = k + 1) {
+            char[] kept = (char[]) keep.get(k);
+            System.printInt(kept[0]);
+        }
+    }
+}
+"""
+
+
+def test_samples_match_offline_reachable_curve():
+    """At each deep-GC sample, the live heap equals the reconstructed
+    reachable curve plus the excluded objects (interned strings, args)
+    the log deliberately omits."""
+    result = profile_source(SOURCE, "Main", interval_bytes=4096)
+    curve = curve_from_records(result.records, "reachable")
+    interp_excluded = 0  # excluded bytes are not in the records
+    for sample in result.samples:
+        if sample.time == result.end_time:
+            # at the final sample every record closes (survivors are
+            # logged with collection_time == end), so the right-open
+            # curve is 0 there by construction
+            continue
+        reconstructed = curve.value_at(sample.time)
+        assert reconstructed <= sample.reachable_bytes
+        # the gap is exactly the excluded objects, which are a small,
+        # constant overhead (interned literals + argv)
+        gap = sample.reachable_bytes - reconstructed
+        assert gap < 4096, (sample, reconstructed)
+        interp_excluded = max(interp_excluded, gap)
+    assert interp_excluded > 0  # interned strings do exist
+
+
+def test_sample_times_are_monotone_and_bounded_by_interval():
+    result = profile_source(SOURCE, "Main", interval_bytes=4096)
+    times = [s.time for s in result.samples]
+    assert times == sorted(times)
+    # consecutive samples are at least one interval of allocation apart
+    for a, b in zip(times, times[1:]):
+        if b == result.end_time:
+            continue  # final end-of-program sample may come sooner
+        assert b - a >= 4096 * 0.5
+
+
+def test_profiling_under_generational_collector():
+    """Deep GCs force major collections, so drag measurement works the
+    same under the generational collector."""
+    program = compile_app(SOURCE)
+    profiler = HeapProfiler(interval_bytes=4096)
+    interp = Interpreter(
+        program,
+        profiler=profiler,
+        collector_factory=lambda heap, prog: GenerationalCollector(
+            heap, prog, young_threshold=2048
+        ),
+    )
+    result = interp.run([])
+    assert interp.heap.stats.minor_gc_runs > 0  # minors happened between samples
+    assert interp.heap.stats.major_gc_runs >= len(profiler.samples)
+
+    baseline = profile_source(SOURCE, "Main", interval_bytes=4096)
+    assert result.stdout == baseline.run_result.stdout
+    # same objects logged; minor collections can only shorten observed
+    # drag (earlier reclamation), never lengthen it
+    gen_drag = sum(r.drag for r in profiler.records)
+    base_drag = sum(r.drag for r in baseline.records)
+    assert len(profiler.records) == len(baseline.records)
+    assert gen_drag <= base_drag * 1.05

@@ -1,0 +1,281 @@
+"""Compiler: type checking, bytecode shape, allocation sites, errors."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import align
+from tests.conftest import compile_app
+
+
+def compile_snippet(body, helpers="", extra_classes=""):
+    source = (
+        "class Main { public static void main(String[] args) { "
+        + body
+        + " } "
+        + helpers
+        + " } "
+        + extra_classes
+    )
+    return compile_app(source)
+
+
+def main_code(program):
+    return program.classes["Main"].methods["main"].code
+
+
+def ops_of(program):
+    return [i.op for i in main_code(program)]
+
+
+# -- type errors -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        "int x = true;",
+        "boolean b = 3;",
+        "int x = null;",
+        'int y = "text";',
+        "Object o = 5;",
+        "if (1) { }",
+        "while (null) { }",
+        "int z = 1 + true;",
+        "boolean c = 1 && true;",
+        'boolean d = "a" < "b";',
+        "char c = 300;",
+    ],
+)
+def test_type_errors_rejected(body):
+    with pytest.raises(SemanticError):
+        compile_snippet(body)
+
+
+def test_unknown_class_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("Ghost g = null;")
+
+
+def test_unknown_method_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("Object o = new Object(); o.fly();")
+
+
+def test_unknown_field_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("Object o = new Object(); int x = o.weight;")
+
+
+def test_wrong_argument_count_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("Math.min(1);")
+
+
+def test_wrong_argument_type_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("Math.min(1, true);")
+
+
+def test_private_member_inaccessible():
+    extra = "class Sealed { private int secret; private void hush() { } }"
+    with pytest.raises(SemanticError):
+        compile_snippet("Sealed s = new Sealed(); int x = s.secret;", extra_classes=extra)
+    with pytest.raises(SemanticError):
+        compile_snippet("Sealed s = new Sealed(); s.hush();", extra_classes=extra)
+
+
+def test_this_in_static_context_rejected():
+    with pytest.raises(SemanticError):
+        compile_app("class Main { public static void main(String[] args) { this.hashCode(); } }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("break;")
+
+
+def test_throw_non_throwable_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("throw new Object();")
+
+
+def test_catch_non_throwable_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("try { } catch (Vector v) { }")
+
+
+def test_return_type_checked():
+    with pytest.raises(SemanticError):
+        compile_app(
+            'class Main { public static void main(String[] args) { } '
+            'static int f() { return true; } }'
+        )
+
+
+def test_void_return_with_value_rejected():
+    with pytest.raises(SemanticError):
+        compile_app(
+            "class Main { public static void main(String[] args) { } "
+            "static void f() { return 1; } }"
+        )
+
+
+def test_duplicate_local_rejected():
+    with pytest.raises(SemanticError):
+        compile_snippet("int x = 1; int x = 2;")
+
+
+def test_super_call_not_first_rejected():
+    with pytest.raises(SemanticError):
+        compile_app(
+            "class A { A(int x) { } } "
+            "class B extends A { B() { int y = 1; super(1); } } "
+            "class Main { public static void main(String[] args) { } }"
+        )
+
+
+def test_missing_main_rejected():
+    with pytest.raises(SemanticError):
+        compile_app("class Main { void main() { } }")
+
+
+def test_private_constructor_inaccessible():
+    with pytest.raises(SemanticError):
+        compile_snippet(
+            "Hidden h = new Hidden();",
+            extra_classes="class Hidden { private Hidden() { } }",
+        )
+
+
+# -- bytecode shape -------------------------------------------------------------------
+
+
+def test_use_relevant_opcodes_emitted():
+    source = """
+    class Box { int v; }
+    class Main {
+        public static void main(String[] args) {
+            Box b = new Box();
+            b.v = 1;
+            int x = b.v;
+            int[] a = new int[3];
+            a[0] = x;
+            int y = a[0];
+            int n = a.length;
+            b.hashCode();
+            synchronized (b) { }
+        }
+    }
+    """
+    program = compile_app(source)
+    ops = [i.op for i in program.classes["Main"].methods["main"].code]
+    for op in (
+        Op.NEWINIT,
+        Op.PUTFIELD,
+        Op.GETFIELD,
+        Op.NEWARRAY,
+        Op.ASTORE,
+        Op.ALOAD,
+        Op.ARRAYLEN,
+        Op.INVOKEV,
+        Op.MONENTER,
+        Op.MONEXIT,
+    ):
+        assert op in ops, op
+
+
+def test_every_new_gets_a_distinct_site():
+    program = compile_snippet("Object a = new Object(); Object b = new Object();")
+    sites = [i.site for i in main_code(program) if i.op == Op.NEWINIT]
+    assert len(sites) == 2
+    assert sites[0] != sites[1]
+    labels = [program.site(s).label for s in sites]
+    assert all(label.startswith("Main.main:") for label in labels)
+
+
+def test_string_concat_emits_tostr_and_concat():
+    program = compile_snippet('String s = "n=" + 42;')
+    ops = ops_of(program)
+    assert Op.TOSTR in ops and Op.CONCAT in ops
+
+
+def test_short_circuit_uses_jumps_not_eager_eval():
+    program = compile_snippet(
+        "boolean b = flag() && flag();", helpers="static boolean flag() { return true; }"
+    )
+    ops = ops_of(program)
+    assert Op.JIF in ops
+
+
+def test_site_registry_tracks_kinds():
+    program = compile_snippet(
+        'Object o = new Object(); int[] a = new int[2]; String s = "x" + 1;'
+    )
+    kinds = {site.kind for site in program.sites}
+    assert {"new", "newarray", "string", "tostr", "concat"} <= kinds
+
+
+def test_exception_table_for_try_catch():
+    program = compile_snippet(
+        "try { int x = 1 / 0; } catch (ArithmeticException e) { }"
+    )
+    table = program.classes["Main"].methods["main"].exception_table
+    catches = [e for e in table if e.kind == "catch"]
+    assert len(catches) == 1
+    assert catches[0].exc_class == "ArithmeticException"
+    assert 0 <= catches[0].start < catches[0].end <= catches[0].handler
+
+
+def test_monitor_entry_in_exception_table():
+    program = compile_snippet("synchronized (args) { int x = 1; }")
+    table = program.classes["Main"].methods["main"].exception_table
+    assert any(e.kind == "monitor" for e in table)
+
+
+def test_default_ctor_synthesized():
+    program = compile_app(
+        "class Plain { } class Main { public static void main(String[] args) { } }"
+    )
+    ctor = program.classes["Plain"].ctor
+    assert ctor is not None
+    assert ctor.param_count == 0
+    # implicit super() to Object
+    assert any(i.op == Op.SUPERINIT for i in ctor.code)
+
+
+def test_clinit_only_when_static_initializers_exist():
+    program = compile_app(
+        "class A { static int x = 3; } class B { static int y; } "
+        "class Main { public static void main(String[] args) { } }"
+    )
+    assert program.classes["A"].clinit is not None
+    assert program.classes["B"].clinit is None
+
+
+def test_debug_info_slots():
+    program = compile_snippet("int counter = 0; Object thing = null;")
+    method = program.classes["Main"].methods["main"]
+    assert "counter" in method.slot_names
+    assert "thing" in method.slot_names
+    assert method.slot_types[method.slot_names.index("thing")] == "ref"
+    assert method.slot_types[method.slot_names.index("counter")] == "int"
+
+
+def test_line_numbers_attached():
+    program = compile_app(
+        "class Main {\n"
+        "    public static void main(String[] args) {\n"
+        "        int x = 1;\n"
+        "        int y = 2;\n"
+        "    }\n"
+        "}"
+    )
+    lines = {i.line for i in main_code(program)}
+    assert 3 in lines and 4 in lines
+
+
+def test_instance_size_of_string():
+    program = compile_app("class Main { public static void main(String[] args) { } }")
+    # String: header 8 + chars ref 4 + count int 4 = 16
+    assert program.classes["String"].layout.instance_bytes == align(16)

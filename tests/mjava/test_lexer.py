@@ -1,0 +1,135 @@
+"""Unit tests for the mini-Java lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.mjava.lexer import tokenize
+from repro.mjava.tokens import CHAR_LIT, EOF, IDENT, INT_LIT, STRING_LIT
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def test_empty_source_yields_only_eof():
+    assert kinds("") == [EOF]
+
+
+def test_whitespace_only():
+    assert kinds("  \t\n\r  ") == [EOF]
+
+
+def test_keywords_have_their_own_kind():
+    assert kinds("class extends if else") == ["class", "extends", "if", "else", EOF]
+
+
+def test_identifier_token():
+    tokens = tokenize("fooBar _x x1")
+    assert [t.kind for t in tokens[:3]] == [IDENT, IDENT, IDENT]
+    assert [t.value for t in tokens[:3]] == ["fooBar", "_x", "x1"]
+
+
+def test_keyword_prefix_identifier():
+    tokens = tokenize("classy")
+    assert tokens[0].kind == IDENT
+    assert tokens[0].value == "classy"
+
+
+def test_int_literal():
+    tokens = tokenize("0 42 123456")
+    assert [t.value for t in tokens[:3]] == [0, 42, 123456]
+    assert all(t.kind == INT_LIT for t in tokens[:3])
+
+
+def test_int_followed_by_letter_is_error():
+    with pytest.raises(LexError):
+        tokenize("12abc")
+
+
+def test_char_literal_simple():
+    token = tokenize("'a'")[0]
+    assert token.kind == CHAR_LIT
+    assert token.value == "a"
+
+
+def test_char_literal_escapes():
+    assert tokenize(r"'\n'")[0].value == "\n"
+    assert tokenize(r"'\t'")[0].value == "\t"
+    assert tokenize(r"'\\'")[0].value == "\\"
+    assert tokenize(r"'\''")[0].value == "'"
+    assert tokenize(r"'\0'")[0].value == "\0"
+
+
+def test_char_literal_unterminated():
+    with pytest.raises(LexError):
+        tokenize("'ab'")
+    with pytest.raises(LexError):
+        tokenize("'a")
+
+
+def test_empty_char_literal():
+    with pytest.raises(LexError):
+        tokenize("''")
+
+
+def test_string_literal():
+    token = tokenize('"hello world"')[0]
+    assert token.kind == STRING_LIT
+    assert token.value == "hello world"
+
+
+def test_string_literal_escapes():
+    assert tokenize(r'"a\nb"')[0].value == "a\nb"
+    assert tokenize(r'"quote: \" done"')[0].value == 'quote: " done'
+
+
+def test_string_unterminated():
+    with pytest.raises(LexError):
+        tokenize('"abc')
+    with pytest.raises(LexError):
+        tokenize('"abc\ndef"')
+
+
+def test_unknown_escape_is_error():
+    with pytest.raises(LexError):
+        tokenize(r"'\q'")
+
+
+def test_operators_longest_match():
+    assert kinds("== = <= < >= > != ! && ||")[:-1] == [
+        "==", "=", "<=", "<", ">=", ">", "!=", "!", "&&", "||",
+    ]
+
+
+def test_punctuation():
+    assert kinds(". , ; ( ) { } [ ]")[:-1] == [
+        ".", ",", ";", "(", ")", "{", "}", "[", "]",
+    ]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment here\nb") == [IDENT, IDENT, EOF]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* multi\nline */ b") == [IDENT, IDENT, EOF]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_positions_track_lines_and_columns():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].pos.line, tokens[0].pos.col) == (1, 1)
+    assert (tokens[1].pos.line, tokens[1].pos.col) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_division_vs_comment():
+    assert kinds("a / b") == [IDENT, "/", IDENT, EOF]

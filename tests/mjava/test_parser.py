@@ -1,0 +1,287 @@
+"""Unit tests for the mini-Java parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.mjava import ast
+from repro.mjava.parser import parse_program
+
+
+def parse_class(body):
+    program = parse_program("class C { " + body + " }")
+    return program.classes[0]
+
+
+def parse_method_stmts(body):
+    cls = parse_class("void m() { " + body + " }")
+    return cls.methods[0].body.stmts
+
+
+def parse_expr(text):
+    stmts = parse_method_stmts("x = " + text + ";")
+    return stmts[0].value
+
+
+def test_empty_class():
+    program = parse_program("class Foo { }")
+    assert len(program.classes) == 1
+    cls = program.classes[0]
+    assert cls.name == "Foo"
+    assert cls.superclass is None
+
+
+def test_class_with_superclass():
+    cls = parse_program("class A extends B { }").classes[0]
+    assert cls.superclass == "B"
+
+
+def test_multiple_classes():
+    program = parse_program("class A { } class B extends A { }")
+    assert [c.name for c in program.classes] == ["A", "B"]
+
+
+def test_field_declarations():
+    cls = parse_class("int x; private Foo f; public static final int K = 3;")
+    assert [f.name for f in cls.fields] == ["x", "f", "K"]
+    assert cls.fields[0].mods.visibility == "package"
+    assert cls.fields[1].mods.visibility == "private"
+    assert cls.fields[2].mods.static and cls.fields[2].mods.final
+    assert isinstance(cls.fields[2].init, ast.IntLit)
+
+
+def test_array_types():
+    cls = parse_class("int[] a; Foo[][] b;")
+    assert cls.fields[0].type == ast.ArrayType(ast.INT)
+    assert cls.fields[1].type == ast.ArrayType(ast.ArrayType(ast.ClassType("Foo")))
+
+
+def test_method_declaration():
+    cls = parse_class("protected int add(int a, int b) { return a + b; }")
+    method = cls.methods[0]
+    assert method.name == "add"
+    assert method.mods.visibility == "protected"
+    assert [p.name for p in method.params] == ["a", "b"]
+    assert isinstance(method.body.stmts[0], ast.Return)
+
+
+def test_void_method():
+    cls = parse_class("void run() { }")
+    assert cls.methods[0].return_type == ast.VOID
+
+
+def test_native_method_has_no_body():
+    cls = parse_class("public static native void println(String s);")
+    method = cls.methods[0]
+    assert method.mods.native
+    assert method.body is None
+
+
+def test_constructor():
+    cls = parse_class("C(int n) { this.n = n; } int n;")
+    assert len(cls.ctors) == 1
+    assert cls.ctors[0].name == "C"
+
+
+def test_super_call_statement():
+    cls = parse_program("class D extends C { D() { super(1); } }").classes[0]
+    stmt = cls.ctors[0].body.stmts[0]
+    assert isinstance(stmt, ast.SuperCall)
+    assert len(stmt.args) == 1
+
+
+def test_var_decl_vs_expr_stmt():
+    stmts = parse_method_stmts("Foo f; f.run(); int[] a; a[0] = 1;")
+    assert isinstance(stmts[0], ast.VarDecl)
+    assert isinstance(stmts[1], ast.ExprStmt)
+    assert isinstance(stmts[2], ast.VarDecl)
+    assert isinstance(stmts[3], ast.Assign)
+    assert isinstance(stmts[3].target, ast.Index)
+
+
+def test_if_else():
+    stmts = parse_method_stmts("if (x > 0) y = 1; else y = 2;")
+    node = stmts[0]
+    assert isinstance(node, ast.If)
+    assert isinstance(node.then, ast.Assign)
+    assert isinstance(node.otherwise, ast.Assign)
+
+
+def test_dangling_else_binds_to_nearest_if():
+    stmts = parse_method_stmts("if (a) if (b) x = 1; else x = 2;")
+    outer = stmts[0]
+    assert outer.otherwise is None
+    assert outer.then.otherwise is not None
+
+
+def test_while_loop():
+    stmts = parse_method_stmts("while (i < n) i = i + 1;")
+    assert isinstance(stmts[0], ast.While)
+
+
+def test_for_loop_full():
+    stmts = parse_method_stmts("for (int i = 0; i < n; i = i + 1) { sum = sum + i; }")
+    node = stmts[0]
+    assert isinstance(node, ast.For)
+    assert isinstance(node.init, ast.VarDecl)
+    assert isinstance(node.cond, ast.Binary)
+    assert isinstance(node.update, ast.Assign)
+
+
+def test_for_loop_empty_parts():
+    stmts = parse_method_stmts("for (;;) break;")
+    node = stmts[0]
+    assert node.init is None and node.cond is None and node.update is None
+    assert isinstance(node.body, ast.Break)
+
+
+def test_try_catch():
+    stmts = parse_method_stmts(
+        "try { risky(); } catch (NullPointerException e) { handle(e); } "
+        "catch (Exception e2) { }"
+    )
+    node = stmts[0]
+    assert isinstance(node, ast.Try)
+    assert [c.exc_class for c in node.catches] == ["NullPointerException", "Exception"]
+
+
+def test_try_without_catch_is_error():
+    with pytest.raises(ParseError):
+        parse_method_stmts("try { } x = 1;")
+
+
+def test_throw():
+    stmts = parse_method_stmts('throw new Exception("bad");')
+    assert isinstance(stmts[0], ast.Throw)
+    assert isinstance(stmts[0].value, ast.New)
+
+
+def test_synchronized():
+    stmts = parse_method_stmts("synchronized (lock) { count = count + 1; }")
+    node = stmts[0]
+    assert isinstance(node, ast.Synchronized)
+    assert isinstance(node.monitor, ast.Name)
+
+
+def test_precedence_arithmetic():
+    expr = parse_expr("1 + 2 * 3")
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_precedence_logical():
+    expr = parse_expr("a || b && c == d")
+    assert expr.op == "||"
+    assert expr.right.op == "&&"
+    assert expr.right.right.op == "=="
+
+
+def test_relational_chain():
+    expr = parse_expr("a < b")
+    assert expr.op == "<"
+
+
+def test_unary_operators():
+    expr = parse_expr("!done")
+    assert isinstance(expr, ast.Unary) and expr.op == "!"
+    neg = parse_expr("-x")
+    assert isinstance(neg, ast.Unary) and neg.op == "-"
+
+
+def test_negative_literal_folding():
+    expr = parse_expr("-5")
+    assert isinstance(expr, ast.IntLit)
+    assert expr.value == -5
+
+
+def test_new_object():
+    expr = parse_expr("new Vector(10)")
+    assert isinstance(expr, ast.New)
+    assert expr.class_name == "Vector"
+    assert len(expr.args) == 1
+
+
+def test_new_array():
+    expr = parse_expr("new int[20]")
+    assert isinstance(expr, ast.NewArray)
+    assert expr.element_type == ast.INT
+
+
+def test_new_array_of_arrays():
+    expr = parse_expr("new char[n][]")
+    assert isinstance(expr, ast.NewArray)
+    assert expr.element_type == ast.ArrayType(ast.CHAR)
+
+
+def test_field_access_and_call_chain():
+    expr = parse_expr("a.b.c(1).d")
+    assert isinstance(expr, ast.FieldAccess)
+    assert isinstance(expr.target, ast.Call)
+    assert isinstance(expr.target.target, ast.FieldAccess)
+
+
+def test_index_expression():
+    expr = parse_expr("table[i + 1]")
+    assert isinstance(expr, ast.Index)
+    assert isinstance(expr.index, ast.Binary)
+
+
+def test_cast_of_class_type():
+    expr = parse_expr("(Vector) obj")
+    assert isinstance(expr, ast.Cast)
+    assert expr.type == ast.ClassType("Vector")
+
+
+def test_cast_of_primitive():
+    expr = parse_expr("(char) c")
+    assert isinstance(expr, ast.Cast)
+    assert expr.type == ast.CHAR
+
+
+def test_parenthesized_name_plus_is_not_cast():
+    expr = parse_expr("(a) + b")
+    assert isinstance(expr, ast.Binary)
+    assert expr.op == "+"
+
+
+def test_instanceof():
+    expr = parse_expr("x instanceof Vector")
+    assert isinstance(expr, ast.InstanceOf)
+    assert expr.class_name == "Vector"
+
+
+def test_unqualified_call():
+    expr = parse_expr("helper(1, 2)")
+    assert isinstance(expr, ast.Call)
+    assert expr.target is None
+
+
+def test_super_method_call():
+    expr = parse_expr("super.size()")
+    assert isinstance(expr, ast.SuperMethodCall)
+
+
+def test_this_expression():
+    stmts = parse_method_stmts("this.x = 1;")
+    assert isinstance(stmts[0].target, ast.FieldAccess)
+    assert isinstance(stmts[0].target.target, ast.This)
+
+
+def test_string_and_char_literals_in_expr():
+    expr = parse_expr('"hi" + name')
+    assert isinstance(expr.left, ast.StringLit)
+
+
+def test_assignment_to_rvalue_is_error():
+    with pytest.raises(ParseError):
+        parse_method_stmts("1 + 2 = 3;")
+
+
+def test_missing_semicolon_is_error():
+    with pytest.raises(ParseError):
+        parse_method_stmts("x = 1")
+
+
+def test_positions_recorded():
+    program = parse_program("class A {\n  void m() {\n    x = 1;\n  }\n}")
+    method = program.classes[0].methods[0]
+    assert method.body.stmts[0].pos.line == 3

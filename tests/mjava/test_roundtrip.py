@@ -1,0 +1,169 @@
+"""Pretty-print / re-parse round-trip tests, including a hypothesis
+property test over randomly generated ASTs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mjava import ast
+from repro.mjava.parser import parse_program
+from repro.mjava.pretty import format_expr, pretty_print
+
+CORPUS = [
+    "class A { }",
+    "class A extends B { int x; }",
+    """
+    class Point {
+        private int x;
+        private int y;
+        Point(int x, int y) { this.x = x; this.y = y; }
+        public int getX() { return x; }
+        public int getY() { return y; }
+        public int dist2(Point other) {
+            int dx = x - other.getX();
+            int dy = y - other.getY();
+            return dx * dx + dy * dy;
+        }
+    }
+    """,
+    """
+    class Loops {
+        static int sum(int n) {
+            int total = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) { total = total + i; } else { continue; }
+            }
+            while (total > 100) { total = total - 100; }
+            return total;
+        }
+    }
+    """,
+    """
+    class Exceptions {
+        void risky(Object o) {
+            try {
+                if (o == null) { throw new NullPointerException("null!"); }
+                synchronized (o) { this.use(o); }
+            } catch (NullPointerException e) {
+                this.log(e);
+            } catch (Exception e2) {
+            }
+        }
+        void use(Object o) { }
+        void log(Object o) { }
+    }
+    """,
+    """
+    class Arrays {
+        char[] buffer;
+        Object[][] grid;
+        void fill(int n) {
+            buffer = new char[n];
+            grid = new Object[n][];
+            for (int i = 0; i < n; i = i + 1) { buffer[i] = 'x'; }
+            Object first = grid[0][0];
+            Vector v = (Vector) first;
+            boolean ok = first instanceof Vector;
+        }
+    }
+    """,
+    """
+    class Casty {
+        int f(Object o) {
+            int c = (a) + b;
+            char ch = (char) 65;
+            String s = "esc\\n\\t\\"q\\"";
+            return -5 + (-3);
+        }
+    }
+    """,
+]
+
+
+def roundtrip(source):
+    program = parse_program(source)
+    printed = pretty_print(program)
+    reparsed = parse_program(printed)
+    return program, printed, reparsed
+
+
+def test_corpus_roundtrip():
+    for source in CORPUS:
+        program, printed, reparsed = roundtrip(source)
+        assert program == reparsed, printed
+
+
+def test_pretty_is_stable():
+    """pretty(parse(pretty(p))) == pretty(p): printing is a fixpoint."""
+    for source in CORPUS:
+        program = parse_program(source)
+        once = pretty_print(program)
+        twice = pretty_print(parse_program(once))
+        assert once == twice
+
+
+# --------------------------------------------------------------------------
+# Property test: generate random expression ASTs, print, re-parse, compare.
+# --------------------------------------------------------------------------
+
+_names = st.sampled_from(["a", "b", "foo", "x1", "tmp"])
+
+
+def _exprs(depth):
+    leaf = st.one_of(
+        st.integers(min_value=-1000, max_value=1000).map(ast.IntLit),
+        st.booleans().map(ast.BoolLit),
+        st.just(ast.NullLit()),
+        st.just(ast.This()),
+        _names.map(ast.Name),
+        st.sampled_from(["a", "xy", "with space", "esc\n\t", 'q"q']).map(ast.StringLit),
+        st.sampled_from(["a", "\n", "'", "\\"]).map(ast.CharLit),
+    )
+    if depth <= 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]), sub, sub).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        st.tuples(st.sampled_from(["!", "-"]), sub).map(lambda t: ast.Unary(t[0], t[1])),
+        st.tuples(sub, _names).map(lambda t: ast.FieldAccess(t[0], t[1])),
+        st.tuples(sub, sub).map(lambda t: ast.Index(t[0], t[1])),
+        st.tuples(sub, _names, st.lists(sub, max_size=2)).map(
+            lambda t: ast.Call(t[0], t[1], t[2])
+        ),
+        st.tuples(_names, st.lists(sub, max_size=2)).map(lambda t: ast.New(t[0], t[1])),
+        st.tuples(sub, _names).map(lambda t: ast.InstanceOf(t[0], t[1])),
+        st.tuples(_names, sub).map(lambda t: ast.Cast(ast.ClassType(t[0]), t[1])),
+        st.tuples(sub).map(lambda t: ast.NewArray(ast.INT, t[0])),
+    )
+
+
+def _normalize(expr):
+    """The parser folds Unary('-', IntLit(n)) into IntLit(-n); apply the
+    same fold to generated ASTs before comparing."""
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _normalize(expr.operand)
+        if isinstance(inner, ast.IntLit):
+            return ast.IntLit(-inner.value)
+        return ast.Unary(expr.op, inner)
+    rebuilt = []
+    for name in expr._fields:
+        value = getattr(expr, name)
+        if isinstance(value, ast.Expr):
+            rebuilt.append(_normalize(value))
+        elif isinstance(value, list):
+            rebuilt.append([_normalize(v) if isinstance(v, ast.Expr) else v for v in value])
+        else:
+            rebuilt.append(value)
+    return type(expr)(*rebuilt)
+
+
+@settings(max_examples=150, deadline=None)
+@given(_exprs(3))
+def test_expression_roundtrip_property(expr):
+    expr = _normalize(expr)
+    source = "class C { void m() { x = " + format_expr(expr) + "; } }"
+    program = parse_program(source)
+    parsed = program.classes[0].methods[0].body.stmts[0].value
+    assert parsed == expr

@@ -1,0 +1,179 @@
+"""Semantic analysis: class table construction, resolution, subtyping."""
+
+import pytest
+
+from repro.errors import SemanticError
+from repro.mjava import ast
+from repro.mjava.parser import parse_program
+from repro.mjava.sema import ClassTable, descriptor, type_repr
+from repro.runtime.library import link
+
+
+def table_of(source):
+    return ClassTable(link(source))
+
+
+def bare_table(source):
+    return ClassTable(parse_program(source))
+
+
+# -- construction errors -------------------------------------------------------
+
+
+def test_duplicate_class_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A { } class A { }")
+
+
+def test_unknown_superclass_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A extends Ghost { }")
+
+
+def test_inheritance_cycle_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A extends B { } class B extends A { }")
+
+
+def test_self_inheritance_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A extends A { }")
+
+
+def test_duplicate_field_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A { int x; int x; }")
+
+
+def test_field_shadowing_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A { int x; } class B extends A { int x; }")
+
+
+def test_method_overloading_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A { void m() { } void m(int x) { } }")
+
+
+def test_multiple_constructors_rejected():
+    with pytest.raises(SemanticError):
+        bare_table("class A { A() { } A(int x) { } }")
+
+
+def test_override_arity_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        bare_table(
+            "class A { void m(int x) { } } class B extends A { void m() { } }"
+        )
+
+
+def test_override_return_type_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        bare_table(
+            "class A { int m() { return 1; } } "
+            "class B extends A { boolean m() { return true; } }"
+        )
+
+
+def test_override_staticness_mismatch_rejected():
+    with pytest.raises(SemanticError):
+        bare_table(
+            "class A { void m() { } } class B extends A { static void m() { } }"
+        )
+
+
+def test_valid_override_accepted():
+    table = bare_table(
+        "class A { int m(int x) { return x; } } "
+        "class B extends A { int m(int y) { return y + 1; } }"
+    )
+    assert table.resolve_method("B", "m")[0].name == "B"
+
+
+# -- resolution ------------------------------------------------------------------
+
+
+def test_field_resolution_walks_up():
+    table = table_of("class A { int x; } class B extends A { } class C extends B { }")
+    declaring, field = table.resolve_field("C", "x")
+    assert declaring.name == "A"
+    assert field.type == ast.INT
+
+
+def test_method_resolution_picks_nearest():
+    table = table_of(
+        "class A { int m() { return 1; } } "
+        "class B extends A { int m() { return 2; } } "
+        "class C extends B { }"
+    )
+    assert table.resolve_method("C", "m")[0].name == "B"
+
+
+def test_resolution_misses_return_none():
+    table = table_of("class A { }")
+    assert table.resolve_field("A", "ghost") is None
+    assert table.resolve_method("A", "ghost") is None
+
+
+def test_everything_is_subtype_of_object():
+    table = table_of("class A { } class B extends A { }")
+    assert table.is_subtype("B", "Object")
+    assert table.is_subtype("String", "Object")
+    assert table.is_subtype("B", "A")
+    assert not table.is_subtype("A", "B")
+
+
+# -- assignability -----------------------------------------------------------------
+
+
+def test_null_assignable_to_references_only():
+    table = table_of("class A { }")
+    assert table.assignable(ast.ClassType("A"), ast.NULL_TYPE)
+    assert table.assignable(ast.ArrayType(ast.INT), ast.NULL_TYPE)
+    assert not table.assignable(ast.INT, ast.NULL_TYPE)
+
+
+def test_char_widens_to_int_but_not_back():
+    table = table_of("class A { }")
+    assert table.assignable(ast.INT, ast.CHAR)
+    assert not table.assignable(ast.CHAR, ast.INT)
+
+
+def test_reference_arrays_covariant():
+    table = table_of("class A { } class B extends A { }")
+    a_arr = ast.ArrayType(ast.ClassType("A"))
+    b_arr = ast.ArrayType(ast.ClassType("B"))
+    assert table.assignable(a_arr, b_arr)
+    assert not table.assignable(b_arr, a_arr)
+
+
+def test_primitive_arrays_invariant():
+    table = table_of("class A { }")
+    assert not table.assignable(ast.ArrayType(ast.INT), ast.ArrayType(ast.CHAR))
+    assert table.assignable(ast.ArrayType(ast.INT), ast.ArrayType(ast.INT))
+
+
+def test_arrays_assignable_to_object():
+    table = table_of("class A { }")
+    assert table.assignable(ast.OBJECT, ast.ArrayType(ast.INT))
+
+
+def test_subclasses_of():
+    table = table_of("class A { } class B extends A { } class C extends B { }")
+    assert set(table.subclasses_of("A")) == {"B", "C"}
+
+
+# -- descriptors --------------------------------------------------------------------
+
+
+def test_descriptors():
+    assert descriptor(ast.INT) == "int"
+    assert descriptor(ast.CHAR) == "char"
+    assert descriptor(ast.BOOLEAN) == "boolean"
+    assert descriptor(ast.VOID) == "void"
+    assert descriptor(ast.ClassType("Foo")) == "ref"
+    assert descriptor(ast.ArrayType(ast.INT)) == "ref"
+
+
+def test_type_repr():
+    assert type_repr(ast.ArrayType(ast.ArrayType(ast.ClassType("Foo")))) == "Foo[][]"

@@ -1,0 +1,148 @@
+"""Differential property test: mini-Java integer arithmetic agrees with
+a reference evaluator implementing Java semantics (truncating division,
+sign-following remainder, short-circuit booleans)."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MiniJavaException
+from repro.mjava import ast
+from repro.mjava.pretty import format_expr
+from tests.conftest import run_main_body
+
+
+def java_div(a, b):
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def java_mod(a, b):
+    return a - java_div(a, b) * b
+
+
+def evaluate(expr):
+    """Reference evaluation with Java semantics; raises ZeroDivisionError."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Unary):
+        value = evaluate(expr.operand)
+        return -value if expr.op == "-" else (not value)
+    if isinstance(expr, ast.Binary):
+        op = expr.op
+        if op == "&&":
+            return evaluate(expr.left) and evaluate(expr.right)
+        if op == "||":
+            return evaluate(expr.left) or evaluate(expr.right)
+        a = evaluate(expr.left)
+        b = evaluate(expr.right)
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            if b == 0:
+                raise ZeroDivisionError
+            return java_div(a, b)
+        if op == "%":
+            if b == 0:
+                raise ZeroDivisionError
+            return java_mod(a, b)
+        if op == "==":
+            return a == b
+        if op == "!=":
+            return a != b
+        if op == "<":
+            return a < b
+        if op == "<=":
+            return a <= b
+        if op == ">":
+            return a > b
+        if op == ">=":
+            return a >= b
+    raise TypeError(expr)
+
+
+def int_exprs(depth):
+    leaf = st.integers(min_value=-999, max_value=999).map(ast.IntLit)
+    if depth == 0:
+        return leaf
+    sub = int_exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "-", "*", "/", "%"]), sub, sub).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: ast.Unary("-", e)),
+    )
+
+
+def bool_exprs(depth):
+    base = st.tuples(
+        st.sampled_from(["==", "!=", "<", "<=", ">", ">="]),
+        int_exprs(1),
+        int_exprs(1),
+    ).map(lambda t: ast.Binary(t[0], t[1], t[2]))
+    if depth == 0:
+        return base
+    sub = bool_exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(["&&", "||"]), sub, sub).map(
+            lambda t: ast.Binary(t[0], t[1], t[2])
+        ),
+        sub.map(lambda e: ast.Unary("!", e)),
+    )
+
+
+def run_expr(text, printer):
+    result, _ = run_main_body(f"{printer}({text});")
+    return result.stdout[0]
+
+
+@settings(max_examples=120, deadline=None)
+@given(int_exprs(3))
+def test_integer_expressions_match_reference(expr):
+    try:
+        expected = evaluate(expr)
+    except ZeroDivisionError:
+        expected = None
+    text = format_expr(expr)
+    if expected is None:
+        try:
+            run_expr(text, "System.printInt")
+            raised = False
+        except MiniJavaException as exc:
+            raised = exc.class_name == "ArithmeticException"
+        assert raised
+    else:
+        assert run_expr(text, "System.printInt") == str(expected)
+
+
+@settings(max_examples=80, deadline=None)
+@given(bool_exprs(2))
+def test_boolean_expressions_match_reference(expr):
+    try:
+        expected = evaluate(expr)
+    except ZeroDivisionError:
+        assume(False)
+    text = format_expr(expr)
+    assert run_expr(f'"" + {text}', "System.println") == ("true" if expected else "false")
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.integers(min_value=-10**6, max_value=10**6),
+)
+def test_division_pair_property(a, b):
+    assume(b != 0)
+    out, _ = run_main_body(
+        f"System.printInt(({a}) / ({b})); System.printInt(({a}) % ({b}));"
+    )
+    q, r = int(out.stdout[0]), int(out.stdout[1])
+    assert q == java_div(a, b)
+    assert r == java_mod(a, b)
+    # the Java invariant: (a / b) * b + (a % b) == a
+    assert q * b + r == a

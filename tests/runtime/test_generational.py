@@ -1,0 +1,175 @@
+"""Generational collector: minor/major cycles, write barrier, promotion."""
+
+from repro.runtime.generational import GenerationalCollector
+from repro.runtime.interpreter import Interpreter
+from tests.conftest import compile_app
+
+
+def gen_factory(young_threshold=8 * 1024, promote_age=2):
+    def factory(heap, program):
+        return GenerationalCollector(
+            heap, program, young_threshold=young_threshold, promote_age=promote_age
+        )
+
+    return factory
+
+
+def run_gen(source, args=None, young_threshold=8 * 1024, max_heap=None):
+    program = compile_app(source)
+    interp = Interpreter(
+        program, collector_factory=gen_factory(young_threshold), max_heap=max_heap
+    )
+    result = interp.run(args or [])
+    return result, interp
+
+
+CHURN = """
+class Main {
+    public static void main(String[] args) {
+        for (int i = 0; i < 500; i = i + 1) {
+            char[] junk = new char[100];
+        }
+        System.println("done");
+    }
+}
+"""
+
+
+def test_minor_collections_triggered_by_young_threshold():
+    result, interp = run_gen(CHURN)
+    assert result.stdout == ["done"]
+    assert interp.heap.stats.minor_gc_runs > 3
+    # short-lived garbage dies in minor collections
+    assert interp.heap.stats.bytes_reclaimed > 0
+
+
+def test_minor_gc_marks_less_than_full_heap():
+    """The point of generational GC: minor collections do not scan the
+    tenured repository."""
+    source = """
+    class Main {
+        static Object[] tenured = new Object[200];
+        public static void main(String[] args) {
+            for (int i = 0; i < 200; i = i + 1) { tenured[i] = new char[100]; }
+            System.gc();
+            for (int i = 0; i < 3000; i = i + 1) { char[] junk = new char[100]; }
+        }
+    }
+    """
+    result, interp = run_gen(source)
+    stats = interp.heap.stats
+    assert stats.minor_gc_runs >= 5
+    # average marked per GC must be far below the live object count
+    live = interp.heap.object_count()
+    avg_marked = stats.objects_marked / stats.gc_runs
+    assert avg_marked < live
+
+
+def test_old_to_young_pointers_kept_alive_via_remembered_set():
+    source = """
+    class Node { Node next; }
+    class Main {
+        static Node head = new Node();
+        public static void main(String[] args) {
+            churn();
+            churn();
+            churn();
+            // head is old by now; hang a fresh (young) node off it
+            head.next = new Node();
+            churn();
+            churn();
+            head.next.hashCode();
+            System.println("alive");
+        }
+        static void churn() {
+            for (int i = 0; i < 300; i = i + 1) { char[] junk = new char[100]; }
+        }
+    }
+    """
+    result, interp = run_gen(source)
+    assert result.stdout == ["alive"]
+    nodes = [o for o in interp.heap.iter_objects() if o.type_name() == "Node"]
+    assert len(nodes) == 2
+
+
+def test_survivors_promoted_to_old_generation():
+    source = """
+    class Main {
+        static char[] keeper = new char[2000];
+        public static void main(String[] args) {
+            for (int i = 0; i < 2000; i = i + 1) { char[] junk = new char[100]; }
+            keeper[0] = 'x';
+            System.println("ok");
+        }
+    }
+    """
+    result, interp = run_gen(source)
+    assert result.stdout == ["ok"]
+    keeper = interp.statics["Main"]["keeper"]
+    assert not interp.collector.is_young(keeper)
+
+
+def test_major_gc_reclaims_tenured_garbage():
+    source = """
+    class Main {
+        static Object[] pen = new Object[50];
+        public static void main(String[] args) {
+            for (int i = 0; i < 50; i = i + 1) { pen[i] = new char[500]; }
+            churn();
+            churn();
+            churn();
+            for (int i = 0; i < 50; i = i + 1) { pen[i] = null; }
+            System.gc();
+            System.println("swept");
+        }
+        static void churn() {
+            for (int i = 0; i < 200; i = i + 1) { char[] junk = new char[100]; }
+        }
+    }
+    """
+    result, interp = run_gen(source)
+    assert result.stdout == ["swept"]
+    pen_entries = [
+        o
+        for o in interp.heap.iter_objects()
+        if o.type_name() == "char[]" and getattr(o, "length", 0) == 500
+    ]
+    assert not pen_entries
+    assert interp.heap.stats.major_gc_runs >= 1
+
+
+def test_finalizers_run_under_generational_gc():
+    source = """
+    class Res { public void finalize() { System.println("fin"); } }
+    class Main {
+        public static void main(String[] args) {
+            Res r = new Res();
+            r = null;
+            for (int i = 0; i < 2000; i = i + 1) { char[] junk = new char[100]; }
+        }
+    }
+    """
+    result, interp = run_gen(source)
+    interp.deep_gc()
+    assert interp.stdout.count("fin") == 1
+
+
+def test_output_identical_to_mark_sweep():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            Vector v = new Vector(4);
+            for (int i = 0; i < 300; i = i + 1) {
+                v.add("item" + i);
+                if (v.size() > 3) { Object o = v.removeLast(); }
+                char[] junk = new char[64];
+            }
+            System.printInt(v.size());
+            System.println((String) v.get(0));
+        }
+    }
+    """
+    plain, _ = run_gen(source, young_threshold=10 ** 9)  # effectively no minor GCs
+    gen, interp = run_gen(source, young_threshold=4 * 1024)
+    assert plain.stdout == gen.stdout
+    assert interp.heap.stats.minor_gc_runs > 0

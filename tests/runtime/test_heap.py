@@ -1,0 +1,138 @@
+"""Heap accounting: sizes, alignment, the byte clock, OOM behaviour."""
+
+import pytest
+
+from repro.bytecode.program import align
+from repro.errors import MiniJavaException
+from tests.conftest import compile_app, run_main_body, run_source
+from repro.runtime.interpreter import Interpreter
+
+
+def test_align_rounds_up_to_8():
+    assert align(0) == 0
+    assert align(1) == 8
+    assert align(8) == 8
+    assert align(9) == 16
+    assert align(23) == 24
+
+
+def test_instance_size_includes_header_and_alignment():
+    source = """
+    class Small { int a; }
+    class Mixed { int a; char c; boolean b; Object r; }
+    class Main { public static void main(String[] args) { } }
+    """
+    program = compile_app(source)
+    # header 8 + int 4 = 12 -> 16
+    assert program.classes["Small"].layout.instance_bytes == 16
+    # header 8 + 4 + 2 + 1 + 4 = 19 -> 24
+    assert program.classes["Mixed"].layout.instance_bytes == 24
+
+
+def test_inherited_fields_count_in_size():
+    source = """
+    class Base { int a; int b; }
+    class Derived extends Base { int c; }
+    class Main { public static void main(String[] args) { } }
+    """
+    program = compile_app(source)
+    # 8 + 12 = 20 -> 24
+    assert program.classes["Derived"].layout.instance_bytes == 24
+
+
+def test_array_sizes():
+    result, interp = run_main_body(
+        """
+        int[] ints = new int[10];
+        char[] chars = new char[10];
+        boolean[] bools = new boolean[10];
+        Object[] refs = new Object[10];
+        keep(ints, chars, bools, refs);
+        """,
+        helpers="static void keep(int[] a, char[] b, boolean[] c, Object[] d) { }",
+    )
+    sizes = sorted(
+        obj.size
+        for obj in interp.heap.iter_objects()
+        if hasattr(obj, "elem_desc") and obj.length == 10
+    )
+    # header 12 + elem*10, aligned to 8: bools 22->24, chars 32->32,
+    # ints 52->56, refs 52->56
+    assert sizes == [24, 32, 56, 56]
+
+
+def test_clock_advances_by_allocation_size():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            int before = System.allocatedBytes();
+            int[] a = new int[100];
+            int after = System.allocatedBytes();
+            System.printInt(after - before);
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == [str(align(12 + 400))]
+
+
+def test_gc_reclaims_when_heap_full():
+    body = """
+    for (int i = 0; i < 1000; i = i + 1) {
+        char[] junk = new char[1000];
+    }
+    System.println("done");
+    """
+    # ~2MB of junk through a 64KB heap: must GC its way through.
+    result, interp = run_main_body(body, max_heap=64 * 1024)
+    assert result.stdout == ["done"]
+    assert interp.heap.stats.gc_runs > 0
+
+
+def test_out_of_memory_error_catchable():
+    body = """
+    try {
+        Object[] hold = new Object[9000];
+        for (int i = 0; i < 9000; i = i + 1) {
+            hold[i] = new char[1000];
+        }
+        System.println("no oom");
+    } catch (OutOfMemoryError e) {
+        System.println("oom");
+    }
+    """
+    result, _ = run_main_body(body, max_heap=64 * 1024)
+    assert result.stdout == ["oom"]
+
+
+def test_out_of_memory_uncatchable_reaches_host():
+    with pytest.raises(MiniJavaException) as excinfo:
+        run_main_body(
+            """
+            Object[] hold = new Object[9000];
+            for (int i = 0; i < 9000; i = i + 1) { hold[i] = new char[1000]; }
+            """,
+            max_heap=64 * 1024,
+        )
+    assert excinfo.value.class_name == "OutOfMemoryError"
+
+
+def test_live_bytes_tracks_reachable_after_gc():
+    result, interp = run_main_body(
+        """
+        for (int i = 0; i < 50; i = i + 1) { char[] junk = new char[100]; }
+        """
+    )
+    before = interp.heap.live_bytes
+    interp.full_gc()
+    after = interp.heap.live_bytes
+    assert after < before
+    # What survives: interned strings + Locale statics, all reachable.
+    total = sum(obj.size for obj in interp.heap.iter_objects())
+    assert total == after
+
+
+def test_handles_are_unique_and_stable():
+    _, interp = run_main_body("Object a = new Object(); Object b = new Object();")
+    handles = [obj.handle for obj in interp.heap.iter_objects()]
+    assert len(handles) == len(set(handles))

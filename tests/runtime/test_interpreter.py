@@ -1,0 +1,466 @@
+"""Interpreter semantics: arithmetic, control flow, dispatch, exceptions."""
+
+import pytest
+
+from repro.errors import MiniJavaException
+from tests.conftest import run_main_body, run_source
+
+
+def out(body, helpers="", args=None):
+    result, _ = run_main_body(body, helpers=helpers, args=args)
+    return result.stdout
+
+
+# -- arithmetic ---------------------------------------------------------------
+
+
+def test_integer_arithmetic():
+    assert out("System.printInt(2 + 3 * 4 - 1);") == ["13"]
+
+
+def test_division_truncates_toward_zero():
+    assert out("System.printInt(7 / 2);") == ["3"]
+    assert out("System.printInt((-7) / 2);") == ["-3"]
+    assert out("System.printInt(7 / (-2));") == ["-3"]
+
+
+def test_modulo_has_java_sign():
+    assert out("System.printInt(7 % 3);") == ["1"]
+    assert out("System.printInt((-7) % 3);") == ["-1"]
+    assert out("System.printInt(7 % (-3));") == ["1"]
+
+
+def test_division_by_zero_throws():
+    result, _ = run_main_body(
+        "try { int x = 1 / 0; } catch (ArithmeticException e) { System.println(e.getMessage()); }"
+    )
+    assert result.stdout == ["/ by zero"]
+
+
+def test_negation_and_unary_minus():
+    assert out("int x = 5; System.printInt(-x);") == ["-5"]
+
+
+def test_char_arithmetic_and_cast():
+    assert out("char c = 'a'; System.printInt(c + 1);") == ["98"]
+    assert out("char c = (char) 98; System.println(\"\" + c);") == ["b"]
+
+
+def test_cast_char_wraps():
+    assert out("System.printInt((char) 65601);") == ["65"]
+
+
+# -- control flow -------------------------------------------------------------
+
+
+def test_if_else_chain():
+    body = """
+    int x = 7;
+    if (x > 10) { System.println("big"); }
+    else if (x > 5) { System.println("mid"); }
+    else { System.println("small"); }
+    """
+    assert out(body) == ["mid"]
+
+
+def test_while_and_break_continue():
+    body = """
+    int i = 0;
+    int sum = 0;
+    while (true) {
+        i = i + 1;
+        if (i > 10) { break; }
+        if (i % 2 == 0) { continue; }
+        sum = sum + i;
+    }
+    System.printInt(sum);
+    """
+    assert out(body) == ["25"]
+
+
+def test_for_loop_with_continue_runs_update():
+    body = """
+    int sum = 0;
+    for (int i = 0; i < 5; i = i + 1) {
+        if (i == 2) { continue; }
+        sum = sum + i;
+    }
+    System.printInt(sum);
+    """
+    assert out(body) == ["8"]
+
+
+def test_nested_loops():
+    body = """
+    int count = 0;
+    for (int i = 0; i < 3; i = i + 1) {
+        for (int j = 0; j < 4; j = j + 1) {
+            if (j == 2) { break; }
+            count = count + 1;
+        }
+    }
+    System.printInt(count);
+    """
+    assert out(body) == ["6"]
+
+
+def test_short_circuit_and():
+    body = """
+    String s = null;
+    if (s != null && s.length() > 0) { System.println("nonempty"); }
+    else { System.println("empty"); }
+    """
+    assert out(body) == ["empty"]
+
+
+def test_short_circuit_or():
+    body = """
+    int[] calls = new int[1];
+    boolean b = true || bump(calls);
+    System.printInt(calls[0]);
+    """
+    helpers = "static boolean bump(int[] c) { c[0] = c[0] + 1; return true; }"
+    assert out(body, helpers) == ["0"]
+
+
+# -- objects, fields, dispatch --------------------------------------------------
+
+
+def test_instance_fields_and_methods():
+    source = """
+    class Counter {
+        private int value;
+        Counter(int start) { value = start; }
+        public void inc() { value = value + 1; }
+        public int get() { return value; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            Counter c = new Counter(5);
+            c.inc();
+            c.inc();
+            System.printInt(c.get());
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["7"]
+
+
+def test_virtual_dispatch_and_super():
+    source = """
+    class Animal {
+        public String speak() { return "..."; }
+        public String describe() { return "animal says " + this.speak(); }
+    }
+    class Dog extends Animal {
+        public String speak() { return "woof"; }
+        public String describe() { return super.describe() + "!"; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            Animal a = new Dog();
+            System.println(a.describe());
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["animal says woof!"]
+
+
+def test_constructor_chain_and_field_inits():
+    source = """
+    class Base {
+        int x = 10;
+        Base(int add) { x = x + add; }
+    }
+    class Derived extends Base {
+        int y = 100;
+        Derived() { super(5); y = y + x; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            Derived d = new Derived();
+            System.printInt(d.x);
+            System.printInt(d.y);
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["15", "115"]
+
+
+def test_static_fields_and_clinit():
+    source = """
+    class Config {
+        static int counter = 3;
+        public static final String NAME = "cfg";
+        static int bump() { counter = counter + 1; return counter; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            System.printInt(Config.bump());
+            System.printInt(Config.bump());
+            System.println(Config.NAME);
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["4", "5", "cfg"]
+
+
+def test_instanceof_and_checkcast():
+    source = """
+    class A { }
+    class B extends A { }
+    class Main {
+        public static void main(String[] args) {
+            Object o = new B();
+            System.println("" + (o instanceof A));
+            System.println("" + (o instanceof B));
+            A a = (A) o;
+            System.println("" + (a instanceof Object));
+            System.println("" + (null instanceof A));
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["true", "true", "true", "false"]
+
+
+def test_bad_cast_throws_class_cast_exception():
+    source = """
+    class A { }
+    class B { }
+    class Main {
+        public static void main(String[] args) {
+            Object o = new A();
+            try { B b = (B) o; }
+            catch (ClassCastException e) { System.println("ccx"); }
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["ccx"]
+
+
+# -- arrays ---------------------------------------------------------------------
+
+
+def test_array_create_store_load_length():
+    body = """
+    int[] a = new int[5];
+    a[0] = 10;
+    a[4] = 20;
+    System.printInt(a[0] + a[4]);
+    System.printInt(a.length);
+    System.printInt(a[2]);
+    """
+    assert out(body) == ["30", "5", "0"]
+
+
+def test_array_of_references_defaults_to_null():
+    body = """
+    Object[] objs = new Object[3];
+    System.println("" + (objs[1] == null));
+    """
+    assert out(body) == ["true"]
+
+
+def test_array_index_out_of_bounds():
+    body = """
+    int[] a = new int[2];
+    try { a[5] = 1; } catch (IndexOutOfBoundsException e) { System.println("oob"); }
+    try { int x = a[-1]; } catch (IndexOutOfBoundsException e) { System.println("oob2"); }
+    """
+    assert out(body) == ["oob", "oob2"]
+
+
+def test_array_covariance_checkcast():
+    source = """
+    class A { }
+    class B extends A { }
+    class Main {
+        public static void main(String[] args) {
+            Object o = new B[3];
+            A[] arr = (A[]) o;
+            System.printInt(arr.length);
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["3"]
+
+
+# -- strings ---------------------------------------------------------------------
+
+
+def test_string_concat_of_everything():
+    body = """
+    System.println("n=" + 42 + " c=" + 'x' + " b=" + true + " o=" + null);
+    """
+    assert out(body) == ["n=42 c=x b=true o=null"]
+
+
+def test_string_equals_vs_identity():
+    body = """
+    String a = "hello";
+    String b = "hel" + "lo";
+    System.println("" + a.equals(b));
+    System.println("" + (a == b));
+    """
+    assert out(body) == ["true", "false"]
+
+
+def test_string_literals_are_interned():
+    body = """
+    String a = "same";
+    String b = "same";
+    System.println("" + (a == b));
+    """
+    assert out(body) == ["true"]
+
+
+def test_user_tostring_used_in_concat():
+    source = """
+    class Point {
+        int x;
+        Point(int x) { this.x = x; }
+        public String toString() { return "P(" + x + ")"; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            Point p = new Point(3);
+            System.println("point: " + p);
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["point: P(3)"]
+
+
+def test_string_methods():
+    body = """
+    String s = "hello world";
+    System.printInt(s.length());
+    System.println(s.substring(6, 11));
+    System.printInt(s.indexOf("world"));
+    System.println("" + s.charAt(4));
+    """
+    assert out(body) == ["11", "world", "6", "o"]
+
+
+# -- exceptions ---------------------------------------------------------------------
+
+
+def test_throw_and_catch_subtype():
+    body = """
+    try { throw new NullPointerException("npe"); }
+    catch (RuntimeException e) { System.println("caught " + e.getMessage()); }
+    """
+    assert out(body) == ["caught npe"]
+
+
+def test_catch_order_first_match_wins():
+    body = """
+    try { throw new IndexOutOfBoundsException("x"); }
+    catch (IndexOutOfBoundsException e) { System.println("specific"); }
+    catch (Exception e) { System.println("generic"); }
+    """
+    assert out(body) == ["specific"]
+
+
+def test_exception_propagates_through_frames():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            try { a(); } catch (RuntimeException e) { System.println("top: " + e.getMessage()); }
+        }
+        static void a() { b(); }
+        static void b() { throw new RuntimeException("deep"); }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["top: deep"]
+
+
+def test_uncaught_exception_reaches_host():
+    with pytest.raises(MiniJavaException) as excinfo:
+        run_main_body('throw new RuntimeException("boom");')
+    assert excinfo.value.class_name == "RuntimeException"
+    assert excinfo.value.message_text == "boom"
+
+
+def test_null_pointer_on_field_and_call():
+    body = """
+    try { Object o = null; o.hashCode(); }
+    catch (NullPointerException e) { System.println("npe1"); }
+    """
+    assert out(body) == ["npe1"]
+
+
+def test_finally_like_monitor_release_on_throw():
+    source = """
+    class Main {
+        static Object lock = new Object();
+        public static void main(String[] args) {
+            try { locked(); } catch (RuntimeException e) { System.println("out"); }
+            synchronized (lock) { System.println("reacquired"); }
+        }
+        static void locked() {
+            synchronized (lock) { throw new RuntimeException("inside"); }
+        }
+    }
+    """
+    result, interp = run_source(source)
+    assert result.stdout == ["out", "reacquired"]
+    lock = interp.statics["Main"]["lock"]
+    assert lock.monitor_depth == 0
+
+
+def test_rethrow_from_catch():
+    body = """
+    try {
+        try { throw new RuntimeException("a"); }
+        catch (RuntimeException e) { throw new RuntimeException("b"); }
+    } catch (RuntimeException e2) { System.println(e2.getMessage()); }
+    """
+    assert out(body) == ["b"]
+
+
+# -- args, recursion, misc -------------------------------------------------------------
+
+
+def test_main_args():
+    result, _ = run_main_body(
+        "System.printInt(args.length); System.println(args[1]);", args=["x", "y"]
+    )
+    assert result.stdout == ["2", "y"]
+
+
+def test_recursion():
+    helpers = "static int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }"
+    assert out("System.printInt(fib(15));", helpers) == ["610"]
+
+
+def test_integer_parse_int():
+    body = """
+    System.printInt(Integer.parseInt("123"));
+    System.printInt(Integer.parseInt("-45"));
+    try { Integer.parseInt("x9"); } catch (NumberFormatException e) { System.println("nfe"); }
+    """
+    assert out(body) == ["123", "-45", "nfe"]
+
+
+def test_program_output_is_deterministic():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            Random r = new Random(7);
+            for (int i = 0; i < 5; i = i + 1) { System.printInt(r.nextInt(100)); }
+        }
+    }
+    """
+    first, _ = run_source(source)
+    second, _ = run_source(source)
+    assert first.stdout == second.stdout

@@ -1,0 +1,171 @@
+"""Interpreter stress and corner cases: deep calls, reentrancy, OOM in
+constructors, finalizers that allocate, interning under GC."""
+
+import pytest
+
+from repro.errors import MiniJavaException
+from tests.conftest import run_main_body, run_source
+
+
+def test_deep_recursion_thousands_of_frames():
+    helpers = "static int down(int n) { if (n == 0) { return 0; } return 1 + down(n - 1); }"
+    result, _ = run_main_body("System.printInt(down(5000));", helpers=helpers)
+    assert result.stdout == ["5000"]
+
+
+def test_reentrant_monitor():
+    source = """
+    class Main {
+        static Object lock = new Object();
+        public static void main(String[] args) {
+            synchronized (lock) {
+                synchronized (lock) {
+                    System.println("nested");
+                }
+            }
+        }
+    }
+    """
+    result, interp = run_source(source)
+    assert result.stdout == ["nested"]
+    assert interp.statics["Main"]["lock"].monitor_depth == 0
+
+
+def test_oom_inside_constructor_unwinds_cleanly():
+    source = """
+    class Hungry {
+        char[] feast;
+        Hungry() { feast = new char[200000]; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            try { Hungry h = new Hungry(); System.println("fed"); }
+            catch (OutOfMemoryError e) { System.println("starved"); }
+            System.println("alive");
+        }
+    }
+    """
+    result, _ = run_source(source, max_heap=64 * 1024)
+    assert result.stdout == ["starved", "alive"]
+
+
+def test_finalizer_that_allocates():
+    source = """
+    class Res {
+        static int count;
+        public void finalize() {
+            char[] epitaph = new char[100];
+            count = count + 1;
+        }
+    }
+    class Main {
+        public static void main(String[] args) {
+            for (int i = 0; i < 5; i = i + 1) { Res r = new Res(); }
+        }
+    }
+    """
+    result, interp = run_source(source)
+    interp.deep_gc()
+    assert interp.statics["Res"]["count"] == 5
+
+
+def test_interned_strings_survive_gc():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            String first = "constant";
+            for (int i = 0; i < 200; i = i + 1) { char[] junk = new char[500]; }
+            System.gc();
+            String second = "constant";
+            System.println("" + (first == second));
+        }
+    }
+    """
+    result, _ = run_source(source, max_heap=64 * 1024)
+    assert result.stdout == ["true"]
+
+
+def test_exception_in_clinit_escapes():
+    source = """
+    class Broken {
+        static int x = explode();
+        static int explode() { throw new RuntimeException("clinit"); }
+    }
+    class Main { public static void main(String[] args) { } }
+    """
+    with pytest.raises(MiniJavaException) as excinfo:
+        run_source(source)
+    assert excinfo.value.message_text == "clinit"
+
+
+def test_instance_field_init_runs_per_instance():
+    source = """
+    class Token { char[] buf = new char[64]; }
+    class Main {
+        public static void main(String[] args) {
+            Token a = new Token();
+            Token b = new Token();
+            System.println("" + (a.buf == b.buf));
+        }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["false"]
+
+
+def test_virtual_dispatch_during_superclass_ctor():
+    """Like Java, a superclass ctor calling an overridden method hits
+    the subclass override (with subclass fields still defaulted)."""
+    source = """
+    class Base {
+        Base() { this.report(); }
+        void report() { System.println("base"); }
+    }
+    class Derived extends Base {
+        int x = 7;
+        Derived() { super(); this.report(); }
+        void report() { System.printInt(x); }
+    }
+    class Main {
+        public static void main(String[] args) { Derived d = new Derived(); }
+    }
+    """
+    result, _ = run_source(source)
+    assert result.stdout == ["0", "7"]
+
+
+def test_large_vector_growth_under_pressure():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            Vector v = new Vector(1);
+            for (int i = 0; i < 500; i = i + 1) { v.add("e" + i); }
+            System.printInt(v.size());
+            System.println((String) v.get(499));
+        }
+    }
+    """
+    result, _ = run_source(source, max_heap=512 * 1024)
+    assert result.stdout == ["500", "e499"]
+
+
+def test_call_static_host_api():
+    source = """
+    class Calc {
+        static int twice(int x) { return x * 2; }
+    }
+    class Main { public static void main(String[] args) { } }
+    """
+    _, interp = run_source(source)
+    assert interp.call_static("Calc", "twice", [21]) == 42
+
+
+def test_stdout_order_preserved_across_gc():
+    body = """
+    for (int i = 0; i < 10; i = i + 1) {
+        System.printInt(i);
+        char[] junk = new char[5000];
+    }
+    """
+    result, _ = run_main_body(body, max_heap=32 * 1024)
+    assert result.stdout == [str(i) for i in range(10)]

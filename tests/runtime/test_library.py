@@ -1,0 +1,230 @@
+"""Mini-JDK library classes: Vector, HashTable, StringBuilder, etc."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import run_main_body, run_source
+
+
+def out(body, helpers=""):
+    result, _ = run_main_body(body, helpers=helpers)
+    return result.stdout
+
+
+def test_vector_add_get_size():
+    body = """
+    Vector v = new Vector(2);
+    v.add("a");
+    v.add("b");
+    v.add("c");
+    System.printInt(v.size());
+    System.println((String) v.get(2));
+    """
+    assert out(body) == ["3", "c"]
+
+
+def test_vector_grows_past_capacity():
+    body = """
+    Vector v = new Vector(1);
+    for (int i = 0; i < 100; i = i + 1) { v.add("x" + i); }
+    System.printInt(v.size());
+    System.println((String) v.get(99));
+    """
+    assert out(body) == ["100", "x99"]
+
+
+def test_vector_remove_last_leaves_dangling_reference():
+    """The jess pattern: removeLast decrements count but keeps the
+    array slot — the removed element stays reachable."""
+    source = """
+    class Main {
+        static Vector v = new Vector(4);
+        public static void main(String[] args) {
+            v.add(new Object());
+            Object removed = v.removeLast();
+            removed = null;
+            System.gc();
+        }
+    }
+    """
+    _, interp = run_source(source)
+    interp.full_gc()
+    live = [o for o in interp.heap.iter_objects() if o.type_name() == "Object"]
+    assert len(live) == 1  # dragged: dead but reachable via data[0]
+
+
+def test_vector_bounds_checks():
+    body = """
+    Vector v = new Vector(2);
+    try { v.get(0); } catch (IndexOutOfBoundsException e) { System.println("get"); }
+    try { v.removeLast(); } catch (IndexOutOfBoundsException e) { System.println("rm"); }
+    """
+    assert out(body) == ["get", "rm"]
+
+
+def test_vector_contains_uses_equals():
+    body = """
+    Vector v = new Vector(2);
+    v.add("alpha");
+    System.println("" + v.contains("al" + "pha"));
+    System.println("" + v.contains("beta"));
+    """
+    assert out(body) == ["true", "false"]
+
+
+def test_hashtable_put_get_update():
+    body = """
+    HashTable t = new HashTable(4);
+    t.put("one", "1");
+    t.put("two", "2");
+    t.put("one", "uno");
+    System.printInt(t.size());
+    System.println((String) t.get("one"));
+    System.println("" + (t.get("three") == null));
+    """
+    assert out(body) == ["2", "uno", "true"]
+
+
+def test_hashtable_remove():
+    body = """
+    HashTable t = new HashTable(4);
+    t.put("k", "v");
+    System.println((String) t.remove("k"));
+    System.printInt(t.size());
+    System.println("" + (t.remove("k") == null));
+    """
+    assert out(body) == ["v", "0", "true"]
+
+
+def test_hashtable_collisions_resolved_by_chaining():
+    body = """
+    HashTable t = new HashTable(1);
+    for (int i = 0; i < 50; i = i + 1) { t.put("key" + i, "val" + i); }
+    boolean ok = true;
+    for (int i = 0; i < 50; i = i + 1) {
+        String got = (String) t.get("key" + i);
+        if (!got.equals("val" + i)) { ok = false; }
+    }
+    System.println("" + ok);
+    System.printInt(t.size());
+    """
+    assert out(body) == ["true", "50"]
+
+
+def test_hashtable_contains_key():
+    body = """
+    HashTable t = new HashTable(8);
+    t.put("a", "1");
+    System.println("" + t.containsKey("a"));
+    System.println("" + t.containsKey("b"));
+    """
+    assert out(body) == ["true", "false"]
+
+
+def test_stringbuilder_append_and_tostring():
+    body = """
+    StringBuilder sb = new StringBuilder(2);
+    sb.append("hello").appendChar(' ').append("world");
+    System.println(sb.toString());
+    System.printInt(sb.length());
+    """
+    assert out(body) == ["hello world", "11"]
+
+
+def test_string_compare_to():
+    body = """
+    System.printInt("abc".compareTo("abd"));
+    System.printInt("b".compareTo("a"));
+    System.printInt("same".compareTo("same"));
+    """
+    assert out(body) == ["-1", "1", "0"]
+
+
+def test_string_to_char_array():
+    body = """
+    char[] cs = "abc".toCharArray();
+    System.printInt(cs.length);
+    System.println("" + cs[1]);
+    """
+    assert out(body) == ["3", "b"]
+
+
+def test_string_value_of_char_array():
+    body = """
+    char[] cs = new char[5];
+    cs[0] = 'h';
+    cs[1] = 'i';
+    System.println(String.valueOf(cs, 2));
+    """
+    assert out(body) == ["hi"]
+
+
+def test_math_helpers():
+    body = """
+    System.printInt(Math.abs(-5));
+    System.printInt(Math.min(3, 9));
+    System.printInt(Math.max(3, 9));
+    System.printInt(Math.isqrt(1000000));
+    """
+    assert out(body) == ["5", "3", "9", "1000"]
+
+
+def test_random_is_deterministic_and_bounded():
+    body = """
+    Random r = new Random(12345);
+    boolean ok = true;
+    for (int i = 0; i < 200; i = i + 1) {
+        int v = r.nextInt(10);
+        if (v < 0 || v >= 10) { ok = false; }
+    }
+    System.println("" + ok);
+    """
+    assert out(body) == ["true"]
+
+
+def test_locale_constants_exist():
+    body = """
+    System.println(Locale.ENGLISH.getLanguage());
+    System.println(Locale.FRENCH.getLanguage());
+    """
+    assert out(body) == ["en", "fr"]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=999), min_size=1, max_size=30))
+def test_vector_roundtrip_property(values):
+    """Whatever ints (as strings) go into a Vector come back in order."""
+    adds = " ".join(f'v.add("s{v}");' for v in values)
+    body = f"""
+    Vector v = new Vector(2);
+    {adds}
+    for (int i = 0; i < v.size(); i = i + 1) {{
+        System.println((String) v.get(i));
+    }}
+    """
+    assert out(body) == [f"s{v}" for v in values]
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.dictionaries(
+        st.integers(min_value=0, max_value=99),
+        st.integers(min_value=0, max_value=999),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_hashtable_model_property(mapping):
+    """HashTable agrees with a Python dict on get after a put sequence."""
+    puts = " ".join(f't.put("k{k}", "v{v}");' for k, v in mapping.items())
+    gets = " ".join(
+        f'System.println((String) t.get("k{k}"));' for k in sorted(mapping)
+    )
+    body = f"""
+    HashTable t = new HashTable(4);
+    {puts}
+    System.printInt(t.size());
+    {gets}
+    """
+    expected = [str(len(mapping))] + [f"v{mapping[k]}" for k in sorted(mapping)]
+    assert out(body) == expected

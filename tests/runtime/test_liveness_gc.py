@@ -1,0 +1,78 @@
+"""Liveness-aided GC roots (Agesen et al., cited in §5.1): dead locals
+are not roots, so dragged objects die without source rewrites."""
+
+from repro.core import HeapProfiler
+from repro.runtime.interpreter import Interpreter
+from tests.conftest import compile_app
+
+SOURCE = """
+class Main {
+    public static void main(String[] args) {
+        cycle();
+    }
+    static void cycle() {
+        char[] buffer = new char[20000];
+        buffer[0] = 'x';
+        // buffer is dead from here on, but still held by the slot
+        churn();
+        churn();
+    }
+    static void churn() {
+        for (int i = 0; i < 100; i = i + 1) { char[] junk = new char[100]; }
+    }
+}
+"""
+
+
+def profile(liveness_roots):
+    program = compile_app(SOURCE)
+    profiler = HeapProfiler(interval_bytes=4 * 1024)
+    interp = Interpreter(program, profiler=profiler, liveness_roots=liveness_roots)
+    result = interp.run([])
+    return profiler, result
+
+
+def buffer_record(profiler):
+    return [r for r in profiler.records if r.size > 30000][0]
+
+
+def test_dead_local_collected_early_with_liveness_roots():
+    plain, _ = profile(liveness_roots=False)
+    lively, _ = profile(liveness_roots=True)
+    plain_buffer = buffer_record(plain)
+    live_buffer = buffer_record(lively)
+    # Same lifetime start/use either way...
+    assert plain_buffer.creation_time == live_buffer.creation_time
+    # ...but with liveness-aided roots the buffer is collected while
+    # cycle() is still on the stack, cutting its drag sharply.
+    assert live_buffer.collection_time < plain_buffer.collection_time
+    assert live_buffer.drag_time < plain_buffer.drag_time * 0.6
+
+
+def test_program_behaviour_unchanged():
+    program = compile_app(SOURCE)
+    plain = Interpreter(program).run([])
+    program2 = compile_app(SOURCE)
+    lively = Interpreter(program2, liveness_roots=True).run([])
+    assert plain.stdout == lively.stdout
+
+
+def test_live_locals_survive_liveness_gc():
+    source = """
+    class Main {
+        public static void main(String[] args) {
+            char[] keep = new char[5000];
+            churn();
+            keep[0] = 'x';
+            System.println("" + keep[0]);
+        }
+        static void churn() {
+            for (int i = 0; i < 200; i = i + 1) { char[] junk = new char[100]; }
+        }
+    }
+    """
+    program = compile_app(source)
+    profiler = HeapProfiler(interval_bytes=2 * 1024)
+    interp = Interpreter(program, profiler=profiler, liveness_roots=True)
+    result = interp.run([])
+    assert result.stdout == ["x"]

@@ -1,0 +1,137 @@
+"""Native method edge cases: String intrinsics, arraycopy, bounds."""
+
+import pytest
+
+from repro.errors import MiniJavaException, VMError
+from repro.runtime.interpreter import Interpreter
+from tests.conftest import compile_app, run_main_body
+
+
+def out(body, helpers=""):
+    result, _ = run_main_body(body, helpers=helpers)
+    return result.stdout
+
+
+def test_substring_bounds_errors():
+    body = """
+    String s = "hello";
+    try { s.substring(2, 9); } catch (IndexOutOfBoundsException e) { System.println("b1"); }
+    try { s.substring(3, 1); } catch (IndexOutOfBoundsException e) { System.println("b2"); }
+    try { s.substring(0 - 1, 2); } catch (IndexOutOfBoundsException e) { System.println("b3"); }
+    System.println(s.substring(0, 5));
+    System.println("[" + s.substring(2, 2) + "]");
+    """
+    assert out(body) == ["b1", "b2", "b3", "hello", "[]"]
+
+
+def test_char_at_bounds():
+    body = """
+    try { "ab".charAt(5); } catch (IndexOutOfBoundsException e) { System.println("oob"); }
+    try { "ab".charAt(0 - 1); } catch (IndexOutOfBoundsException e) { System.println("oob2"); }
+    """
+    assert out(body) == ["oob", "oob2"]
+
+
+def test_index_of_missing_returns_minus_one():
+    assert out('System.printInt("abc".indexOf("zz"));') == ["-1"]
+    assert out('System.printInt("abc".indexOf(""));') == ["0"]
+
+
+def test_string_equals_against_non_string():
+    body = """
+    Object o = new Object();
+    System.println("" + "x".equals(o));
+    System.println("" + "x".equals(null));
+    """
+    assert out(body) == ["false", "false"]
+
+
+def test_string_hash_code_is_stable_and_equal_for_equal_strings():
+    body = """
+    String a = "he" + "llo";
+    String b = "hel" + "lo";
+    System.println("" + (a.hashCode() == b.hashCode()));
+    System.println("" + (a.hashCode() == a.hashCode()));
+    """
+    assert out(body) == ["true", "true"]
+
+
+def test_arraycopy_bounds_and_nulls():
+    body = """
+    int[] src = new int[4];
+    int[] dst = new int[4];
+    try { System.arraycopy(src, 0, dst, 2, 3); }
+    catch (IndexOutOfBoundsException e) { System.println("range"); }
+    try { System.arraycopy(null, 0, dst, 0, 1); }
+    catch (NullPointerException e) { System.println("null"); }
+    try { System.arraycopy(src, 0, new Object(), 0, 1); }
+    catch (ClassCastException e) { System.println("cast"); }
+    """
+    assert out(body) == ["range", "null", "cast"]
+
+
+def test_arraycopy_overlapping_regions():
+    body = """
+    char[] buf = new char[6];
+    buf[0] = 'a'; buf[1] = 'b'; buf[2] = 'c';
+    System.arraycopy(buf, 0, buf, 2, 3);
+    System.println(String.valueOf(buf, 5));
+    """
+    assert out(body) == ["ababc"]
+
+
+def test_string_value_of_count_bounds():
+    body = """
+    char[] cs = new char[3];
+    try { String s = String.valueOf(cs, 9); }
+    catch (IndexOutOfBoundsException e) { System.println("count"); }
+    try { String s2 = String.valueOf(null, 0); }
+    catch (NullPointerException e) { System.println("null"); }
+    """
+    assert out(body) == ["count", "null"]
+
+
+def test_isqrt_of_negative_throws():
+    body = """
+    try { Math.isqrt(0 - 4); } catch (ArithmeticException e) { System.println("neg"); }
+    System.printInt(Math.isqrt(0));
+    """
+    assert out(body) == ["neg", "0"]
+
+
+def test_object_hash_code_is_identityish():
+    body = """
+    Object a = new Object();
+    Object b = new Object();
+    System.println("" + (a.hashCode() == a.hashCode()));
+    System.println("" + (a.hashCode() == b.hashCode()));
+    """
+    assert out(body) == ["true", "false"]
+
+
+def test_default_to_string_includes_class_and_handle():
+    body = """
+    Object o = new Object();
+    String s = "" + o;
+    System.println("" + (s.indexOf("Object@") == 0));
+    """
+    assert out(body) == ["true"]
+
+
+def test_unbound_native_raises_vm_error():
+    program = compile_app(
+        "class Main { public static native void mystery(); "
+        "public static void main(String[] args) { mystery(); } }"
+    )
+    with pytest.raises(VMError):
+        Interpreter(program).run([])
+
+
+def test_compare_to_total_order():
+    body = """
+    System.printInt("apple".compareTo("banana"));
+    System.printInt("banana".compareTo("apple"));
+    System.printInt("apple".compareTo("apple"));
+    System.printInt("app".compareTo("apple"));
+    """
+    assert out(body) == ["-1", "1", "0", "-1"]

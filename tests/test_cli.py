@@ -1,0 +1,149 @@
+"""The command-line tool: run / profile / report / optimize / disasm."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+HELLO = """
+class Main {
+    public static void main(String[] args) {
+        System.println("hello " + args.length);
+        char[] wasted = new char[5000];
+        for (int i = 0; i < 40; i = i + 1) { char[] junk = new char[200]; }
+    }
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.mj"
+    path.write_text(HELLO)
+    return str(path)
+
+
+def test_run_prints_program_output(program_file, capsys):
+    assert main(["run", program_file, "--main", "Main", "a", "b"]) == 0
+    out = capsys.readouterr().out
+    assert "hello 2" in out
+
+
+def test_run_stats_on_stderr(program_file, capsys):
+    assert main(["run", program_file, "--main", "Main", "--stats"]) == 0
+    err = capsys.readouterr().err
+    assert "instructions=" in err and "gc_runs=" in err
+
+
+def test_run_missing_file(capsys):
+    assert main(["run", "/nonexistent.mj", "--main", "Main"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_run_semantic_error_reported(tmp_path, capsys):
+    path = tmp_path / "bad.mj"
+    path.write_text("class Main { public static void main(String[] args) { x = 1; } }")
+    assert main(["run", str(path), "--main", "Main"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_uncaught_exception_exit_code(tmp_path, capsys):
+    path = tmp_path / "throws.mj"
+    path.write_text(
+        'class Main { public static void main(String[] args) '
+        '{ throw new RuntimeException("boom"); } }'
+    )
+    assert main(["run", str(path), "--main", "Main"]) == 3
+    assert "boom" in capsys.readouterr().err
+
+
+def test_profile_prints_report_by_default(program_file, capsys):
+    assert main(
+        ["profile", program_file, "--main", "Main", "--interval", "4096"]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "=== Drag report ===" in captured.out
+    assert "Main.main" in captured.out
+    assert "deep-GC samples" in captured.err
+
+
+def test_profile_then_report_roundtrip(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.draglog")
+    assert main(
+        ["profile", program_file, "--main", "Main", "--interval", "4096", "--log", log]
+    ) == 0
+    capsys.readouterr()
+    # the log is a JSONL file with a header
+    with open(log) as f:
+        header = json.loads(f.readline())
+    assert header["format"] == "repro-drag-log"
+    assert main(["report", log, "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "=== Drag report ===" in out
+
+
+def test_report_nested_grouping(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.draglog")
+    main(["profile", program_file, "--main", "Main", "--interval", "4096", "--log", log])
+    capsys.readouterr()
+    assert main(["report", log, "--nested"]) == 0
+    assert "nested allocation sites" in capsys.readouterr().out
+
+
+def test_report_bad_log(tmp_path, capsys):
+    path = tmp_path / "bad.log"
+    path.write_text("not a log\n")
+    assert main(["report", str(path)]) == 2
+
+
+def test_optimize_writes_revised_source(program_file, tmp_path, capsys):
+    out_path = str(tmp_path / "revised.mj")
+    code = main(
+        ["optimize", program_file, "--main", "Main", "--interval", "4096",
+         "-o", out_path]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "transformation(s) applied" in err
+    revised = open(out_path).read()
+    # the never-used 5000-char buffer allocation is gone
+    assert "new char[5000]" not in revised
+    assert "class Main" in revised
+
+
+def test_disasm_single_class(program_file, capsys):
+    assert main(["disasm", program_file, "--class", "Main"]) == 0
+    out = capsys.readouterr().out
+    assert "Main.main" in out
+    assert "NEWARRAY" in out
+
+
+def test_disasm_unknown_class(program_file, capsys):
+    assert main(["disasm", program_file, "--class", "Ghost"]) == 2
+
+
+def test_disasm_whole_program(program_file, capsys):
+    assert main(["disasm", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "class Vector" in out  # library included
+
+
+def test_module_entry_point():
+    import subprocess, sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "--help"], capture_output=True, text=True
+    )
+    assert result.returncode == 0
+    assert "profile" in result.stdout
+
+
+def test_chart_from_log(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.draglog")
+    main(["profile", program_file, "--main", "Main", "--interval", "4096", "--log", log])
+    capsys.readouterr()
+    assert main(["chart", log, "--width", "50", "--height", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "MB allocated" in out
+    assert "legend: # reachable   . in-use" in out

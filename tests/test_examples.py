@@ -1,0 +1,56 @@
+"""The example scripts must keep running end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_quickstart():
+    result = run_example("quickstart.py")
+    assert result.returncode == 0, result.stderr
+    assert "Figure 1" in result.stdout
+    assert "=== Drag report ===" in result.stdout
+
+
+def test_leak_hunt():
+    result = run_example("leak_hunt.py")
+    assert result.returncode == 0, result.stderr
+    assert "suggested transformation: assign-null" in result.stdout
+    assert "drag saving" in result.stdout
+
+
+def test_auto_optimizer():
+    result = run_example("auto_optimizer.py")
+    assert result.returncode == 0, result.stderr
+    assert "APPLIED" in result.stdout
+    assert "space saving" in result.stdout
+    assert "class Main" in result.stdout
+
+
+def test_gc_comparison():
+    result = run_example("gc_comparison.py")
+    assert result.returncode == 0, result.stderr
+    assert "mark-sweep" in result.stdout
+    assert "generational" in result.stdout
+
+
+@pytest.mark.slow
+def test_heap_profile_charts_single_benchmark():
+    result = run_example("heap_profile_charts.py", "juru")
+    assert result.returncode == 0, result.stderr
+    assert "original run" in result.stdout
+    assert "revised run" in result.stdout
+    assert "MB allocated" in result.stdout
