@@ -33,12 +33,14 @@ from repro.core import (
     curve_from_records,
     drag_report,
     integral_mb2,
+    iter_log,
     profile_program,
     profile_source,
     read_log,
     savings,
     write_log,
 )
+from repro.stream import StreamingDragAnalysis, watch_log
 from repro.mjava.compiler import compile_program
 from repro.mjava.parser import parse_program
 from repro.mjava.pretty import pretty_print
@@ -67,8 +69,11 @@ __all__ = [
     "profile_program",
     "profile_source",
     "read_log",
+    "iter_log",
     "savings",
     "write_log",
+    "StreamingDragAnalysis",
+    "watch_log",
     "compile_program",
     "parse_program",
     "pretty_print",

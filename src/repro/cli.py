@@ -4,13 +4,17 @@ Mirrors the paper's two-phase workflow::
 
     python -m repro run program.mj --main Main arg1 arg2
     python -m repro profile program.mj --main Main --log run.draglog
+    python -m repro profile program.mj --main Main --sink stream --log run.dlog2
     python -m repro report run.draglog --top 10
+    python -m repro watch run.dlog2 --once
     python -m repro optimize program.mj --main Main -o revised.mj
     python -m repro disasm program.mj --class Main
 
 ``profile`` is phase 1 (the instrumented VM writing the object log);
-``report`` is phase 2 (the offline analyzer). ``optimize`` runs the
-§3.4 advisor and writes the rewritten source.
+``report`` is phase 2 (the offline analyzer). ``--sink stream`` makes
+phase 1 stream records to disk with bounded memory, and ``watch``
+tails such a log — even mid-run — with live drag metrics. ``optimize``
+runs the §3.4 advisor and writes the rewritten source.
 """
 
 from __future__ import annotations
@@ -57,28 +61,48 @@ def cmd_profile(args) -> int:
     from repro.core.report import drag_report
     from repro.mjava.compiler import compile_program
 
+    streaming = args.sink == "stream"
+    if streaming and not args.log:
+        print("error: --sink stream requires --log", file=sys.stderr)
+        return 2
     program = compile_program(_load_program(args.file), main_class=args.main)
+    metadata = {"main": args.main, "interval": args.interval}
+
+    sink = None
+    if streaming:
+        from repro.stream import LogWriterSink, open_log_writer
+
+        sink = LogWriterSink(
+            open_log_writer(args.log, fmt=args.format, metadata=metadata)
+        )
     result = profile_program(
         program,
         args.args,
         interval_bytes=args.interval,
         nesting_depth=args.nesting,
         last_use_depth=args.last_use_depth,
+        sink=sink,
     )
     for line in result.run_result.stdout:
         print(line)
     print(
-        f"[profile] {len(result.records)} objects logged, "
-        f"{len(result.samples)} deep-GC samples, "
+        f"[profile] {result.profiler.record_count} objects logged, "
+        f"{result.profiler.sample_count} deep-GC samples, "
         f"{result.end_time} bytes allocated",
         file=sys.stderr,
     )
-    if args.log:
+    if streaming:
+        sink.close()  # already closed at program end; idempotent
+        print(
+            f"[profile] streamed {sink.count} records to {args.log}",
+            file=sys.stderr,
+        )
+    elif args.log:
         count = write_log(
             args.log,
             result.records,
             end_time=result.end_time,
-            metadata={"main": args.main, "interval": args.interval},
+            metadata=metadata,
         )
         print(f"[profile] wrote {count} records to {args.log}", file=sys.stderr)
     else:
@@ -99,12 +123,25 @@ def cmd_report(args) -> int:
     from repro.core.logfile import read_log
     from repro.core.report import drag_report
 
-    loaded = read_log(args.log)
+    loaded = read_log(args.log, strict=not args.lenient)
     analysis = DragAnalysis(
         loaded.records, include_library_sites=not args.app_only
     )
     interval = loaded.metadata.get("interval", 100 * 1024)
     print(drag_report(analysis, top=args.top, interval_bytes=interval, nested=args.nested))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.stream.watch import watch_log
+
+    watch_log(
+        args.log,
+        once=args.once,
+        poll_interval=args.poll,
+        top=args.top,
+        metrics_json=args.metrics_json,
+    )
     return 0
 
 
@@ -195,6 +232,12 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--last-use-depth", type=int, default=1,
                          help="nested last-use-site depth")
     profile.add_argument("--log", help="write the object log here instead of reporting")
+    profile.add_argument("--sink", choices=["buffer", "stream"], default="buffer",
+                         help="'stream' writes records to --log as objects are "
+                         "reclaimed (bounded memory) instead of buffering them")
+    profile.add_argument("--format", choices=["auto", "v1", "v2"], default="auto",
+                         help="log format for --sink stream: v1 JSONL or compact "
+                         "v2 binary (auto: v2 for .dlog2 files)")
     profile.add_argument("--top", type=int, default=10)
     profile.set_defaults(fn=cmd_profile)
 
@@ -205,7 +248,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="group by nested allocation site (call chain)")
     report.add_argument("--app-only", action="store_true",
                         help="exclude library (mini-JDK) allocation sites")
+    report.add_argument("--lenient", action="store_true",
+                        help="tolerate a truncated final record (crashed run)")
     report.set_defaults(fn=cmd_report)
+
+    watch = sub.add_parser("watch", help="tail a growing log with live drag metrics")
+    watch.add_argument("log")
+    watch.add_argument("--once", action="store_true",
+                       help="print one summary of the log as it is now and exit")
+    watch.add_argument("--poll", type=float, default=1.0,
+                       help="seconds between polls (default 1)")
+    watch.add_argument("--top", type=int, default=10)
+    watch.add_argument("--metrics-json",
+                       help="flush a machine-readable metrics snapshot here "
+                       "on every refresh")
+    watch.set_defaults(fn=cmd_watch)
 
     optimize = sub.add_parser("optimize", help="profile-driven automatic rewriting")
     optimize.add_argument("file")

@@ -19,7 +19,7 @@ from repro.core.patterns import LifetimePattern, classify_group
 from repro.core.integrals import HeapCurve, curve_from_records, integral_mb2, savings
 from repro.core.anchor import anchor_site
 from repro.core.report import drag_report
-from repro.core.logfile import read_log, write_log
+from repro.core.logfile import LogWriter, iter_log, read_log, write_log
 
 __all__ = [
     "ObjectRecord",
@@ -40,5 +40,7 @@ __all__ = [
     "anchor_site",
     "drag_report",
     "read_log",
+    "iter_log",
     "write_log",
+    "LogWriter",
 ]

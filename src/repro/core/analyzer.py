@@ -16,16 +16,42 @@ from repro.core.trailer import ObjectRecord
 
 class SiteGroup:
     """All logged objects sharing one partition key (a site label, a
-    nested-site chain, or a (site, last-use-site) pair)."""
+    nested-site chain, or a (site, last-use-site) pair).
 
-    __slots__ = ("key", "records")
+    Aggregate totals are running sums maintained by :meth:`add`, so the
+    report/sort paths never rescan ``records`` (groups can hold tens of
+    thousands of records and the sort comparators hit ``total_drag``
+    repeatedly).
+    """
+
+    __slots__ = (
+        "key",
+        "records",
+        "_total_bytes",
+        "_total_drag",
+        "_total_in_use",
+        "_never_used_count",
+        "_never_used_drag",
+    )
 
     def __init__(self, key) -> None:
         self.key = key
         self.records: List[ObjectRecord] = []
+        self._total_bytes = 0
+        self._total_drag = 0
+        self._total_in_use = 0
+        self._never_used_count = 0
+        self._never_used_drag = 0
 
     def add(self, record: ObjectRecord) -> None:
         self.records.append(record)
+        drag = record.drag
+        self._total_bytes += record.size
+        self._total_drag += drag
+        self._total_in_use += record.size * record.in_use_time
+        if record.never_used:
+            self._never_used_count += 1
+            self._never_used_drag += drag
 
     # -- aggregates ---------------------------------------------------------
 
@@ -35,16 +61,16 @@ class SiteGroup:
 
     @property
     def total_bytes(self) -> int:
-        return sum(r.size for r in self.records)
+        return self._total_bytes
 
     @property
     def total_drag(self) -> int:
         """Sum of drag space-time products (bytes²) over the group."""
-        return sum(r.drag for r in self.records)
+        return self._total_drag
 
     @property
     def total_in_use(self) -> int:
-        return sum(r.size * r.in_use_time for r in self.records)
+        return self._total_in_use
 
     @property
     def never_used_records(self) -> List[ObjectRecord]:
@@ -52,11 +78,11 @@ class SiteGroup:
 
     @property
     def never_used_count(self) -> int:
-        return sum(1 for r in self.records if r.never_used)
+        return self._never_used_count
 
     @property
     def never_used_drag(self) -> int:
-        return sum(r.drag for r in self.records if r.never_used)
+        return self._never_used_drag
 
     @property
     def never_used_fraction(self) -> float:

@@ -47,6 +47,8 @@ class HeapProfiler:
         nesting_depth: int = 4,
         last_use_depth: int = 1,
         include_excluded: bool = False,
+        sink=None,
+        buffered: Optional[bool] = None,
     ) -> None:
         if interval_bytes <= 0:
             raise ValueError("interval_bytes must be positive")
@@ -55,8 +57,17 @@ class HeapProfiler:
         self.last_use_depth = last_use_depth
         self.include_excluded = include_excluded
         self.next_sample_at = interval_bytes
+        # ``sink`` receives each record/sample the moment it is emitted
+        # (see repro.stream.sinks). With a sink attached the profiler
+        # defaults to *not* buffering, keeping memory at O(live objects
+        # + sites) instead of O(all objects ever allocated); pass
+        # ``buffered=True`` to get both behaviours at once.
+        self.sink = sink
+        self.buffered = buffered if buffered is not None else (sink is None)
         self.records: List[ObjectRecord] = []
         self.samples: List[HeapSample] = []
+        self.record_count = 0
+        self.sample_count = 0
         self.interp = None
         self.program = None
         self._ended = False
@@ -135,7 +146,7 @@ class HeapProfiler:
         while self.next_sample_at <= heap.clock:
             self.next_sample_at += self.interval_bytes
         interp.deep_gc()
-        self.samples.append(
+        self._emit_sample(
             HeapSample(heap.clock, heap.live_bytes, heap.object_count())
         )
 
@@ -150,13 +161,29 @@ class HeapProfiler:
         self._ended = True
         interp.deep_gc()
         end_time = interp.heap.clock
-        self.samples.append(
+        self._emit_sample(
             HeapSample(end_time, interp.heap.live_bytes, interp.heap.object_count())
         )
         for obj in list(interp.heap.iter_objects()):
             self._log(obj, collection_time=end_time, survived=True)
+        if self.sink is not None:
+            self.sink.on_end(end_time)
 
     # -- record emission ---------------------------------------------------------
+
+    def _emit_record(self, record: ObjectRecord) -> None:
+        self.record_count += 1
+        if self.buffered:
+            self.records.append(record)
+        if self.sink is not None:
+            self.sink.on_record(record)
+
+    def _emit_sample(self, sample: HeapSample) -> None:
+        self.sample_count += 1
+        if self.buffered:
+            self.samples.append(sample)
+        if self.sink is not None:
+            self.sink.on_sample(sample)
 
     def _log(self, obj: HeapObject, collection_time: int, survived: bool) -> None:
         if obj.excluded and not self.include_excluded:
@@ -170,7 +197,7 @@ class HeapProfiler:
             label, kind, is_lib = info.label, info.kind, info.is_library
         else:
             label, kind, is_lib = "<unknown>", "new", True
-        self.records.append(
+        self._emit_record(
             ObjectRecord(
                 handle=obj.handle,
                 type_name=obj.type_name(),
@@ -230,14 +257,23 @@ def profile_program(
     nesting_depth: int = 4,
     last_use_depth: int = 1,
     max_heap: Optional[int] = None,
+    sink=None,
+    buffered: Optional[bool] = None,
 ) -> ProfileResult:
-    """Run a compiled program under the profiler (phase 1)."""
+    """Run a compiled program under the profiler (phase 1).
+
+    With ``sink`` set, records and samples stream into it as they are
+    emitted (see :mod:`repro.stream`) and are not buffered unless
+    ``buffered=True`` is also passed.
+    """
     from repro.runtime.interpreter import Interpreter
 
     profiler = HeapProfiler(
         interval_bytes=interval_bytes,
         nesting_depth=nesting_depth,
         last_use_depth=last_use_depth,
+        sink=sink,
+        buffered=buffered,
     )
     interp = Interpreter(program, profiler=profiler, max_heap=max_heap)
     run_result = interp.run(args or [])
@@ -252,6 +288,8 @@ def profile_source(
     nesting_depth: int = 4,
     last_use_depth: int = 1,
     library_overrides=None,
+    sink=None,
+    buffered: Optional[bool] = None,
 ) -> ProfileResult:
     """Convenience: link, compile, and profile mini-Java source."""
     from repro.mjava.compiler import compile_program
@@ -266,4 +304,6 @@ def profile_source(
         interval_bytes=interval_bytes,
         nesting_depth=nesting_depth,
         last_use_depth=last_use_depth,
+        sink=sink,
+        buffered=buffered,
     )

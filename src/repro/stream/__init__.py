@@ -1,0 +1,50 @@
+"""The streaming profile pipeline.
+
+Turns phase 1 from batch-at-exit into a bounded-memory stream: the
+profiler emits :class:`~repro.core.trailer.ObjectRecord`s and
+:class:`~repro.core.profiler.HeapSample`s into a
+:class:`~repro.stream.sinks.ProfileSink` as objects are reclaimed, and
+everything downstream — the compact v2 log codec, the incremental
+:class:`~repro.stream.aggregate.StreamingDragAnalysis`, the live
+metrics of ``repro watch`` — consumes that stream record-by-record.
+
+Memory discipline: with a streaming sink attached the profiler holds
+O(live objects) trailers plus O(sites) aggregate state, never the
+O(all objects ever allocated) record list of the buffered path.
+"""
+
+from repro.stream.sinks import (
+    AggregatorSink,
+    BufferSink,
+    LogWriterSink,
+    ProfileSink,
+    TeeSink,
+    open_log_writer,
+)
+from repro.stream.codec import (
+    V2LogWriter,
+    V2TailReader,
+    iter_v2_log,
+    read_v2_log,
+)
+from repro.stream.aggregate import SiteStats, StreamingDragAnalysis
+from repro.stream.live import LiveMetrics, MetricsSink
+from repro.stream.watch import watch_log
+
+__all__ = [
+    "ProfileSink",
+    "BufferSink",
+    "LogWriterSink",
+    "AggregatorSink",
+    "TeeSink",
+    "open_log_writer",
+    "V2LogWriter",
+    "V2TailReader",
+    "iter_v2_log",
+    "read_v2_log",
+    "SiteStats",
+    "StreamingDragAnalysis",
+    "LiveMetrics",
+    "MetricsSink",
+    "watch_log",
+]

@@ -1,0 +1,194 @@
+"""Live metrics: what the profile looks like *right now*.
+
+Every deep-GC sample is a natural synchronization point — the heap is
+freshly collected, so "reachable bytes" is meaningful and a batch of
+just-reclaimed records has been emitted. :class:`MetricsSink` snapshots
+the stream state at each of those points: reachable bytes, drag
+accumulated so far, top-K sites by drag, GC/sample counts. Snapshots
+are plain dicts away from JSON, which is what the ``--metrics-json``
+flush and any dashboard polling it consume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional
+
+from repro.stream.aggregate import StreamingDragAnalysis
+from repro.stream.sinks import ProfileSink
+
+
+class LiveMetrics:
+    """One point-in-time snapshot of a (possibly still running) profile."""
+
+    __slots__ = (
+        "time",
+        "reachable_bytes",
+        "reachable_objects",
+        "records_seen",
+        "total_drag",
+        "total_bytes",
+        "sample_count",
+        "top_sites",
+        "finished",
+    )
+
+    def __init__(
+        self,
+        time: int,
+        reachable_bytes: int,
+        reachable_objects: int,
+        records_seen: int,
+        total_drag: int,
+        total_bytes: int,
+        sample_count: int,
+        top_sites: List[dict],
+        finished: bool = False,
+    ) -> None:
+        self.time = time
+        self.reachable_bytes = reachable_bytes
+        self.reachable_objects = reachable_objects
+        self.records_seen = records_seen
+        self.total_drag = total_drag
+        self.total_bytes = total_bytes
+        self.sample_count = sample_count
+        self.top_sites = top_sites
+        self.finished = finished
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "reachable_bytes": self.reachable_bytes,
+            "reachable_objects": self.reachable_objects,
+            "records_seen": self.records_seen,
+            "total_drag": self.total_drag,
+            "total_bytes": self.total_bytes,
+            "sample_count": self.sample_count,
+            "top_sites": self.top_sites,
+            "finished": self.finished,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<metrics t={self.time} reachable={self.reachable_bytes}B "
+            f"drag={self.total_drag} records={self.records_seen}>"
+        )
+
+
+def snapshot(
+    analysis: StreamingDragAnalysis,
+    time: int,
+    reachable_bytes: int,
+    reachable_objects: int,
+    sample_count: int,
+    top_k: int = 5,
+    finished: bool = False,
+) -> LiveMetrics:
+    """Freeze the aggregator's current state into a snapshot."""
+    top = [
+        {
+            "site": str(stats.key),
+            "drag": stats.total_drag,
+            "objects": stats.count,
+            "bytes": stats.total_bytes,
+            "never_used": stats.never_used_count,
+        }
+        for stats in analysis.sorted_sites(top_k)
+    ]
+    return LiveMetrics(
+        time=time,
+        reachable_bytes=reachable_bytes,
+        reachable_objects=reachable_objects,
+        records_seen=analysis.object_count,
+        total_drag=analysis.total_drag,
+        total_bytes=analysis.total_bytes,
+        sample_count=sample_count,
+        top_sites=top,
+        finished=finished,
+    )
+
+
+def write_metrics_json(metrics: LiveMetrics, path: str) -> None:
+    """Atomically replace ``path`` with the snapshot's JSON, so a
+    dashboard polling the file never reads a half-written flush."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(metrics.to_dict(), f, indent=2)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+class MetricsSink(ProfileSink):
+    """Maintain live metrics over the event stream.
+
+    Feeds an internal (or shared) :class:`StreamingDragAnalysis` and
+    refreshes :attr:`latest` on every heap sample and at program end.
+    ``json_path`` makes each refresh also flush machine-readable JSON;
+    ``on_snapshot`` (a callable) is invoked with each new snapshot —
+    that's the hook ``repro watch``-style consumers use.
+    """
+
+    def __init__(
+        self,
+        analysis: Optional[StreamingDragAnalysis] = None,
+        top_k: int = 5,
+        json_path: Optional[str] = None,
+        on_snapshot=None,
+        keep_history: bool = False,
+    ) -> None:
+        self.analysis = analysis or StreamingDragAnalysis()
+        self.top_k = top_k
+        self.json_path = json_path
+        self.on_snapshot = on_snapshot
+        self.keep_history = keep_history
+        self.history: List[LiveMetrics] = []
+        self.latest: Optional[LiveMetrics] = None
+        self.sample_count = 0
+        self._clock = 0
+
+    def on_record(self, record) -> None:
+        self.analysis.add(record)
+        if record.collection_time > self._clock:
+            self._clock = record.collection_time
+
+    def on_sample(self, sample) -> None:
+        self.sample_count += 1
+        if sample.time > self._clock:
+            self._clock = sample.time
+        self._refresh(
+            time=sample.time,
+            reachable_bytes=sample.reachable_bytes,
+            reachable_objects=sample.object_count,
+            finished=False,
+        )
+
+    def on_end(self, end_time: int) -> None:
+        self.analysis.end_time = end_time
+        last = self.latest
+        self._refresh(
+            time=end_time,
+            reachable_bytes=last.reachable_bytes if last else 0,
+            reachable_objects=last.reachable_objects if last else 0,
+            finished=True,
+        )
+
+    def _refresh(
+        self, time: int, reachable_bytes: int, reachable_objects: int, finished: bool
+    ) -> None:
+        metrics = snapshot(
+            self.analysis,
+            time=time,
+            reachable_bytes=reachable_bytes,
+            reachable_objects=reachable_objects,
+            sample_count=self.sample_count,
+            top_k=self.top_k,
+            finished=finished,
+        )
+        self.latest = metrics
+        if self.keep_history:
+            self.history.append(metrics)
+        if self.json_path:
+            write_metrics_json(metrics, self.json_path)
+        if self.on_snapshot is not None:
+            self.on_snapshot(metrics)

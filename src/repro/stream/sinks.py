@@ -1,0 +1,152 @@
+"""Event sinks: where the profiler's record/sample stream goes.
+
+A :class:`ProfileSink` receives each :class:`ObjectRecord` the moment
+the object is reclaimed (or survives to program end) and each deep-GC
+:class:`HeapSample` as it is taken. Sinks compose with :class:`TeeSink`,
+so one profiled run can simultaneously stream to disk, feed the
+incremental aggregator, and refresh live metrics — all in O(sites)
+memory instead of buffering the full object log.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Union
+
+
+class ProfileSink:
+    """Receiver for the profiler's event stream.
+
+    Subclasses override what they need; the base class is a no-op, so a
+    sink interested only in records can ignore samples and vice versa.
+    """
+
+    def on_record(self, record) -> None:
+        """One object's log record, emitted at reclamation/program end."""
+
+    def on_sample(self, sample) -> None:
+        """One deep-GC heap sample."""
+
+    def on_end(self, end_time: int) -> None:
+        """The run finished; ``end_time`` is the final byte clock."""
+
+    def close(self) -> None:
+        """Release any resources (files). Idempotent."""
+
+
+class BufferSink(ProfileSink):
+    """Buffer everything in memory — the classic batch behaviour."""
+
+    def __init__(self) -> None:
+        self.records: List = []
+        self.samples: List = []
+        self.end_time: Optional[int] = None
+
+    def on_record(self, record) -> None:
+        self.records.append(record)
+
+    def on_sample(self, sample) -> None:
+        self.samples.append(sample)
+
+    def on_end(self, end_time: int) -> None:
+        self.end_time = end_time
+
+
+class LogWriterSink(ProfileSink):
+    """Stream records straight to a log writer (v1 JSONL or v2 binary).
+
+    The writer must expose ``write_record``, ``write_sample`` and
+    ``close(end_time=...)`` — both :class:`repro.core.logfile.LogWriter`
+    and :class:`repro.stream.codec.V2LogWriter` do.
+    """
+
+    def __init__(self, writer) -> None:
+        self.writer = writer
+        self._end_time: Optional[int] = None
+        self._closed = False
+
+    @property
+    def count(self) -> int:
+        return self.writer.count
+
+    def on_record(self, record) -> None:
+        self.writer.write_record(record)
+
+    def on_sample(self, sample) -> None:
+        self.writer.write_sample(sample)
+
+    def on_end(self, end_time: int) -> None:
+        self._end_time = end_time
+        self.close()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.writer.close(end_time=self._end_time)
+
+
+class AggregatorSink(ProfileSink):
+    """Feed records into a :class:`StreamingDragAnalysis` as they arrive."""
+
+    def __init__(self, analysis=None, include_library_sites: bool = True) -> None:
+        if analysis is None:
+            from repro.stream.aggregate import StreamingDragAnalysis
+
+            analysis = StreamingDragAnalysis(
+                include_library_sites=include_library_sites
+            )
+        self.analysis = analysis
+
+    def on_record(self, record) -> None:
+        self.analysis.add(record)
+
+    def on_end(self, end_time: int) -> None:
+        self.analysis.end_time = end_time
+
+
+class TeeSink(ProfileSink):
+    """Fan one event stream out to several sinks, in order."""
+
+    def __init__(self, *sinks: ProfileSink) -> None:
+        self.sinks = list(sinks)
+
+    def on_record(self, record) -> None:
+        for sink in self.sinks:
+            sink.on_record(record)
+
+    def on_sample(self, sample) -> None:
+        for sink in self.sinks:
+            sink.on_sample(sample)
+
+    def on_end(self, end_time: int) -> None:
+        for sink in self.sinks:
+            sink.on_end(end_time)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+def open_log_writer(
+    path: Union[str, Path],
+    fmt: str = "auto",
+    metadata: Optional[dict] = None,
+):
+    """Create a streaming log writer for ``path``.
+
+    ``fmt`` is ``"v1"``, ``"v2"``, or ``"auto"`` — auto picks v2 for
+    ``.dlog2``/``.v2`` extensions and v1 otherwise, so
+    ``repro profile --sink stream --log run.dlog2`` just works.
+    """
+    path = Path(path)
+    if fmt == "auto":
+        fmt = "v2" if path.suffix in (".dlog2", ".v2") else "v1"
+    if fmt == "v2":
+        from repro.stream.codec import V2LogWriter
+
+        return V2LogWriter(path, metadata=metadata)
+    if fmt == "v1":
+        from repro.core.logfile import LogWriter
+
+        return LogWriter(path, metadata=metadata)
+    raise ValueError(f"unknown log format {fmt!r} (use 'v1', 'v2', or 'auto')")

@@ -1,0 +1,210 @@
+"""``repro watch``: tail a growing profile log and summarize it live.
+
+Works on both formats: v2 logs are tailed frame-by-frame with
+:class:`~repro.stream.codec.V2TailReader`; v1 JSONL logs are tailed
+line-by-line (a partial final line stays pending until the writer
+finishes it). Each poll folds the new records into a
+:class:`~repro.stream.aggregate.StreamingDragAnalysis` — memory stays
+O(sites) no matter how large the log grows — and refreshes a top-K
+drag summary, optionally flushing a machine-readable JSON snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time as _time
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ProfileError
+from repro.core.trailer import ObjectRecord
+from repro.core.integrals import MB
+from repro.stream.aggregate import StreamingDragAnalysis
+from repro.stream.codec import MAGIC, V2TailReader
+from repro.stream.live import snapshot, write_metrics_json
+
+
+class _V1Tail:
+    """Incremental reader for a (possibly still growing) v1 JSONL log."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.metadata: dict = {}
+        self.end_time: Optional[int] = None
+        self.ended = False
+        self._offset = 0
+        self._pending = b""
+        self._header_done = False
+
+    def _take_line(self) -> Optional[str]:
+        newline = self._pending.find(b"\n")
+        if newline < 0:
+            return None
+        line = self._pending[:newline].decode("utf-8")
+        self._pending = self._pending[newline + 1 :]
+        return line
+
+    def poll(self) -> List[Tuple[str, object]]:
+        with open(self.path, "rb") as f:
+            if self._header_done and not self.ended:
+                # The streaming writer patches end_time into the padded
+                # header at close; re-read line 1 to notice the finish.
+                first = f.readline()
+                try:
+                    header = json.loads(first)
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    header = {}
+                if header.get("end_time") is not None:
+                    self.end_time = header["end_time"]
+            f.seek(self._offset)
+            chunk = f.read()
+        self._offset += len(chunk)
+        self._pending += chunk
+        events: List[Tuple[str, object]] = []
+        while True:
+            line = self._take_line()
+            if line is None:
+                break
+            if not self._header_done:
+                try:
+                    header = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ProfileError(f"{self.path}: bad log header: {exc}") from exc
+                if header.get("format") != "repro-drag-log":
+                    raise ProfileError(f"{self.path}: not a repro-drag-log file")
+                self.metadata = header.get("metadata") or {}
+                self.end_time = header.get("end_time")
+                self._header_done = True
+                continue
+            if not line.strip():
+                continue
+            try:
+                record = ObjectRecord.from_dict(json.loads(line))
+            except (json.JSONDecodeError, KeyError) as exc:
+                raise ProfileError(f"{self.path}: bad record: {exc}") from exc
+            events.append(("record", record))
+        if self.end_time is not None and not self.ended:
+            self.ended = True
+            events.append(("end", self.end_time))
+        return events
+
+
+def _open_tail(path: Path):
+    with open(path, "rb") as f:
+        head = f.read(len(MAGIC))
+    if head == MAGIC:
+        return V2TailReader(path)
+    return _V1Tail(path)
+
+
+def _mb2(bytes2: int) -> float:
+    return bytes2 / (MB * MB)
+
+
+def render_summary(
+    path,
+    analysis: StreamingDragAnalysis,
+    last_sample,
+    sample_count: int,
+    top: int,
+    finished: bool,
+) -> str:
+    """One refresh of the watch display."""
+    state = "finished" if finished else "live"
+    lines = [f"=== repro watch {path} ({state}) ==="]
+    lines.append(
+        f"records {analysis.object_count}"
+        f"   drag-so-far {_mb2(analysis.total_drag):.4f} MB^2"
+        f"   logged bytes {analysis.total_bytes}"
+    )
+    if last_sample is not None:
+        lines.append(
+            f"heap @ t={last_sample.time}: {last_sample.reachable_bytes} B reachable"
+            f" in {last_sample.object_count} objects"
+            f"   deep-GC samples {sample_count}"
+        )
+    groups = analysis.sorted_sites(top)
+    if groups:
+        lines.append(f"top {len(groups)} sites by drag:")
+        for rank, stats in enumerate(groups, start=1):
+            lines.append(
+                f"  #{rank} {stats.key}: drag {_mb2(stats.total_drag):.4f} MB^2"
+                f"  objects {stats.count}  never-used {stats.never_used_count}"
+            )
+    else:
+        lines.append("(no records yet)")
+    return "\n".join(lines)
+
+
+def watch_log(
+    path: Union[str, Path],
+    once: bool = False,
+    poll_interval: float = 1.0,
+    top: int = 10,
+    metrics_json: Optional[str] = None,
+    out=None,
+    max_polls: Optional[int] = None,
+) -> StreamingDragAnalysis:
+    """Tail ``path`` until the log ends (or forever), printing a
+    refreshed summary after each poll that saw new data.
+
+    ``once`` reads what is there now, prints a single summary, and
+    returns. ``max_polls`` bounds the loop for tests. Returns the
+    accumulated analysis.
+    """
+    path = Path(path)
+    out = out if out is not None else sys.stdout
+    waited = 0.0
+    while not path.exists():
+        if once:
+            raise ProfileError(f"{path}: no such log file")
+        _time.sleep(poll_interval)
+        waited += poll_interval
+        if max_polls is not None and waited / poll_interval >= max_polls:
+            raise ProfileError(f"{path}: log never appeared")
+    tail = _open_tail(path)
+    analysis = StreamingDragAnalysis()
+    last_sample = None
+    sample_count = 0
+    finished = False
+    polls = 0
+    while True:
+        polls += 1
+        events = tail.poll()
+        for kind, value in events:
+            if kind == "record":
+                analysis.add(value)
+            elif kind == "sample":
+                last_sample = value
+                sample_count += 1
+            elif kind == "end":
+                analysis.end_time = value
+                finished = True
+        if events or once or polls == 1:
+            print(
+                render_summary(
+                    path, analysis, last_sample, sample_count, top, finished
+                ),
+                file=out,
+            )
+            if metrics_json:
+                metrics = snapshot(
+                    analysis,
+                    time=(
+                        analysis.end_time
+                        if finished and analysis.end_time is not None
+                        else (last_sample.time if last_sample else 0)
+                    ),
+                    reachable_bytes=last_sample.reachable_bytes if last_sample else 0,
+                    reachable_objects=last_sample.object_count if last_sample else 0,
+                    sample_count=sample_count,
+                    top_k=top,
+                    finished=finished,
+                )
+                write_metrics_json(metrics, metrics_json)
+        if once or finished:
+            return analysis
+        if max_polls is not None and polls >= max_polls:
+            return analysis
+        _time.sleep(poll_interval)

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.errors import ProfileError
-from repro.core.logfile import read_log, write_log
+from repro.core.logfile import LogWriter, iter_log, read_log, write_log
 from repro.core import profile_source
 from tests.core.test_analyzer import make_record
 
@@ -80,3 +80,83 @@ def test_blank_lines_tolerated(tmp_path):
     with open(path, "a") as f:
         f.write("\n\n")
     assert len(read_log(path).records) == 1
+
+
+def test_iter_log_yields_records_lazily(tmp_path):
+    records = [make_record(handle=i) for i in range(5)]
+    path = tmp_path / "lazy.log"
+    write_log(path, records, end_time=99)
+    iterator = iter_log(path)
+    assert next(iterator).handle == 0  # nothing materialized up front
+    assert [r.handle for r in iterator] == [1, 2, 3, 4]
+
+
+def test_iter_log_matches_read_log(tmp_path):
+    records = [
+        make_record(handle=1, last_use=0),
+        make_record(handle=2, last_use=400, use_frame="A.b:3"),
+    ]
+    path = tmp_path / "same.log"
+    write_log(path, records)
+    assert [r.to_dict() for r in iter_log(path)] == [
+        r.to_dict() for r in read_log(path).records
+    ]
+
+
+def _truncated_log(tmp_path):
+    """A log whose final line was cut mid-record (crashed run)."""
+    path = tmp_path / "crashed.log"
+    write_log(path, [make_record(handle=i) for i in range(3)], end_time=500)
+    text = path.read_text()
+    path.write_text(text[: len(text) - 25])  # chop inside the last record
+    return path
+
+
+def test_truncated_final_line_strict_raises(tmp_path):
+    path = _truncated_log(tmp_path)
+    with pytest.raises(ProfileError):
+        read_log(path)
+    with pytest.raises(ProfileError):
+        list(iter_log(path))
+
+
+def test_truncated_final_line_lenient_keeps_good_records(tmp_path):
+    path = _truncated_log(tmp_path)
+    loaded = read_log(path, strict=False)
+    assert [r.handle for r in loaded.records] == [0, 1]
+    assert [r.handle for r in iter_log(path, strict=False)] == [0, 1]
+
+
+def test_corrupt_interior_record_raises_even_lenient(tmp_path):
+    """Lenient mode only forgives a truncated *final* line — damage in
+    the middle of a log is still an error."""
+    path = tmp_path / "interior.log"
+    write_log(path, [make_record(handle=1)])
+    with open(path, "a") as f:
+        f.write("{garbage}\n")
+        f.write(json.dumps(make_record(handle=2).to_dict()) + "\n")
+    with pytest.raises(ProfileError):
+        read_log(path, strict=False)
+
+
+def test_streaming_log_writer_patches_end_time(tmp_path):
+    path = tmp_path / "streamed.log"
+    writer = LogWriter(path, metadata={"main": "Main"})
+    writer.write_record(make_record(handle=7))
+    writer.close(end_time=4242)
+    loaded = read_log(path)
+    assert loaded.end_time == 4242
+    assert loaded.metadata == {"main": "Main"}
+    assert [r.handle for r in loaded.records] == [7]
+
+
+def test_streaming_log_writer_readable_before_close(tmp_path):
+    """An in-flight v1 log is already a valid (end_time-less) log."""
+    path = tmp_path / "inflight.log"
+    writer = LogWriter(path)
+    writer.write_record(make_record(handle=1))
+    writer._file.flush()
+    loaded = read_log(path)
+    assert loaded.end_time is None
+    assert len(loaded.records) == 1
+    writer.close(end_time=10)

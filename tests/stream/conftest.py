@@ -1,0 +1,24 @@
+"""Shared profiles for the streaming-pipeline tests.
+
+The db and euler benchmark profiles are the reference streams for the
+batch/streaming equivalence suite; computing them once per session
+keeps the suite fast.
+"""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.benchmarks.runner import compile_benchmark
+from repro.core.profiler import profile_program
+
+
+@pytest.fixture(scope="session")
+def bench_profiles():
+    out = {}
+    for name in ("db", "euler"):
+        bench = get_benchmark(name)
+        program = compile_benchmark(bench, revised=False)
+        out[name] = profile_program(
+            program, bench.args_for("primary"), interval_bytes=bench.interval_bytes
+        )
+    return out

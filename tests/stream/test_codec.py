@@ -1,0 +1,170 @@
+"""The compact v2 log codec: round trips, string table, truncation."""
+
+import os
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.core.logfile import iter_log, read_log, write_log
+from repro.core.profiler import HeapSample
+from repro.stream.codec import (
+    MAGIC,
+    V2LogWriter,
+    V2TailReader,
+    iter_v2_log,
+    read_v2_log,
+)
+from tests.core.test_analyzer import make_record
+
+
+def write_v2(path, records, samples=(), end_time=None, metadata=None):
+    writer = V2LogWriter(path, metadata=metadata)
+    for record in records:
+        writer.write_record(record)
+    for sample in samples:
+        writer.write_sample(sample)
+    writer.close(end_time=end_time)
+    return writer
+
+
+def test_roundtrip_preserves_records(tmp_path):
+    records = [
+        make_record(handle=1, last_use=0),
+        make_record(
+            handle=2, last_use=555, use_frame="A.b:3", nested=("A.b:3", "A.a:1")
+        ),
+    ]
+    path = tmp_path / "run.dlog2"
+    write_v2(path, records, end_time=12345, metadata={"bench": "test"})
+    loaded = read_v2_log(path)
+    assert loaded.end_time == 12345
+    assert loaded.metadata == {"bench": "test"}
+    for original, parsed in zip(records, loaded.records):
+        assert parsed.to_dict() == original.to_dict()
+
+
+def test_roundtrip_preserves_use_chain_and_samples(tmp_path):
+    record = make_record(handle=7, last_use=200, use_frame="A.b:3")
+    record.last_use_chain = ("A.b:3", "A.a:1")
+    path = tmp_path / "chain.dlog2"
+    write_v2(path, [record], samples=[HeapSample(100, 4096, 7)], end_time=999)
+    loaded = read_v2_log(path)
+    assert loaded.records[0].last_use_chain == ("A.b:3", "A.a:1")
+    assert len(loaded.samples) == 1
+    assert loaded.samples[0].reachable_bytes == 4096
+    assert loaded.samples[0].object_count == 7
+
+
+def test_iter_v2_log_is_a_generator(tmp_path):
+    records = [make_record(handle=i) for i in range(5)]
+    path = tmp_path / "gen.dlog2"
+    write_v2(path, records, end_time=1)
+    it = iter_v2_log(path)
+    first = next(it)
+    assert first.handle == 0
+    assert [r.handle for r in it] == [1, 2, 3, 4]
+
+
+def test_string_table_interns_repeated_labels(tmp_path):
+    """1000 records sharing one site must not store the label 1000 times."""
+    records = [
+        make_record(handle=i, site_label="Hot.site:1", nested=("Hot.site:1",))
+        for i in range(1000)
+    ]
+    path = tmp_path / "interned.dlog2"
+    writer = write_v2(path, records, end_time=1)
+    assert len(writer._strings) == 3  # "Object", "Hot.site:1", "new"
+    v1_path = tmp_path / "same.draglog"
+    write_log(v1_path, records, end_time=1)
+    assert os.path.getsize(path) < os.path.getsize(v1_path) / 4
+
+
+def test_v1_v2_roundtrip_identical(tmp_path):
+    """A log converted v1 -> v2 -> records matches the v1 records."""
+    records = [
+        make_record(handle=1, last_use=0),
+        make_record(handle=2, last_use=50, use_frame="B.use:9"),
+        make_record(handle=3, site_label="C.m:2", site_lib=True),
+    ]
+    v1 = tmp_path / "run.draglog"
+    write_log(v1, records, end_time=777, metadata={"main": "Main"})
+    v1_loaded = read_log(v1)
+    v2 = tmp_path / "run.dlog2"
+    write_v2(v2, v1_loaded.records, end_time=v1_loaded.end_time,
+             metadata=v1_loaded.metadata)
+    v2_loaded = read_log(v2)  # via the auto-detecting reader
+    assert v2_loaded.end_time == 777
+    assert v2_loaded.metadata == {"main": "Main"}
+    assert [r.to_dict() for r in v2_loaded.records] == [
+        r.to_dict() for r in v1_loaded.records
+    ]
+
+
+def test_read_log_autodetects_v2(tmp_path):
+    path = tmp_path / "auto.bin"  # extension irrelevant: magic decides
+    write_v2(path, [make_record(handle=4)], end_time=5)
+    with open(path, "rb") as f:
+        assert f.read(4) == MAGIC
+    loaded = read_log(path)
+    assert len(loaded.records) == 1
+    assert [r.handle for r in iter_log(path)] == [4]
+
+
+def test_truncated_v2_strict_raises_lenient_stops(tmp_path):
+    records = [make_record(handle=i) for i in range(20)]
+    path = tmp_path / "trunc.dlog2"
+    write_v2(path, records, end_time=9)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) - 7])  # chop mid-frame
+    with pytest.raises(ProfileError):
+        read_v2_log(path)
+    loaded = read_v2_log(path, strict=False)
+    assert 0 < len(loaded.records) <= 20
+    assert loaded.end_time is None  # END frame was destroyed
+
+
+def test_missing_end_frame_is_truncation(tmp_path):
+    path = tmp_path / "noend.dlog2"
+    writer = V2LogWriter(path)
+    writer.write_record(make_record(handle=1))
+    writer._file.flush()
+    os_level_copy = path.read_bytes()
+    writer.close()
+    path.write_bytes(os_level_copy)  # as if the run crashed before close
+    with pytest.raises(ProfileError):
+        read_v2_log(path)
+    loaded = read_v2_log(path, strict=False)
+    assert len(loaded.records) == 1
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "bad.dlog2"
+    path.write_bytes(b"NOPE" + b"\x00" * 32)
+    with pytest.raises(ProfileError):
+        read_v2_log(path)
+
+
+def test_tail_reader_handles_partial_frames(tmp_path):
+    """Feeding a growing file byte-group by byte-group yields every
+    record exactly once, regardless of where the chunk boundaries cut."""
+    records = [make_record(handle=i, site_label=f"S.m:{i % 3}") for i in range(10)]
+    full = tmp_path / "full.dlog2"
+    write_v2(full, records, samples=[HeapSample(50, 128, 2)], end_time=42)
+    data = full.read_bytes()
+
+    growing = tmp_path / "growing.dlog2"
+    growing.write_bytes(b"")
+    tail = V2TailReader(growing)
+    seen = []
+    step = 13  # deliberately misaligned with frame boundaries
+    for start in range(0, len(data), step):
+        with open(growing, "ab") as f:
+            f.write(data[start : start + step])
+        seen.extend(tail.poll())
+    kinds = [k for k, _ in seen]
+    assert kinds.count("record") == 10
+    assert kinds.count("sample") == 1
+    assert kinds[-1] == "end"
+    assert tail.ended and tail.end_time == 42
+    handles = [r.handle for k, r in seen if k == "record"]
+    assert handles == list(range(10))

@@ -139,6 +139,106 @@ def test_module_entry_point():
     assert "profile" in result.stdout
 
 
+def test_profile_stream_sink_to_v2_then_report_and_watch(program_file, tmp_path, capsys):
+    """The acceptance pipeline: profile --sink stream --log run.dlog2,
+    then report and watch --once on the same file."""
+    log = str(tmp_path / "run.dlog2")
+    assert main(
+        ["profile", program_file, "--main", "Main", "--interval", "4096",
+         "--sink", "stream", "--log", log]
+    ) == 0
+    err = capsys.readouterr().err
+    assert "streamed" in err and "run.dlog2" in err
+    with open(log, "rb") as f:
+        assert f.read(4) == b"RDL2"
+    assert main(["report", log, "--top", "5"]) == 0
+    assert "=== Drag report ===" in capsys.readouterr().out
+    assert main(["watch", log, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro watch" in out and "(finished)" in out
+
+
+def test_profile_stream_sink_v1_format(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.draglog")
+    assert main(
+        ["profile", program_file, "--main", "Main", "--interval", "4096",
+         "--sink", "stream", "--log", log]
+    ) == 0
+    capsys.readouterr()
+    with open(log) as f:
+        header = json.loads(f.readline())
+    assert header["format"] == "repro-drag-log" and header["version"] == 1
+    assert main(["report", log]) == 0
+
+
+def test_profile_stream_requires_log(program_file, capsys):
+    assert main(
+        ["profile", program_file, "--main", "Main", "--sink", "stream"]
+    ) == 2
+    assert "requires --log" in capsys.readouterr().err
+
+
+def test_stream_and_buffer_logs_agree(program_file, tmp_path, capsys):
+    """Same program, same interval: the streamed log holds exactly the
+    records the buffered writer produces."""
+    from repro.core.logfile import read_log
+
+    buffered = str(tmp_path / "buffered.draglog")
+    streamed = str(tmp_path / "streamed.dlog2")
+    main(["profile", program_file, "--main", "Main", "--interval", "4096",
+          "--log", buffered])
+    main(["profile", program_file, "--main", "Main", "--interval", "4096",
+          "--sink", "stream", "--log", streamed])
+    capsys.readouterr()
+    a, b = read_log(buffered), read_log(streamed)
+    assert a.end_time == b.end_time
+    assert [r.to_dict() for r in a.records] == [r.to_dict() for r in b.records]
+
+
+def test_watch_metrics_json(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.dlog2")
+    metrics = str(tmp_path / "metrics.json")
+    main(["profile", program_file, "--main", "Main", "--interval", "4096",
+          "--sink", "stream", "--log", log])
+    capsys.readouterr()
+    assert main(["watch", log, "--once", "--metrics-json", metrics]) == 0
+    capsys.readouterr()
+    with open(metrics) as f:
+        snapshot = json.load(f)
+    assert snapshot["finished"] is True
+    assert snapshot["records_seen"] > 0
+    assert snapshot["top_sites"]
+
+
+def test_watch_missing_log(tmp_path, capsys):
+    assert main(["watch", str(tmp_path / "ghost.dlog2"), "--once"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_report_lenient_on_truncated_log(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.draglog")
+    main(["profile", program_file, "--main", "Main", "--interval", "4096",
+          "--log", log])
+    capsys.readouterr()
+    with open(log) as f:
+        text = f.read()
+    with open(log, "w") as f:
+        f.write(text[: len(text) - 20])  # crash mid-record
+    assert main(["report", log]) == 2  # strict by default
+    capsys.readouterr()
+    assert main(["report", log, "--lenient"]) == 0
+    assert "=== Drag report ===" in capsys.readouterr().out
+
+
+def test_chart_from_v2_log(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.dlog2")
+    main(["profile", program_file, "--main", "Main", "--interval", "4096",
+          "--sink", "stream", "--log", log])
+    capsys.readouterr()
+    assert main(["chart", log, "--width", "50", "--height", "10"]) == 0
+    assert "MB allocated" in capsys.readouterr().out
+
+
 def test_chart_from_log(program_file, tmp_path, capsys):
     log = str(tmp_path / "run.draglog")
     main(["profile", program_file, "--main", "Main", "--interval", "4096", "--log", log])
