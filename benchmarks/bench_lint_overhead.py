@@ -1,0 +1,109 @@
+"""Microbenchmark: lint pipeline cost and worklist-seeding payoff.
+
+Two claims to back with numbers:
+
+* the direction-aware (reverse-)postorder worklist seeding in
+  :mod:`repro.analysis.dataflow` reaches the same fixpoints as naive
+  program-order seeding in far fewer solver iterations on real code
+  (every liveness solve the linter runs on every benchmark method);
+* linting a whole benchmark — compile, call graph, CFGs, all five
+  rules — costs a small fraction of profiling it once, which is the
+  point of a *static* drag tool.
+"""
+
+import time
+
+from repro.analysis import dataflow
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import liveness
+from repro.benchmarks import all_benchmarks
+from repro.benchmarks.runner import compile_benchmark
+from repro.core.profiler import profile_program
+from repro.lint import lint_program
+from repro.runtime.library import link
+
+BENCHES = ["db", "euler", "jess"]
+
+
+def _liveness_iterations(program, order):
+    """Total solver iterations to run ref-liveness over every compiled
+    method of the program with the given worklist seeding."""
+    dataflow.stats.reset()
+    fixpoints = {}
+    for cls in program.classes.values():
+        members = list(cls.methods.values())
+        if cls.ctor is not None:
+            members.append(cls.ctor)
+        if cls.clinit is not None:
+            members.append(cls.clinit)
+        for method in members:
+            if method.is_native or not method.code:
+                continue
+            cfg = build_cfg(method)
+            live = liveness(method, cfg=cfg, order=order)
+            fixpoints[(cls.name, method.name)] = (
+                tuple(live.live_in),
+                tuple(live.live_out),
+            )
+    return dataflow.stats.total_iterations, fixpoints
+
+
+def bench_lint_overhead(benchmark, emit):
+    def measure():
+        rows = {}
+        for name in BENCHES:
+            bench = all_benchmarks()[name]
+            compiled = compile_benchmark(bench, revised=False)
+
+            rpo_iters, rpo_fix = _liveness_iterations(compiled, "rpo")
+            lin_iters, lin_fix = _liveness_iterations(compiled, "linear")
+            # identical fixpoints — seeding only changes convergence speed
+            assert rpo_fix.keys() == lin_fix.keys()
+            for key in rpo_fix:
+                assert rpo_fix[key] == lin_fix[key], key
+
+            program_ast = link(bench.original)
+            t0 = time.perf_counter()
+            lint = lint_program(program_ast, bench.main_class)
+            t_lint = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            profile_program(
+                compiled, bench.primary_args, interval_bytes=bench.interval_bytes
+            )
+            t_profile = time.perf_counter() - t0
+
+            rows[name] = {
+                "rpo_iters": rpo_iters,
+                "lin_iters": lin_iters,
+                "findings": sum(lint.counts().values()),
+                "t_lint": t_lint,
+                "t_profile": t_profile,
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit()
+    emit("=== Static lint overhead (worklist seeding + lint vs profile) ===")
+    emit(
+        f"{'Benchmark':10s} {'RPO iters':>10s} {'Linear':>8s} {'Saved':>7s} "
+        f"{'Findings':>9s} {'Lint':>8s} {'Profile':>9s}"
+    )
+    for name in BENCHES:
+        row = rows[name]
+        saved = (
+            100.0 * (row["lin_iters"] - row["rpo_iters"]) / row["lin_iters"]
+            if row["lin_iters"]
+            else 0.0
+        )
+        emit(
+            f"{name:10s} {row['rpo_iters']:10d} {row['lin_iters']:8d} "
+            f"{saved:6.1f}% {row['findings']:9d} {row['t_lint']:7.3f}s "
+            f"{row['t_profile']:8.3f}s"
+        )
+        # the seeding must never be worse, and on real loopy code it
+        # should actually win; timing is hardware-dependent, iteration
+        # counts are not
+        assert row["rpo_iters"] <= row["lin_iters"]
+    emit("(identical liveness fixpoints under both seedings; iteration "
+         "counts are deterministic)")

@@ -77,10 +77,16 @@ def _gen_kill_factory(method: CompiledMethod, cfg: ControlFlowGraph):
     return gen_kill
 
 
-def liveness(method: CompiledMethod, cfg: Optional[ControlFlowGraph] = None) -> LivenessResult:
-    """Compute live local slots for one method."""
+def liveness(
+    method: CompiledMethod,
+    cfg: Optional[ControlFlowGraph] = None,
+    order: str = "rpo",
+) -> LivenessResult:
+    """Compute live local slots for one method. ``order`` selects the
+    worklist seeding (see :mod:`repro.analysis.dataflow`); the fixpoint
+    is identical either way."""
     cfg = cfg or build_cfg(method)
-    live_in, live_out = solve_backward(cfg, _gen_kill_factory(method, cfg))
+    live_in, live_out = solve_backward(cfg, _gen_kill_factory(method, cfg), order=order)
     # Note: a catch handler's exception slot is written via the
     # exception table (not a STORE), so its liveness leaks conservatively
     # into the protected region. That is safe for both consumers: the

@@ -166,6 +166,33 @@ def cmd_optimize(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.lint import detect_main_class, lint_program, render
+    from repro.lint.rules import RULES_BY_ID
+
+    if args.rules:
+        bad = [r for r in args.rules if r not in RULES_BY_ID]
+        if bad:
+            print(f"error: unknown rule(s) {', '.join(bad)}; "
+                  f"have {', '.join(sorted(RULES_BY_ID))}", file=sys.stderr)
+            return 2
+    program = _load_program(args.file)
+    main_class = args.main or detect_main_class(program)
+    result = lint_program(
+        program, main_class, program_path=args.file, rules=args.rules or None
+    )
+    if args.profile:
+        from repro.core.analyzer import DragAnalysis
+        from repro.core.logfile import read_log
+
+        loaded = read_log(args.profile)
+        result.correlate(DragAnalysis(loaded.records), profile_path=args.profile)
+    print(render(result, args.format))
+    if args.fail_on and result.at_least(args.fail_on):
+        return 1
+    return 0
+
+
 def cmd_chart(args) -> int:
     from repro.core.analyzer import DragAnalysis
     from repro.core.integrals import curve_from_records
@@ -270,6 +297,19 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--interval", type=int, default=100 * 1024)
     optimize.add_argument("-o", "--output", help="write revised source here")
     optimize.set_defaults(fn=cmd_optimize)
+
+    lint = sub.add_parser("lint", help="static drag analysis (no program run needed)")
+    lint.add_argument("file")
+    lint.add_argument("--main", help="class containing static main "
+                      "(default: auto-detect the unique one)")
+    lint.add_argument("--profile", help="a phase-1 drag log; findings are ranked "
+                      "by the measured drag of their allocation sites")
+    lint.add_argument("--format", choices=["text", "json", "sarif"], default="text")
+    lint.add_argument("--fail-on", choices=["error", "warning", "note"],
+                      help="exit 1 if any finding is at least this severe")
+    lint.add_argument("--rule", dest="rules", action="append", metavar="RULEID",
+                      help="restrict to specific rule IDs (repeatable)")
+    lint.set_defaults(fn=cmd_lint)
 
     chart = sub.add_parser("chart", help="render Figure-2-style heap curves from a log")
     chart.add_argument("log")

@@ -1,0 +1,193 @@
+"""Diagnostics: rule-ID'd findings with source spans and drag joins.
+
+A :class:`Diagnostic` is one finding: a rule, a severity, a source
+span (class.member:line — the same ``Class.method:line`` labels the
+profiler keys allocation sites on, which is what makes the
+profile-correlation join exact), a message, and the suggested §3.3
+transformation. :class:`LintResult` collects them, deduplicates,
+sorts, and — given a phase-1 drag log — ranks findings by measured
+drag bytes·time exactly as :class:`repro.core.analyzer.DragAnalysis`
+ranks allocation sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.lint.rules import Rule, SEVERITY_RANK, severity_at_least
+
+
+class SourceSpan:
+    """A program point: class, member (method / <init> / <clinit> /
+    field), and source line."""
+
+    __slots__ = ("class_name", "member", "line")
+
+    def __init__(self, class_name: str, member: str, line: int) -> None:
+        self.class_name = class_name
+        self.member = member
+        self.line = line
+
+    @property
+    def label(self) -> str:
+        """The profiler's site-label spelling of this point."""
+        return f"{self.class_name}.{self.member}:{self.line}"
+
+    def as_tuple(self) -> Tuple[str, str, int]:
+        return (self.class_name, self.member, self.line)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, SourceSpan) and self.as_tuple() == other.as_tuple()
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"<span {self.label}>"
+
+
+class Diagnostic:
+    """One finding."""
+
+    __slots__ = (
+        "rule",
+        "severity",
+        "span",
+        "message",
+        "suggestion",
+        "subject",
+        "drag",
+        "drag_share",
+        "extra",
+    )
+
+    def __init__(
+        self,
+        rule: Rule,
+        span: SourceSpan,
+        message: str,
+        severity: Optional[str] = None,
+        suggestion: Optional[str] = None,
+        subject: Optional[Tuple[str, ...]] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        self.rule = rule
+        self.severity = severity or rule.default_severity
+        self.span = span
+        self.message = message
+        # Human-readable rewrite suggestion; defaults to the rule's
+        # transformation name.
+        self.suggestion = suggestion or rule.transformation
+        # Machine-matchable identity of what the finding is about, e.g.
+        # ("field", "Statistics", "table") or ("local", "Main", "cycle",
+        # "buffer") — the advisor joins on this.
+        self.subject = subject or ()
+        # Filled by profile correlation.
+        self.drag: Optional[int] = None
+        self.drag_share: Optional[float] = None
+        self.extra = extra or {}
+
+    @property
+    def rule_id(self) -> str:
+        return self.rule.rule_id
+
+    def sort_key(self):
+        """Severity, then measured drag (when correlated), then stable
+        source order."""
+        return (
+            SEVERITY_RANK[self.severity],
+            -(self.drag or 0),
+            self.rule_id,
+            self.span.as_tuple(),
+            self.subject,
+        )
+
+    def identity(self):
+        return (self.rule_id, self.span.as_tuple(), self.subject)
+
+    def __repr__(self) -> str:
+        return f"<{self.rule_id} {self.severity} {self.span.label}: {self.message[:40]}>"
+
+
+class LintResult:
+    """All findings for one program, plus run metadata."""
+
+    def __init__(self, program_path: Optional[str] = None, main_class: Optional[str] = None) -> None:
+        self.program_path = program_path
+        self.main_class = main_class
+        self.diagnostics: List[Diagnostic] = []
+        self.profile_path: Optional[str] = None
+        self.profile_total_drag: Optional[int] = None
+        self._seen = set()
+
+    # -- collection -------------------------------------------------------
+
+    def add(self, diag: Diagnostic) -> bool:
+        """Add one finding; duplicates (same rule, span and subject) are
+        dropped so passes can overlap without double-reporting."""
+        key = diag.identity()
+        if key in self._seen:
+            return False
+        self._seen.add(key)
+        self.diagnostics.append(diag)
+        return True
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        for diag in diags:
+            self.add(diag)
+
+    # -- views ------------------------------------------------------------
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(self.diagnostics, key=lambda d: d.sort_key())
+
+    def by_rule(self, rule_id: str) -> List[Diagnostic]:
+        return [d for d in self.sorted() if d.rule_id == rule_id]
+
+    def at_least(self, threshold: str) -> List[Diagnostic]:
+        return [d for d in self.sorted() if severity_at_least(d.severity, threshold)]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for diag in self.diagnostics:
+            out[diag.rule_id] = out.get(diag.rule_id, 0) + 1
+        return out
+
+    def find(self, rule_id: str, *subject_prefix) -> List[Diagnostic]:
+        """Findings of one rule whose subject starts with the given
+        components — the advisor's join primitive."""
+        out = []
+        for diag in self.diagnostics:
+            if diag.rule_id != rule_id:
+                continue
+            if diag.subject[: len(subject_prefix)] == subject_prefix:
+                out.append(diag)
+        return out
+
+    # -- profile correlation ----------------------------------------------
+
+    def correlate(self, analysis, profile_path: Optional[str] = None) -> None:
+        """Join findings against a drag analysis (batch
+        :class:`~repro.core.analyzer.DragAnalysis` or streaming
+        :class:`~repro.stream.aggregate.StreamingDragAnalysis` — both
+        expose ``by_site`` keyed on site labels and ``total_drag``).
+
+        A finding's span is the allocation point it talks about, so
+        ``span.label`` matches the profiler's site label exactly; the
+        measured drag bytes·time lands on the finding and re-ranks the
+        output. Findings about sites the run never allocated keep
+        ``drag=None`` and sort after measured ones of equal severity.
+        """
+        self.profile_path = profile_path
+        total = analysis.total_drag
+        self.profile_total_drag = total
+        for diag in self.diagnostics:
+            stats = analysis.by_site.get(diag.span.label)
+            if stats is None and diag.extra.get("alt_labels"):
+                for label in diag.extra["alt_labels"]:
+                    stats = analysis.by_site.get(label)
+                    if stats is not None:
+                        break
+            if stats is not None:
+                diag.drag = stats.total_drag
+                diag.drag_share = stats.total_drag / total if total > 0 else 0.0

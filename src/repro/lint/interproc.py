@@ -1,0 +1,395 @@
+"""Interprocedural use analysis: whole-program verdicts for the linter.
+
+The §5 analyses in :mod:`repro.analysis` are per-method (liveness,
+lazy points) or per-field-scope (usage, indirect usage). This module
+upgrades them to whole-program verdicts over the CHA call graph:
+
+* **never-used fields/locals** — the usage + indirect-usage fixpoint
+  restricted to call-graph-reachable methods (§5.4's "(R)" refinement),
+  with the §5.5 exception gate (removal is only proposed when no
+  handler could observe the removed code's OutOfMemoryError). This is
+  literally :func:`repro.transform.dead_code.dead_allocation_candidates`
+  — the linter and the rewriter share one analysis core by design.
+
+* **must-used fields** — a forward must-analysis (intersection merge,
+  TOP initialization, :func:`repro.analysis.dataflow.solve_forward_must`)
+  computing per-method summaries "fields definitely read by the time
+  the method finishes", propagated top-down over the call graph to a
+  greatest fixpoint. Exception soundness: the per-method CFGs carry
+  exception edges (a protected call merges the pre-call fact into its
+  handler), and THROW exits participate in the summary intersection, so
+  a path that leaves a method exceptionally never inflates its summary.
+  The whole-program verdict unions main's summary with every
+  ``<clinit>``'s (they always run). Instance fields are tracked by
+  name (the bytecode's own resolution granularity) — good enough for
+  the only consumer, severity adjustment of lazy candidates.
+
+* **droppable locals** — reference locals that provably hold a fresh
+  heap object and have a liveness-safe nulling point strictly before
+  the method's last statement ("last use before allocation-site
+  exit"): the §3.3.1 assign-null opportunity, validated by the same
+  :func:`~repro.transform.assign_null.null_insertion_candidates` sweep
+  the rewriter uses.
+
+* **lazy field candidates** — constructor-assigned allocation fields
+  with their §3.3.3 safety gates evaluated (single assignment, constant
+  args, ``lazy_safe`` constructor purity, no OutOfMemoryError handler
+  anywhere — the last via :mod:`repro.analysis.exceptions`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, NamedTuple, Optional, Set, Tuple
+
+from repro.analysis.dataflow import solve_forward_must
+from repro.analysis.purity import ctor_purity
+from repro.bytecode.opcodes import Op
+from repro.bytecode.program import CompiledMethod
+from repro.mjava import ast
+from repro.transform.assign_null import null_insertion_candidates
+from repro.transform.dead_code import DeadAllocationCandidates, dead_allocation_candidates
+
+MethodKey = Tuple[str, str]
+
+# Instructions whose result is a freshly allocated (or newly
+# materialized) heap reference.
+_FRESH_REF_OPS = {Op.NEWINIT, Op.NEWARRAY, Op.CONCAT, Op.TOSTR, Op.CONST_STRING}
+
+
+class DroppableLocal(NamedTuple):
+    """A local reference with a safe early nulling point."""
+
+    class_name: str
+    method_name: str
+    var_name: str
+    alloc_line: int  # line of the store that fills it
+    null_after_line: int  # earliest liveness-safe insertion line
+    trailing_lines: int  # how many source lines of code follow the point
+
+
+class LazyFieldCandidate(NamedTuple):
+    """A constructor-allocated field with its §3.3.3 gate results."""
+
+    class_name: str
+    field_name: str
+    alloc_line: int  # line of the ctor assignment / field initializer
+    allocated: str  # what is allocated, for the message
+    single_assignment: bool
+    constant_args: bool
+    ctor_lazy_safe: bool
+    oom_unhandled: bool
+    definitely_used: bool  # per the must-analysis: used on every run
+
+    @property
+    def all_gates_pass(self) -> bool:
+        return (
+            self.single_assignment
+            and self.constant_args
+            and self.ctor_lazy_safe
+            and self.oom_unhandled
+        )
+
+
+class InterproceduralUseAnalysis:
+    """Whole-program use facts for one compiled+linked program.
+
+    Built from a :class:`repro.lint.passes.AnalysisContext`; every
+    underlying artifact (compiled program, call graph, CFGs, thrown-
+    exception sets) comes from the context's shared cache, so running
+    this analysis after others re-runs nothing.
+    """
+
+    def __init__(self, context) -> None:
+        self.context = context
+        self._dead: Optional[DeadAllocationCandidates] = None
+        self._must_summaries: Optional[Dict[MethodKey, FrozenSet[str]]] = None
+        self._must_used: Optional[FrozenSet[str]] = None
+
+    # -- never-used (the §5.1 fixpoint, reachability-restricted) ----------
+
+    @property
+    def dead(self) -> DeadAllocationCandidates:
+        if self._dead is None:
+            ctx = self.context
+            self._dead = dead_allocation_candidates(
+                ctx.program_ast,
+                ctx.main_class,
+                table=ctx.table,
+                compiled=ctx.compiled,
+                callgraph=ctx.callgraph,
+            )
+        return self._dead
+
+    # -- must-used fields (forward must-analysis over the call graph) -----
+
+    def _field_token(self, instr) -> Optional[str]:
+        if instr.op == Op.GETFIELD:
+            return instr.args[0]
+        if instr.op == Op.GETSTATIC:
+            return f"{instr.args[0]}.{instr.args[1]}"
+        return None
+
+    def _call_targets(self, instr) -> List[MethodKey]:
+        callgraph = self.context.callgraph
+        if instr.op == Op.INVOKEV:
+            name, argc = instr.args
+            return callgraph._virtual_targets(name, argc)
+        if instr.op in (Op.NEWINIT, Op.SUPERINIT):
+            return [(instr.args[0], "<init>")]
+        if instr.op in (Op.INVOKESTATIC, Op.INVOKESUPER):
+            cls_name, name, _ = instr.args
+            target = callgraph._static_target(cls_name, name)
+            return [target] if target else []
+        return []
+
+    def _method_must_use(
+        self,
+        method: CompiledMethod,
+        summaries: Dict[MethodKey, FrozenSet[str]],
+        universe: FrozenSet[str],
+    ) -> FrozenSet[str]:
+        """Fields definitely read on every path through ``method``
+        (normal *or* exceptional exit), given current callee summaries."""
+        if method.is_native or not method.code:
+            return frozenset()
+        cfg = self.context.cfg(method)
+
+        def gen_kill(pc: int):
+            instr = method.code[pc]
+            token = self._field_token(instr)
+            if token is not None:
+                return frozenset((token,)), frozenset()
+            targets = self._call_targets(instr)
+            if targets:
+                # A virtual call definitely reads only what *every* CHA
+                # target definitely reads.
+                gen: FrozenSet[str] = universe
+                for target in targets:
+                    gen = gen & summaries.get(target, frozenset())
+                return gen, frozenset()
+            return frozenset(), frozenset()
+
+        _, outs = solve_forward_must(cfg, gen_kill, universe)
+        exits = cfg.exits or [len(method.code) - 1]
+        summary = universe
+        for pc in exits:
+            summary = summary & outs[pc]
+        return summary
+
+    def must_summaries(self) -> Dict[MethodKey, FrozenSet[str]]:
+        """Greatest-fixpoint per-method must-use summaries over the
+        reachable portion of the call graph."""
+        if self._must_summaries is not None:
+            return self._must_summaries
+        ctx = self.context
+        program = ctx.compiled
+        universe: Set[str] = set()
+        for cls in program.classes.values():
+            universe.update(cls.layout.descriptors)
+            for field in cls.static_fields:
+                universe.add(f"{cls.name}.{field}")
+        top = frozenset(universe)
+
+        summaries: Dict[MethodKey, FrozenSet[str]] = {}
+        methods: Dict[MethodKey, CompiledMethod] = {}
+        for key in ctx.callgraph.reachable:
+            method = ctx.callgraph._method(key)
+            if method is None or method.is_native:
+                summaries[key] = frozenset()
+            else:
+                methods[key] = method
+                summaries[key] = top  # TOP init: shrink to the fixpoint
+        changed = True
+        while changed:
+            changed = False
+            for key, method in methods.items():
+                new = self._method_must_use(method, summaries, top)
+                if new != summaries[key]:
+                    summaries[key] = new
+                    changed = True
+        self._must_summaries = summaries
+        return summaries
+
+    def must_used_fields(self) -> FrozenSet[str]:
+        """Field tokens definitely read on *every* program run: the
+        union of main's summary and every ``<clinit>``'s."""
+        if self._must_used is not None:
+            return self._must_used
+        ctx = self.context
+        summaries = self.must_summaries()
+        used: Set[str] = set()
+        main_key = (ctx.compiled.main_class, "main")
+        used.update(summaries.get(main_key, frozenset()))
+        for name, cls in ctx.compiled.classes.items():
+            if cls.clinit is not None:
+                used.update(summaries.get((name, "<clinit>"), frozenset()))
+        self._must_used = frozenset(used)
+        return self._must_used
+
+    def field_definitely_used(self, class_name: str, field_name: str, static: bool) -> bool:
+        token = f"{class_name}.{field_name}" if static else field_name
+        return token in self.must_used_fields()
+
+    # -- droppable locals (§3.3.1, liveness-validated) --------------------
+
+    def droppable_locals(self) -> List[DroppableLocal]:
+        ctx = self.context
+        out: List[DroppableLocal] = []
+        for method in sorted(
+            ctx.callgraph.reachable_compiled_methods(),
+            key=lambda m: (m.class_name, m.name),
+        ):
+            cls = ctx.compiled.classes.get(method.class_name)
+            if cls is None or cls.is_library or method.is_native or not method.code:
+                continue
+            last_line = max(i.line for i in method.code)
+            first_local = method.param_count + (0 if method.is_static else 1)
+            for slot in range(first_local, method.nlocals):
+                if method.slot_types[slot] != "ref":
+                    continue
+                name = method.slot_names[slot]
+                if name.startswith("$"):
+                    continue
+                stores = [
+                    pc
+                    for pc, i in enumerate(method.code)
+                    if i.op == Op.STORE and i.args == (slot,)
+                ]
+                loads = [
+                    pc
+                    for pc, i in enumerate(method.code)
+                    if i.op == Op.LOAD and i.args == (slot,)
+                ]
+                if not stores or not loads:
+                    continue  # never-loaded locals are DRAG001's business
+                if not self._holds_fresh_ref(method, stores):
+                    continue
+                candidates = null_insertion_candidates(method, name)
+                candidates = [line for line in candidates if line < last_line]
+                if not candidates:
+                    continue
+                alloc_line = method.code[stores[0]].line
+                out.append(
+                    DroppableLocal(
+                        method.class_name,
+                        method.name,
+                        name,
+                        alloc_line,
+                        candidates[0],
+                        last_line - candidates[0],
+                    )
+                )
+        return out
+
+    def _holds_fresh_ref(self, method: CompiledMethod, store_pcs: List[int]) -> bool:
+        """Does some store to the slot plausibly bind a fresh heap
+        object — a direct allocation, or a call that returns a
+        reference (the allocation may happen in the callee)? Plain
+        copies (LOAD/GETFIELD) are aliases; nulling an alias saves
+        nothing, so they do not qualify."""
+        for pc in store_pcs:
+            if pc == 0:
+                continue
+            prev = method.code[pc - 1]
+            if prev.op in _FRESH_REF_OPS:
+                return True
+            if prev.op in (Op.INVOKEV, Op.INVOKESTATIC, Op.INVOKESUPER):
+                for target in self._call_targets(prev):
+                    target_method = self.context.callgraph._method(target)
+                    if target_method is not None and target_method.return_descriptor == "ref":
+                        return True
+        return False
+
+    # -- lazy allocation candidates (§3.3.3) ------------------------------
+
+    def lazy_field_candidates(self) -> List[LazyFieldCandidate]:
+        ctx = self.context
+        oom_unhandled = not ctx.exceptions.program_has_handler_for("OutOfMemoryError")
+        out: List[LazyFieldCandidate] = []
+        for decl in ctx.program_ast.classes:
+            compiled_cls = ctx.compiled.classes.get(decl.name)
+            if compiled_cls is None or compiled_cls.is_library:
+                continue
+            assignments = self._ctor_field_allocations(decl)
+            for field_name, allocs in sorted(assignments.items()):
+                field_decl = next(
+                    (f for f in decl.fields if f.name == field_name), None
+                )
+                if field_decl is None or field_decl.mods.static:
+                    continue
+                single = len(allocs) == 1 and not self._assigned_outside_ctor(
+                    decl, field_name
+                )
+                expr, line = allocs[0]
+                constant = isinstance(expr, ast.New) and all(
+                    isinstance(a, (ast.IntLit, ast.CharLit, ast.BoolLit, ast.StringLit, ast.NullLit))
+                    for a in expr.args
+                )
+                lazy_safe = (
+                    isinstance(expr, ast.New)
+                    and ctx.table.has(expr.class_name)
+                    and ctor_purity(ctx.table, expr.class_name).lazy_safe
+                )
+                out.append(
+                    LazyFieldCandidate(
+                        decl.name,
+                        field_name,
+                        line,
+                        _describe_alloc(expr),
+                        single,
+                        constant,
+                        lazy_safe,
+                        oom_unhandled,
+                        self.field_definitely_used(decl.name, field_name, static=False),
+                    )
+                )
+        return out
+
+    def _ctor_field_allocations(self, decl: ast.ClassDecl):
+        """field name -> [(alloc expr, line)] for ctor assignments and
+        field initializers whose right-hand side allocates."""
+        out: Dict[str, List[Tuple[ast.Expr, int]]] = {}
+        for field in decl.fields:
+            if field.init is not None and isinstance(field.init, (ast.New, ast.NewArray)):
+                out.setdefault(field.name, []).append((field.init, field.pos.line))
+        field_names = {f.name for f in decl.fields}
+        for ctor in decl.ctors:
+            for node in ctor.body.walk():
+                if not isinstance(node, ast.Assign):
+                    continue
+                target = node.target
+                name = None
+                if isinstance(target, ast.Name) and target.ident in field_names:
+                    name = target.ident
+                elif isinstance(target, ast.FieldAccess) and isinstance(
+                    target.target, ast.This
+                ):
+                    name = target.name
+                if name is not None and isinstance(node.value, (ast.New, ast.NewArray)):
+                    out.setdefault(name, []).append((node.value, node.pos.line))
+        return out
+
+    def _assigned_outside_ctor(self, decl: ast.ClassDecl, field_name: str) -> bool:
+        for method in decl.methods:
+            if method.body is None:
+                continue
+            for node in method.body.walk():
+                if isinstance(node, ast.Assign):
+                    target = node.target
+                    if (
+                        isinstance(target, ast.Name) and target.ident == field_name
+                    ) or (
+                        isinstance(target, ast.FieldAccess)
+                        and target.name == field_name
+                        and isinstance(target.target, ast.This)
+                    ):
+                        return True
+        return False
+
+
+def _describe_alloc(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.New):
+        return f"new {expr.class_name}(...)"
+    if isinstance(expr, ast.NewArray):
+        return "a new array"
+    return type(expr).__name__

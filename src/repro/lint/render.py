@@ -1,0 +1,205 @@
+"""Render a :class:`~repro.lint.diagnostics.LintResult` as text, JSON,
+or SARIF 2.1.0.
+
+Text output is one finding per line (``severity RULEID Class.member:line
+message``) plus a summary; JSON is a stable machine shape mirroring the
+Diagnostic fields; SARIF follows the 2.1.0 schema closely enough for
+code-scanning uploads: one run, one driver with the full rule metadata,
+one result per finding with ``ruleId``, ``level``, ``message`` and a
+logical location (mini-Java programs are single-file, so the physical
+location carries the program path and source line).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.lint.diagnostics import Diagnostic, LintResult
+from repro.lint.rules import ALL_RULES
+
+FORMATS = ("text", "json", "sarif")
+
+#: Diagnostic severity -> SARIF result level. SARIF has no "note" rank
+#: below "warning" other than "note" itself, so the mapping is direct.
+_SARIF_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+
+def render(result: LintResult, fmt: str = "text") -> str:
+    if fmt == "text":
+        return render_text(result)
+    if fmt == "json":
+        return json.dumps(to_json(result), indent=2, sort_keys=True)
+    if fmt == "sarif":
+        return json.dumps(to_sarif(result), indent=2, sort_keys=True)
+    raise ValueError(f"unknown format {fmt!r}; have {FORMATS}")
+
+
+# ---------------------------------------------------------------------------
+# text
+# ---------------------------------------------------------------------------
+
+
+def _drag_suffix(diag: Diagnostic, result: LintResult) -> str:
+    if diag.drag is None:
+        if result.profile_path is not None:
+            return "  [no drag measured]"
+        return ""
+    share = f", {diag.drag_share:.1%} of total" if diag.drag_share is not None else ""
+    return f"  [drag {diag.drag} byte-steps{share}]"
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    header = f"lint: {result.program_path or '<program>'}"
+    if result.main_class:
+        header += f" (main {result.main_class})"
+    if result.profile_path:
+        header += f" + profile {result.profile_path}"
+    lines.append(header)
+    for diag in result.sorted():
+        lines.append(
+            f"{diag.severity:7s} {diag.rule_id} {diag.span.label}: "
+            f"{diag.message}{_drag_suffix(diag, result)}"
+        )
+        if diag.suggestion:
+            lines.append(f"        -> suggested transformation: {diag.suggestion}")
+    counts = result.counts()
+    total = sum(counts.values())
+    if total:
+        summary = ", ".join(f"{rid} x{n}" for rid, n in sorted(counts.items()))
+        lines.append(f"{total} finding(s): {summary}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# json
+# ---------------------------------------------------------------------------
+
+
+def _diag_json(diag: Diagnostic) -> Dict:
+    out: Dict = {
+        "rule_id": diag.rule_id,
+        "rule_name": diag.rule.name,
+        "severity": diag.severity,
+        "class": diag.span.class_name,
+        "member": diag.span.member,
+        "line": diag.span.line,
+        "label": diag.span.label,
+        "message": diag.message,
+        "suggestion": diag.suggestion,
+        "subject": list(diag.subject),
+    }
+    if diag.drag is not None:
+        out["drag"] = diag.drag
+        out["drag_share"] = diag.drag_share
+    if diag.extra:
+        out["extra"] = {
+            k: v for k, v in diag.extra.items() if _json_safe(v)
+        }
+    return out
+
+
+def _json_safe(value) -> bool:
+    try:
+        json.dumps(value)
+        return True
+    except TypeError:
+        return False
+
+
+def to_json(result: LintResult) -> Dict:
+    return {
+        "program": result.program_path,
+        "main_class": result.main_class,
+        "profile": result.profile_path,
+        "profile_total_drag": result.profile_total_drag,
+        "counts": result.counts(),
+        "diagnostics": [_diag_json(d) for d in result.sorted()],
+    }
+
+
+# ---------------------------------------------------------------------------
+# sarif
+# ---------------------------------------------------------------------------
+
+
+def _sarif_rules() -> List[Dict]:
+    rules = []
+    for rule in ALL_RULES:
+        rules.append(
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary},
+                "defaultConfiguration": {"level": _SARIF_LEVEL[rule.default_severity]},
+                "properties": {
+                    "paperRef": rule.paper_ref,
+                    "transformation": rule.transformation,
+                },
+            }
+        )
+    return rules
+
+
+def _sarif_result(diag: Diagnostic, result: LintResult, rule_index: Dict[str, int]) -> Dict:
+    uri = result.program_path or "program.mj"
+    out: Dict = {
+        "ruleId": diag.rule_id,
+        "ruleIndex": rule_index[diag.rule_id],
+        "level": _SARIF_LEVEL[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": uri},
+                    "region": {"startLine": max(diag.span.line, 1)},
+                },
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": diag.span.label,
+                        "kind": "member",
+                    }
+                ],
+            }
+        ],
+    }
+    properties: Dict = {"subject": list(diag.subject)}
+    if diag.suggestion:
+        properties["suggestedTransformation"] = diag.suggestion
+    if diag.drag is not None:
+        properties["drag"] = diag.drag
+        properties["dragShare"] = diag.drag_share
+    out["properties"] = properties
+    return out
+
+
+def to_sarif(result: LintResult, tool_version: Optional[str] = None) -> Dict:
+    rule_index = {rule.rule_id: i for i, rule in enumerate(ALL_RULES)}
+    driver: Dict = {
+        "name": "repro-lint",
+        "informationUri": "https://example.invalid/repro",
+        "rules": _sarif_rules(),
+    }
+    if tool_version:
+        driver["version"] = tool_version
+    run: Dict = {
+        "tool": {"driver": driver},
+        "results": [_sarif_result(d, result, rule_index) for d in result.sorted()],
+        "columnKind": "utf16CodeUnits",
+    }
+    if result.profile_path:
+        run["properties"] = {
+            "profile": result.profile_path,
+            "profileTotalDrag": result.profile_total_drag,
+        }
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [run],
+    }

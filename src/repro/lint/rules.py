@@ -1,0 +1,121 @@
+"""The drag-lint rule registry.
+
+Each rule names one §5-automatable rewrite opportunity (or a piece of
+static information §3.2 says the tool should surface). Rule IDs are
+stable — they appear in text output, JSON, SARIF, CI gates and the
+advisor's provenance trail — so new rules must append, never renumber.
+
+Severity vocabulary (ordered): ``error`` > ``warning`` > ``note``.
+``error`` means "the analyses prove the §3.3 transformation safe and
+profitable in any run"; ``warning`` means "safe, profitability depends
+on the workload"; ``note`` is informational (e.g. the transformation's
+safety gates did not all pass, or the finding is advisory).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+SEVERITIES = ("error", "warning", "note")
+
+#: Numeric rank for gating: error=0 (most severe).
+SEVERITY_RANK: Dict[str, int] = {name: i for i, name in enumerate(SEVERITIES)}
+
+
+class Rule:
+    """One registered diagnostic rule."""
+
+    __slots__ = ("rule_id", "name", "summary", "default_severity", "transformation", "paper_ref")
+
+    def __init__(
+        self,
+        rule_id: str,
+        name: str,
+        summary: str,
+        default_severity: str,
+        transformation: Optional[str],
+        paper_ref: str,
+    ) -> None:
+        if default_severity not in SEVERITY_RANK:
+            raise ValueError(f"unknown severity {default_severity!r}")
+        self.rule_id = rule_id
+        self.name = name
+        self.summary = summary
+        self.default_severity = default_severity
+        self.transformation = transformation  # advisor action name, if any
+        self.paper_ref = paper_ref
+
+    def __repr__(self) -> str:
+        return f"<rule {self.rule_id} {self.name}>"
+
+
+DRAG001 = Rule(
+    "DRAG001",
+    "never-used-allocation",
+    "An allocation is stored into a variable that is provably never "
+    "read in any call-graph-reachable method; the allocation (and the "
+    "store) can be removed.",
+    "warning",
+    "dead-code-removal",
+    "§3.3.2 / §5.1 usage & indirect-usage",
+)
+
+DRAG002 = Rule(
+    "DRAG002",
+    "droppable-reference",
+    "A reference has no further use on any path after a program point "
+    "well before its holder exits scope; assigning null there (or "
+    "clearing the logically-removed array slot) shortens drag.",
+    "warning",
+    "assign-null",
+    "§3.3.1 / §5.1 liveness, §5.2 array liveness",
+)
+
+DRAG003 = Rule(
+    "DRAG003",
+    "lazy-allocation-candidate",
+    "A field is eagerly assigned a fresh allocation in its constructor "
+    "but is not used on every path; allocating on first use avoids the "
+    "allocation entirely for instances that never touch it.",
+    "warning",
+    "lazy-allocation",
+    "§3.3.3 / §5.1 minimal code insertion",
+)
+
+DRAG004 = Rule(
+    "DRAG004",
+    "unreachable-method",
+    "A declared method is not reachable from main or any static "
+    "initializer; its code (and any allocations in it) is dead weight.",
+    "note",
+    None,
+    "§5.4 call graph",
+)
+
+DRAG005 = Rule(
+    "DRAG005",
+    "oversized-array",
+    "A constant-length array allocation reserves a large block whose "
+    "logical size is tracked separately (or that greatly exceeds "
+    "typical use); consider demand-driven sizing or clearing dead "
+    "slots.",
+    "note",
+    None,
+    "§5.2 array liveness",
+)
+
+ALL_RULES: List[Rule] = [DRAG001, DRAG002, DRAG003, DRAG004, DRAG005]
+
+RULES_BY_ID: Dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}
+
+
+def get_rule(rule_id: str) -> Rule:
+    rule = RULES_BY_ID.get(rule_id)
+    if rule is None:
+        raise KeyError(f"unknown rule {rule_id!r}; have {sorted(RULES_BY_ID)}")
+    return rule
+
+
+def severity_at_least(severity: str, threshold: str) -> bool:
+    """Is ``severity`` at least as severe as ``threshold``?"""
+    return SEVERITY_RANK[severity] <= SEVERITY_RANK[threshold]

@@ -15,6 +15,15 @@ Given a (linked) program and an input, the advisor:
 The result is a revised program plus a report of what was rewritten and
 what was skipped (and why) — the paper's manual workflow, automated for
 the cases its Section 5 analyses can justify.
+
+The static analyses come from the lint pipeline
+(:mod:`repro.lint`): the advisor builds one
+:class:`~repro.lint.passes.AnalysisContext` (program compiled once,
+call graph / CFGs / class table built once and shared across all
+sites) and consults the lint diagnostics before attempting each
+transformation — the static linter and the profile-driven optimizer
+share one analysis core, so everything the advisor acts on is, by
+construction, also a lint finding.
 """
 
 from __future__ import annotations
@@ -95,10 +104,44 @@ class Advisor:
         self.interval_bytes = interval_bytes
         self.top = top
         self.min_drag_share = min_drag_share
+        self._context = None
+        self._lint_result = None
+        # ClassTable cache for the revised AST: rebuilt only when an
+        # applied transform produces a new AST, not per site group.
+        self._revised_table = (None, None)
+
+    @property
+    def context(self):
+        """The shared lint :class:`AnalysisContext` for the original
+        program: one compilation, one call graph, one CFG per method,
+        reused by every site decision."""
+        if self._context is None:
+            from repro.lint.passes import AnalysisContext
+
+            self._context = AnalysisContext(self.program_ast, self.main_class)
+        return self._context
+
+    @property
+    def lint(self):
+        """Lint diagnostics for the original program (computed once)."""
+        if self._lint_result is None:
+            from repro.lint import lint_program
+
+            self._lint_result = lint_program(
+                self.program_ast, self.main_class, context=self.context
+            )
+        return self._lint_result
+
+    def _table_for(self, revised) -> ClassTable:
+        cached_ast, cached_table = self._revised_table
+        if cached_ast is not revised:
+            cached_table = ClassTable(revised)
+            self._revised_table = (revised, cached_table)
+        return cached_table
 
     def run(self):
         """Profile, decide, rewrite. Returns (revised_ast, report)."""
-        compiled = compile_program(self.program_ast, main_class=self.main_class)
+        compiled = self.context.compiled
         profile = profile_program(
             compiled, self.args, interval_bytes=self.interval_bytes
         )
@@ -107,10 +150,14 @@ class Advisor:
         revised = clone_program(self.program_ast)
 
         # Dead-code removal runs program-wide once; it is the pattern-1
-        # transformation for every never-used site at once.
+        # transformation for every never-used site at once. The
+        # candidate set is the lint core's (DRAG001's own analysis), so
+        # whatever is removed here is exactly what the linter reports.
         never_used_sites = analysis.never_used_sites()
         if never_used_sites:
-            revised, removals = remove_dead_allocations(revised, self.main_class)
+            revised, removals = remove_dead_allocations(
+                revised, self.main_class, candidates=self.context.interproc.dead
+            )
             detail = f"{len(removals)} allocation(s) removed"
             for group in never_used_sites[: self.top]:
                 report.actions.append(
@@ -161,6 +208,12 @@ class Advisor:
             return revised
         if (cls_name, field) in done:
             return revised
+        if not self.lint.find("DRAG003", "field", cls_name, field):
+            report.actions.append(
+                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
+                       False, f"{cls_name}.{field} is not a static lazy-allocation "
+                       "candidate (no DRAG003 finding)"))
+            return revised
         try:
             revised = lazy_allocate_field(revised, cls_name, field, self.main_class)
             done.add((cls_name, field))
@@ -177,8 +230,10 @@ class Advisor:
 
     def _try_assign_null(self, revised, profile, group: SiteGroup, report, arrays_done):
         # Case A: the dragged objects' last use is inside a class with a
-        # verified logical-size array (the jess Vector case).
-        table = ClassTable(revised)
+        # verified logical-size array (the jess Vector case). The lint
+        # DRAG002 findings already carry the verdict for every class
+        # (including instantiated library ones), so consult them first.
+        table = self._table_for(revised)
         for use_group in sorted(
             group.partition_by_last_use().values(), key=lambda g: -g.total_drag
         ):
@@ -186,6 +241,8 @@ class Advisor:
                 continue
             use_cls, _, _ = _parse_frame(use_group.key[1])
             if use_cls in arrays_done or not table.has(use_cls):
+                continue
+            if not self.lint.find("DRAG002", "array", use_cls):
                 continue
             pairs = logical_size_pairs(table, use_cls)
             if pairs:

@@ -50,6 +50,83 @@ class Removal:
         return f"<removed {self.kind} {self.what} at {self.where}>"
 
 
+class DeadAllocationCandidates:
+    """Everything the §3.3.2 analyses prove removable, before any
+    rewriting — the single analysis core shared by
+    :func:`remove_dead_allocations` and the linter's DRAG001 pass."""
+
+    __slots__ = (
+        "dead_statics",
+        "dead_fields",
+        "dead_locals",
+        "array_store_sigs",
+        "oom_handled",
+    )
+
+    def __init__(
+        self,
+        dead_statics: Set[Tuple[str, str]],
+        dead_fields: Set[Tuple[str, str]],
+        dead_locals: Dict[str, Set[str]],
+        array_store_sigs: Set[Tuple[str, Tuple]],
+        oom_handled: bool,
+    ) -> None:
+        self.dead_statics = dead_statics  # (declaring class, field)
+        self.dead_fields = dead_fields  # (declaring class, field)
+        self.dead_locals = dead_locals  # qualified method -> local names
+        self.array_store_sigs = array_store_sigs  # (class, stmt signature)
+        self.oom_handled = oom_handled
+
+    def is_empty(self) -> bool:
+        return not (
+            self.dead_statics
+            or self.dead_fields
+            or self.dead_locals
+            or self.array_store_sigs
+        )
+
+
+def dead_allocation_candidates(
+    program: ast.Program,
+    main_class: str,
+    table: Optional[ClassTable] = None,
+    compiled=None,
+    callgraph=None,
+) -> DeadAllocationCandidates:
+    """Run the never-used analyses (usage, indirect usage, never-loaded
+    locals, write-only arrays) restricted to call-graph-reachable code,
+    with the §5.5 exception gate. ``compiled``/``callgraph`` may be
+    passed in to reuse a caller's cached artifacts."""
+    table = table or ClassTable(program)
+    if compiled is None:
+        compiled = compile_program(program, main_class=main_class, table=table)
+    if callgraph is None:
+        callgraph = build_call_graph(compiled)
+    reachable = callgraph.reachable_compiled_methods()
+    usage = field_usage(compiled, reachable)
+    exceptions = ThrownExceptions(compiled, callgraph)
+    oom_handled = exceptions.program_has_handler_for("OutOfMemoryError")
+
+    dead_statics: Set[Tuple[str, str]] = set(usage.written_never_read_statics())
+    dead_fields: Set[Tuple[str, str]] = set(usage.written_never_read_instance_fields())
+    for key in indirectly_unused_fields(compiled, usage):
+        cls = compiled.classes.get(key[0])
+        if cls is not None and key[1] in cls.static_descriptors:
+            dead_statics.add(key)
+        else:
+            dead_fields.add(key)
+
+    dead_locals = never_loaded_ref_locals(compiled, callgraph)
+    array_store_sigs: Set[Tuple[str, Tuple]] = (
+        set()
+        if oom_handled
+        else set(_write_only_array_removals(program, table, callgraph.reachable))
+    )
+    return DeadAllocationCandidates(
+        dead_statics, dead_fields, dead_locals, array_store_sigs, oom_handled
+    )
+
+
 def _is_removal_pure_expr(table: ClassTable, expr: ast.Expr) -> bool:
     """Side-effect-free except allocation; cannot throw anything but
     OutOfMemoryError."""
@@ -210,33 +287,22 @@ def remove_dead_allocations(
     program: ast.Program,
     main_class: str,
     table: Optional[ClassTable] = None,
+    candidates: Optional[DeadAllocationCandidates] = None,
 ) -> Tuple[ast.Program, List[Removal]]:
     """Apply dead-code removal program-wide; returns (revised program,
-    removal report). The input program must be library-linked."""
+    removal report). The input program must be library-linked.
+    ``candidates`` may come from a previous
+    :func:`dead_allocation_candidates` run (e.g. the linter's) to avoid
+    repeating the analyses."""
     table = table or ClassTable(program)
-    compiled = compile_program(program, main_class=main_class, table=table)
-    callgraph = build_call_graph(compiled)
-    reachable = callgraph.reachable_compiled_methods()
-    usage = field_usage(compiled, reachable)
-    exceptions = ThrownExceptions(compiled, callgraph)
-    oom_handled = exceptions.program_has_handler_for("OutOfMemoryError")
-
-    dead_statics: Set[Tuple[str, str]] = set(usage.written_never_read_statics())
-    dead_fields: Set[Tuple[str, str]] = set(usage.written_never_read_instance_fields())
-    for key in indirectly_unused_fields(compiled, usage):
-        cls = compiled.classes.get(key[0])
-        if cls is not None and key[1] in cls.static_descriptors:
-            dead_statics.add(key)
-        else:
-            dead_fields.add(key)
+    if candidates is None:
+        candidates = dead_allocation_candidates(program, main_class, table=table)
+    oom_handled = candidates.oom_handled
+    dead_statics = candidates.dead_statics
+    dead_fields = candidates.dead_fields
     dead_field_names = {f for _, f in dead_fields}
-
-    dead_locals = _never_loaded_ref_locals(compiled, callgraph)
-    array_store_sigs: Set[Tuple[str, Tuple]] = (
-        set()
-        if oom_handled
-        else set(_write_only_array_removals(program, table, callgraph.reachable))
-    )
+    dead_locals = candidates.dead_locals
+    array_store_sigs = candidates.array_store_sigs
 
     revised = clone_program(program)
     removals: List[Removal] = []
@@ -352,7 +418,7 @@ def _field_key(table, class_name, name, dead_fields, dead_statics) -> bool:
     return key in dead_statics if field.mods.static else key in dead_fields
 
 
-def _never_loaded_ref_locals(compiled, callgraph) -> Dict[str, Set[str]]:
+def never_loaded_ref_locals(compiled, callgraph) -> Dict[str, Set[str]]:
     """Per qualified method: declared ref locals never LOADed.
 
     A local is removable only if *all* its stores have pure right-hand

@@ -121,3 +121,157 @@ def test_empty_method_handled():
     cfg = build_cfg(method)
     ins, outs = solve_forward(cfg, lambda pc: (frozenset(), frozenset()))
     assert ins == [] and outs == []
+
+
+# ---------------------------------------------------------------------------
+# must-analyses (intersection merge, TOP initialization)
+# ---------------------------------------------------------------------------
+
+from repro.analysis import dataflow
+from repro.analysis.dataflow import solve_backward_must, solve_forward_must
+
+
+def _definitely_stored(method):
+    """gen = {slot} at each STORE: 'slots stored on every path so far'."""
+    def gen_kill(pc):
+        instr = method.code[pc]
+        if instr.op == Op.STORE:
+            return frozenset({instr.args[0]}), frozenset()
+        return frozenset(), frozenset()
+    return gen_kill
+
+
+BRANCHY = """
+class C {
+    static int f(int x, int y) {
+        if (x > 0) { x = 1; y = 5; } else { y = 2; }
+        return y;
+    }
+}
+"""
+# params are not default-initialized, so stores only happen in the
+# branches: y on both paths, x on the then-path only
+
+
+def _reachable_pcs(cfg):
+    seen = {0}
+    stack = [0]
+    while stack:
+        pc = stack.pop()
+        for succ in cfg.succs[pc]:
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+def test_forward_must_intersects_at_join():
+    method = method_of(BRANCHY, "C", "f")
+    cfg = build_cfg(method)
+    slots = frozenset(range(method.nlocals))
+    slot_x, slot_y = 0, 1
+
+    may_ins, may_outs = solve_forward(cfg, _definitely_stored(method))
+    must_ins, must_outs = solve_forward_must(cfg, _definitely_stored(method), slots)
+
+    exit_pc = cfg.exits[0]
+    # y is stored on both branches: definitely stored at the exit
+    assert slot_y in must_outs[exit_pc]
+    # x is stored on only one path: may, but not must
+    assert slot_x in may_outs[exit_pc]
+    assert slot_x not in must_outs[exit_pc]
+    # must is a refinement of may on reachable code (both gen-only here)
+    for pc in _reachable_pcs(cfg):
+        assert must_outs[pc] <= may_outs[pc]
+
+
+def test_forward_must_top_initialization_shrinks_only():
+    method = method_of(BRANCHY, "C", "f")
+    cfg = build_cfg(method)
+    universe = frozenset(range(method.nlocals)) | {"sentinel"}
+    _, outs = solve_forward_must(cfg, _definitely_stored(method), universe)
+    # nothing ever gens the sentinel, so the greatest fixpoint drops it
+    # from every reachable pc; unreachable code keeps TOP (vacuous)
+    reachable = _reachable_pcs(cfg)
+    for pc in range(len(method.code)):
+        if pc in reachable:
+            assert "sentinel" not in outs[pc]
+        else:
+            assert "sentinel" in outs[pc]
+
+
+def test_backward_must_requires_all_paths_to_exit():
+    method = method_of(BRANCHY, "C", "f")
+    cfg = build_cfg(method)
+    slots = frozenset(range(method.nlocals))
+    slot_x, slot_y = 0, 1
+
+    may_ins, _ = solve_backward(cfg, _definitely_stored(method))
+    must_ins, _ = solve_backward_must(cfg, _definitely_stored(method), slots)
+
+    # from the entry, every path stores y but only the then-path stores x
+    assert slot_y in must_ins[0]
+    assert slot_x in may_ins[0]
+    assert slot_x not in must_ins[0]
+
+
+def test_must_empty_method_handled():
+    method = method_of("class C { native void f(); }", "C", "f")
+    cfg = build_cfg(method)
+    ins, outs = solve_forward_must(cfg, lambda pc: (frozenset(), frozenset()),
+                                   frozenset({"u"}))
+    assert ins == [] and outs == []
+
+
+# ---------------------------------------------------------------------------
+# worklist seeding: same fixpoint, fewer iterations
+# ---------------------------------------------------------------------------
+
+LOOPY = """
+class C {
+    static int sum(int n) {
+        int s = 0;
+        int i = 0;
+        while (i < n) {
+            int j = 0;
+            while (j < i) {
+                s = s + j;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        return s;
+    }
+}
+"""
+
+
+def test_rpo_seeding_matches_linear_fixpoint_with_fewer_iterations():
+    method = method_of(LOOPY, "C", "sum")
+    cfg = build_cfg(method)
+    gen_kill = _definitely_stored(method)
+
+    results = {}
+    iteration_counts = {}
+    for order in ("rpo", "linear"):
+        dataflow.stats.reset()
+        fwd = solve_forward(cfg, gen_kill, order=order)
+        bwd = solve_backward(cfg, gen_kill, order=order)
+        fwd_must = solve_forward_must(cfg, gen_kill, frozenset(range(method.nlocals)),
+                                      order=order)
+        results[order] = (fwd, bwd, fwd_must)
+        iteration_counts[order] = dataflow.stats.total_iterations
+
+    assert results["rpo"] == results["linear"]  # unique fixpoint
+    assert iteration_counts["rpo"] < iteration_counts["linear"]
+
+
+def test_solver_stats_track_last_and_total():
+    method = method_of(LOOPY, "C", "sum")
+    cfg = build_cfg(method)
+    dataflow.stats.reset()
+    solve_forward(cfg, lambda pc: (frozenset(), frozenset()))
+    first = dataflow.stats.last_iterations
+    assert first >= len(method.code)
+    solve_backward(cfg, lambda pc: (frozenset(), frozenset()))
+    assert dataflow.stats.total_iterations == first + dataflow.stats.last_iterations

@@ -1,0 +1,98 @@
+"""The advisor and the linter share one analysis core.
+
+Pins the two contracts the lint refactor made:
+
+* the AdvisorReport on db and euler is byte-identical to the report
+  the pre-lint advisor produced (golden summaries captured before the
+  refactor) — consulting lint diagnostics changed no decision;
+* everything the advisor acts on (dead-code removals, nulled locals,
+  cleared arrays) appears among the lint findings — the static path is
+  a superset of the profile-driven one; and the advisor's shared
+  AnalysisContext compiles and builds the call graph exactly once.
+"""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.lint import lint_program
+from repro.runtime.library import link
+from repro.transform.advisor import Advisor
+from repro.transform.dead_code import remove_dead_allocations
+
+# Captured from the pre-refactor advisor (same profiler, same inputs);
+# the deterministic interpreter makes these stable.
+GOLDEN = {
+    "db": """\
+APPLIED  dead-code-removal  Locale.<init>:326                        13 allocation(s) removed
+skipped  -                  ('DbRecord.<init>:8', 'Db.main:40')      no transformation for this pattern (§3.4 pattern 4/unclassified)
+APPLIED  assign-null        ('Db.main:66',)                          resultSet = null inserted after Db.main:68
+skipped  -                  ('Db.main:60',)                          no transformation for this pattern (§3.4 pattern 4/unclassified)
+skipped  -                  ('Db.main:40',)                          no transformation for this pattern (§3.4 pattern 4/unclassified)
+skipped  -                  ('HashTable.put:248', 'Database.insert:26', 'Db.main:40') no transformation for this pattern (§3.4 pattern 4/unclassified)
+APPLIED  assign-null        ('Vector.ensureCapacity:213', 'Vector.add:175', 'Database.insert:25', 'Db.main:40') array liveness: cleared slots of [('data', 'count')] in Vector""",
+    "euler": """\
+APPLIED  dead-code-removal  Locale.<init>:326                        13 allocation(s) removed
+skipped  assign-null        ('Row.<init>:7', 'Solver.<init>:41', 'Euler.main:70') no local variable assigned at Row.<init>:7
+skipped  assign-null        ('Flux.<init>:21', 'Solver.step:61', 'Euler.main:74') no local variable assigned at Flux.<init>:21""",
+}
+
+
+def run_advisor(name):
+    bench = get_benchmark(name)
+    program = link(bench.original)
+    advisor = Advisor(
+        program, bench.main_class, bench.primary_args,
+        interval_bytes=bench.interval_bytes,
+    )
+    revised, report = advisor.run()
+    return bench, program, advisor, report
+
+
+@pytest.mark.parametrize("name", ["db", "euler"])
+def test_advisor_report_identical_to_pre_lint_golden(name):
+    _, _, advisor, report = run_advisor(name)
+    assert report.summary() == GOLDEN[name]
+    # the shared context built each expensive artifact exactly once
+    # across every site decision
+    counts = advisor.context.build_counts
+    assert counts.get("compile") == 1
+    assert counts.get("table") == 1
+    assert counts.get("callgraph", 0) <= 1
+
+
+@pytest.mark.parametrize("name", ["db", "euler"])
+def test_lint_findings_superset_of_advisor_actions(name):
+    bench = get_benchmark(name)
+    program = link(bench.original)
+    lint = lint_program(program, bench.main_class)
+
+    # every dead-code removal subject has a DRAG001 finding
+    _, removals = remove_dead_allocations(program, bench.main_class)
+    assert removals
+    for removal in removals:
+        cls, _, member = removal.where.partition(".")
+        if removal.kind == "field-init":
+            assert lint.find("DRAG001", "field", cls, member), removal
+        elif removal.kind == "field-store":
+            assert lint.find("DRAG001", "field", cls), removal
+        elif removal.kind == "local":
+            assert lint.find("DRAG001", "local", cls, member), removal
+        elif removal.kind == "array-store":
+            assert lint.find("DRAG001", "array-store", cls), removal
+
+    # every applied assign-null has a DRAG002 finding
+    _, _, _, report = run_advisor(name)
+    for action in report.applied():
+        if action.transformation != "assign-null":
+            continue
+        if "array liveness" in action.detail:
+            # "... cleared slots of [('data', 'count')] in Cls"
+            cls = action.detail.rsplit(" in ", 1)[1]
+            assert lint.find("DRAG002", "array", cls), action.detail
+        else:
+            # "var = null inserted after Cls.method:line"
+            var = action.detail.split(" = null", 1)[0]
+            frame = action.detail.rsplit(" after ", 1)[1]
+            cls, _, rest = frame.partition(".")
+            method = rest.rsplit(":", 1)[0]
+            assert lint.find("DRAG002", "local", cls, method, var), action.detail

@@ -1,0 +1,114 @@
+"""The ``repro lint`` subcommand: formats, gates, rules, --profile —
+and the guarantee that it runs clean over every example program and
+every registered benchmark."""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import lint_program
+from repro.runtime.library import link
+
+PROGRAM = """
+class Main {
+    public static void main(String[] args) {
+        char[] wasted = new char[5000];
+        int x = 1;
+        System.printInt(x);
+    }
+    static int orphan() { return 9; }
+}
+"""
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "program.mj"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+def test_lint_text_output_and_exit_zero(program_file, capsys):
+    assert main(["lint", program_file]) == 0
+    out = capsys.readouterr().out
+    assert "DRAG001" in out and "DRAG004" in out
+    assert "wasted" in out
+
+
+def test_lint_auto_detects_main_class(program_file, capsys):
+    assert main(["lint", program_file]) == 0
+    assert "(main Main)" in capsys.readouterr().out
+
+
+def test_lint_explicit_main(program_file, capsys):
+    assert main(["lint", program_file, "--main", "Main"]) == 0
+
+
+def test_lint_fail_on_gates_exit_code(program_file, capsys):
+    assert main(["lint", program_file, "--fail-on", "error"]) == 0
+    capsys.readouterr()
+    assert main(["lint", program_file, "--fail-on", "warning"]) == 1
+
+
+def test_lint_json_format(program_file, capsys):
+    assert main(["lint", program_file, "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["main_class"] == "Main"
+    assert any(d["rule_id"] == "DRAG001" for d in data["diagnostics"])
+
+
+def test_lint_sarif_format(program_file, capsys):
+    assert main(["lint", program_file, "--format", "sarif"]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["runs"][0]["results"]
+
+
+def test_lint_rule_selection(program_file, capsys):
+    assert main(["lint", program_file, "--rule", "DRAG004"]) == 0
+    out = capsys.readouterr().out
+    assert "DRAG004" in out and "DRAG001" not in out
+
+
+def test_lint_unknown_rule_rejected(program_file, capsys):
+    assert main(["lint", program_file, "--rule", "DRAG999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_lint_with_profile_ranks_by_drag(program_file, tmp_path, capsys):
+    log = str(tmp_path / "run.draglog")
+    assert main(["profile", program_file, "--main", "Main", "--log", log]) == 0
+    capsys.readouterr()
+    assert main(["lint", program_file, "--profile", log]) == 0
+    out = capsys.readouterr().out
+    assert "+ profile" in out.splitlines()[0]
+    assert "drag" in out  # at least one finding carries measured drag
+
+
+def test_lint_missing_file(capsys):
+    assert main(["lint", "/nonexistent.mj"]) == 2
+
+
+# -- acceptance sweep ---------------------------------------------------------
+
+
+def test_lint_runs_on_every_example_program(capsys):
+    examples = os.path.join(os.path.dirname(__file__), "..", "..", "examples", "programs")
+    programs = sorted(glob.glob(os.path.join(examples, "*.mj")))
+    assert programs, "expected example programs"
+    for path in programs:
+        assert main(["lint", path, "--format", "sarif"]) == 0, path
+        capsys.readouterr()
+
+
+def test_lint_runs_on_every_registered_benchmark():
+    from repro.benchmarks.registry import all_benchmarks
+
+    for name, bench in sorted(all_benchmarks().items()):
+        result = lint_program(link(bench.original), bench.main_class)
+        # every benchmark has at least one statically visible drag
+        # opportunity (the paper found one in all nine)
+        assert result.diagnostics, name

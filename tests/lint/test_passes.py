@@ -1,0 +1,123 @@
+"""Pass manager: dependency ordering, single-run caching, and shared
+analysis artifacts (compile once, call graph once, CFGs once)."""
+
+import pytest
+
+from repro.lint import LintError, lint_program
+from repro.lint.diagnostics import LintResult
+from repro.lint.passes import AnalysisContext, Pass, PassManager, standard_pass_manager
+from repro.runtime.library import link
+
+SIMPLE = """
+class Main {
+    public static void main(String[] args) {
+        int[] tmp = new int[10];
+        tmp[0] = 1;
+        System.printInt(tmp[0]);
+    }
+}
+"""
+
+
+def make_context(source=SIMPLE, main_class="Main"):
+    return AnalysisContext(link(source), main_class)
+
+
+# -- dependency ordering -----------------------------------------------------
+
+
+def test_schedule_runs_dependencies_first():
+    manager = PassManager(make_context())
+    trace = []
+    manager.register(Pass("a", lambda ctx, res: trace.append("a")))
+    manager.register(Pass("b", lambda ctx, res: trace.append("b"), requires=("a",)))
+    manager.register(Pass("c", lambda ctx, res: trace.append("c"), requires=("b", "a")))
+    order = manager.schedule(["c"])
+    assert order == ["a", "b", "c"]
+    manager.run("c", LintResult())
+    assert trace == ["a", "b", "c"]
+
+
+def test_schedule_detects_cycles():
+    manager = PassManager(make_context())
+    manager.register(Pass("a", lambda ctx, res: None, requires=("b",)))
+    manager.register(Pass("b", lambda ctx, res: None, requires=("a",)))
+    with pytest.raises(LintError, match="cycle"):
+        manager.schedule(["a"])
+
+
+def test_unknown_pass_and_double_registration_rejected():
+    manager = PassManager(make_context())
+    manager.register(Pass("a", lambda ctx, res: None))
+    with pytest.raises(LintError, match="unknown"):
+        manager.schedule(["nope"])
+    with pytest.raises(LintError, match="twice"):
+        manager.register(Pass("a", lambda ctx, res: None))
+
+
+# -- caching -----------------------------------------------------------------
+
+
+def test_shared_dependency_runs_exactly_once():
+    manager = PassManager(make_context())
+    runs = {"dep": 0}
+
+    def dep(ctx, res):
+        runs["dep"] += 1
+        return "dep-result"
+
+    manager.register(Pass("dep", dep))
+    manager.register(Pass("user1", lambda ctx, res: None, requires=("dep",)))
+    manager.register(Pass("user2", lambda ctx, res: None, requires=("dep",)))
+    result = LintResult()
+    manager.run("user1", result)
+    manager.run("user2", result)
+    manager.run("dep", result)
+    assert runs["dep"] == 1
+    assert manager.run_counts == {"dep": 1, "user1": 1, "user2": 1}
+    assert manager.results["dep"] == "dep-result"
+
+
+def test_standard_pipeline_builds_each_artifact_once():
+    context = make_context()
+    manager = standard_pass_manager(context)
+    manager.run_all(LintResult())
+    counts = context.build_counts
+    # one compilation, one class table, one call graph, one exception
+    # analysis, one interprocedural analysis — no matter how many rule
+    # passes consumed them
+    assert counts.get("compile") == 1
+    assert counts.get("table") == 1
+    assert counts.get("callgraph") == 1
+    assert counts.get("exceptions", 0) <= 1
+    assert counts.get("interproc") == 1
+    # CFGs are cached per method: never more entries than methods built
+    n_methods = sum(
+        len(cls.methods) + (1 if cls.ctor else 0) + (1 if cls.clinit else 0)
+        for cls in context.compiled.classes.values()
+    )
+    assert counts.get("cfg", 0) <= n_methods
+
+
+def test_context_cfg_cache_returns_same_object():
+    context = make_context()
+    method = context.compiled.classes["Main"].methods["main"]
+    assert context.cfg(method) is context.cfg(method)
+    assert context.build_counts["cfg"] == 1
+
+
+def test_rule_filter_skips_unrequested_rules():
+    context = make_context()
+    manager = standard_pass_manager(context)
+    result = manager.run_all(LintResult(), rules=["DRAG004"])
+    assert all(d.rule_id == "DRAG004" for d in result.diagnostics)
+
+
+def test_lint_program_reuses_supplied_context():
+    context = make_context()
+    lint_program(context.program_ast, "Main", context=context)
+    first_counts = dict(context.build_counts)
+    lint_program(context.program_ast, "Main", context=context)
+    # the expensive artifacts were not rebuilt by the second run
+    assert context.build_counts["compile"] == first_counts["compile"] == 1
+    assert context.build_counts["callgraph"] == first_counts["callgraph"] == 1

@@ -1,0 +1,103 @@
+"""Output formats: text, JSON, and the SARIF 2.1.0 shape."""
+
+import json
+
+import pytest
+
+from repro.lint import lint_program, render, to_json, to_sarif
+from repro.lint.rules import ALL_RULES
+from repro.runtime.library import link
+
+SOURCE = """
+class Main {
+    public static void main(String[] args) {
+        char[] wasted = new char[3000];
+        System.printInt(7);
+    }
+    static int orphan() { return 1; }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return lint_program(link(SOURCE), "Main", program_path="main.mj")
+
+
+def test_text_output_names_rules_and_counts(result):
+    text = render(result, "text")
+    assert "lint: main.mj (main Main)" in text.splitlines()[0]
+    assert "DRAG001" in text and "DRAG004" in text
+    assert "finding(s):" in text.splitlines()[-1]
+    for line in text.splitlines():
+        if line.startswith(("error", "warning", "note")):
+            # "severity RULEID Class.member:line: message"
+            parts = line.split()
+            assert parts[1].startswith("DRAG")
+            assert ":" in parts[2]
+
+
+def test_json_output_shape(result):
+    data = json.loads(render(result, "json"))
+    assert data["program"] == "main.mj"
+    assert data["main_class"] == "Main"
+    assert data["profile"] is None
+    assert data["counts"]
+    for diag in data["diagnostics"]:
+        assert diag["rule_id"].startswith("DRAG")
+        assert diag["severity"] in ("error", "warning", "note")
+        assert diag["label"] == f"{diag['class']}.{diag['member']}:{diag['line']}"
+        assert isinstance(diag["subject"], list)
+
+
+def test_unknown_format_rejected(result):
+    with pytest.raises(ValueError, match="unknown format"):
+        render(result, "xml")
+
+
+# -- SARIF 2.1.0 --------------------------------------------------------------
+
+
+def test_sarif_envelope(result):
+    sarif = to_sarif(result)
+    assert sarif["version"] == "2.1.0"
+    assert sarif["$schema"].endswith("sarif-2.1.0.json")
+    assert len(sarif["runs"]) == 1
+
+
+def test_sarif_driver_declares_every_rule(result):
+    driver = to_sarif(result)["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    declared = [rule["id"] for rule in driver["rules"]]
+    assert declared == [rule.rule_id for rule in ALL_RULES]
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in ("error", "warning", "note")
+
+
+def test_sarif_results_reference_rules_by_index(result):
+    run = to_sarif(result)["runs"][0]
+    rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+    assert run["results"], "expected findings on the fixture program"
+    for res in run["results"]:
+        assert rule_ids[res["ruleIndex"]] == res["ruleId"]
+        assert res["level"] in ("error", "warning", "note")
+        assert res["message"]["text"]
+        location = res["locations"][0]
+        assert location["physicalLocation"]["artifactLocation"]["uri"] == "main.mj"
+        assert location["physicalLocation"]["region"]["startLine"] >= 1
+        logical = location["logicalLocations"][0]
+        assert logical["fullyQualifiedName"].count(":") == 1
+
+
+def test_sarif_is_stable_json(result):
+    once = render(result, "sarif")
+    twice = render(result, "sarif")
+    assert once == twice
+    json.loads(once)  # round-trips
+
+
+def test_json_helper_matches_render(result):
+    assert json.loads(render(result, "json")) == json.loads(
+        json.dumps(to_json(result), sort_keys=True)
+    )

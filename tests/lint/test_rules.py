@@ -1,0 +1,326 @@
+"""Each DRAG rule: one program that triggers it, one that must not."""
+
+from repro.lint import lint_program
+from repro.runtime.library import link
+
+
+def lint_source(source, main_class="Main", rules=None):
+    return lint_program(link(source), main_class, rules=rules)
+
+
+def app_findings(result, rule_id):
+    """Findings of a rule about application classes (the library rides
+    along in every linked program; tests pin app behaviour)."""
+    app = {"Main", "Holder", "Box", "Worker"}
+    return [d for d in result.by_rule(rule_id) if d.span.class_name in app]
+
+
+# -- DRAG001: never-used allocation -----------------------------------------
+
+
+def test_drag001_reports_never_read_local():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        char[] wasted = new char[100];
+        System.printInt(7);
+    }
+}
+"""
+    )
+    found = app_findings(result, "DRAG001")
+    assert any(d.subject == ("local", "Main", "main", "wasted") for d in found)
+    hit = next(d for d in found if d.subject[-1] == "wasted")
+    assert hit.span.label == "Main.main:4"
+    assert hit.suggestion == "dead-code-removal"
+
+
+def test_drag001_reports_write_only_field():
+    result = lint_source(
+        """
+class Holder {
+    int[] stash;
+    Holder() { stash = new int[50]; }
+}
+class Main {
+    public static void main(String[] args) {
+        Holder h = new Holder();
+        System.printInt(1);
+    }
+}
+"""
+    )
+    assert any(
+        d.subject == ("field", "Holder", "stash")
+        for d in app_findings(result, "DRAG001")
+    )
+
+
+def test_drag001_silent_when_allocation_is_read():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        int[] used = new int[100];
+        used[0] = 5;
+        System.printInt(used[0]);
+    }
+}
+"""
+    )
+    assert not app_findings(result, "DRAG001")
+
+
+# -- DRAG002: droppable reference -------------------------------------------
+
+
+def test_drag002_reports_local_with_early_last_use():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        char[] buffer = new char[500];
+        buffer[0] = 'a';
+        int x = buffer[0];
+        slow();
+        slow();
+        System.printInt(x);
+    }
+    static void slow() {
+        int t = 0;
+        for (int i = 0; i < 50; i = i + 1) { t = t + i; }
+    }
+}
+"""
+    )
+    found = app_findings(result, "DRAG002")
+    assert any(d.subject == ("local", "Main", "main", "buffer") for d in found)
+    hit = next(d for d in found if d.subject[-1] == "buffer")
+    assert hit.extra["null_after_line"] == 6
+    assert hit.suggestion == "assign-null"
+
+
+def test_drag002_silent_when_used_until_the_end():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        int[] counts = new int[10];
+        counts[0] = 1;
+        System.printInt(counts[0]);
+    }
+}
+"""
+    )
+    assert not [
+        d for d in app_findings(result, "DRAG002") if d.subject[0] == "local"
+    ]
+
+
+def test_drag002_reports_logical_size_array_pair():
+    result = lint_source(
+        """
+class Box {
+    private Object[] items;
+    int count;
+    Box() { items = new Object[8]; count = 0; }
+    void add(Object o) { items[count] = o; count = count + 1; }
+    Object removeLast() {
+        count = count - 1;
+        Object gone = items[count];
+        return gone;
+    }
+}
+class Main {
+    public static void main(String[] args) {
+        Box box = new Box();
+        box.add("a");
+        box.add("b");
+        box.removeLast();
+        System.printInt(box.count);
+    }
+}
+"""
+    )
+    assert any(
+        d.subject == ("array", "Box", "items", "count")
+        for d in app_findings(result, "DRAG002")
+    )
+
+
+# -- DRAG003: lazy allocation candidate --------------------------------------
+
+
+def test_drag003_warning_when_all_gates_pass():
+    result = lint_source(
+        """
+class Holder {
+    Vector cache;
+    int n;
+    Holder(int n) {
+        this.n = n;
+        cache = new Vector(100);
+    }
+    int use() {
+        if (n > 0) { cache.add("x"); return cache.size(); }
+        return 0;
+    }
+}
+class Main {
+    public static void main(String[] args) {
+        Holder h = new Holder(0);
+        System.printInt(h.use());
+    }
+}
+"""
+    )
+    found = app_findings(result, "DRAG003")
+    hit = next(d for d in found if d.subject == ("field", "Holder", "cache"))
+    assert hit.severity == "warning"
+    assert hit.extra["all_gates_pass"] is True
+    assert hit.span.member == "<init>"
+
+
+def test_drag003_note_when_args_not_constant():
+    result = lint_source(
+        """
+class Holder {
+    int[] table;
+    Holder(int size) { table = new int[size * 2]; }
+    int get(int i) { return table[i]; }
+}
+class Main {
+    public static void main(String[] args) {
+        Holder h = new Holder(5);
+        System.printInt(h.get(0));
+    }
+}
+"""
+    )
+    found = app_findings(result, "DRAG003")
+    hit = next(d for d in found if d.subject == ("field", "Holder", "table"))
+    assert hit.severity == "note"
+    assert hit.extra["all_gates_pass"] is False
+
+
+def test_drag003_silent_without_ctor_allocation():
+    result = lint_source(
+        """
+class Holder {
+    int n;
+    Holder(int n) { this.n = n; }
+}
+class Main {
+    public static void main(String[] args) {
+        Holder h = new Holder(3);
+        System.printInt(h.n);
+    }
+}
+"""
+    )
+    assert not app_findings(result, "DRAG003")
+
+
+# -- DRAG004: unreachable method ---------------------------------------------
+
+
+def test_drag004_reports_uncalled_method():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        System.printInt(1);
+    }
+    static int orphan() { return 42; }
+}
+"""
+    )
+    found = app_findings(result, "DRAG004")
+    assert any(d.subject == ("method", "Main", "orphan") for d in found)
+    assert all(d.severity == "note" for d in found)
+
+
+def test_drag004_silent_when_everything_is_called():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        System.printInt(helper());
+    }
+    static int helper() { return 2; }
+}
+"""
+    )
+    assert not app_findings(result, "DRAG004")
+
+
+# -- DRAG005: oversized array -------------------------------------------------
+
+
+def test_drag005_reports_large_constant_array():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        int[] big = new int[1000];
+        big[0] = 1;
+        System.printInt(big[0]);
+    }
+}
+"""
+    )
+    found = app_findings(result, "DRAG005")
+    assert any(d.subject == ("array", "Main", "main", 4) for d in found)
+
+
+def test_drag005_silent_for_small_arrays():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        int[] small = new int[8];
+        small[0] = 1;
+        System.printInt(small[0]);
+    }
+}
+"""
+    )
+    assert not app_findings(result, "DRAG005")
+
+
+# -- cross-rule behaviour -----------------------------------------------------
+
+
+def test_rule_selection_limits_output():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        char[] wasted = new char[3000];
+        System.printInt(7);
+    }
+    static int orphan() { return 1; }
+}
+""",
+        rules=["DRAG004"],
+    )
+    assert result.counts().keys() == {"DRAG004"}
+
+
+def test_severity_ordering_in_sorted_output():
+    result = lint_source(
+        """
+class Main {
+    public static void main(String[] args) {
+        char[] wasted = new char[3000];
+        System.printInt(7);
+    }
+    static int orphan() { return 1; }
+}
+"""
+    )
+    severities = [d.severity for d in result.sorted()]
+    assert severities == sorted(
+        severities, key=lambda s: {"error": 0, "warning": 1, "note": 2}[s]
+    )
