@@ -8,7 +8,7 @@ assigning null), and compares collector work and what survives.
 Run:  python examples/gc_comparison.py
 """
 
-from repro import Interpreter, compile_program, link
+from repro import Engine, compile_program, link
 from repro.runtime.generational import GenerationalCollector
 
 SOURCE = """
@@ -32,8 +32,9 @@ class Main {
 
 def run(label, **kwargs):
     program = compile_program(link(SOURCE), main_class="Main")
-    interp = Interpreter(program, max_heap=96 * 1024, **kwargs)
-    result = interp.run([])
+    engine = Engine(program, max_heap=96 * 1024, **kwargs)
+    result = engine.run([])
+    interp = engine.vm
     stats = interp.heap.stats
     print(
         f"{label:22s} gc_runs={stats.gc_runs:3d} "

@@ -44,6 +44,8 @@ from repro.stream import StreamingDragAnalysis, watch_log
 from repro.mjava.compiler import compile_program
 from repro.mjava.parser import parse_program
 from repro.mjava.pretty import pretty_print
+from repro.runtime.compiled import CompiledInterpreter
+from repro.runtime.engine import Engine, VMConfig, create_vm, run_program
 from repro.runtime.interpreter import Interpreter
 from repro.runtime.library import link
 from repro.transform import (
@@ -78,6 +80,11 @@ __all__ = [
     "parse_program",
     "pretty_print",
     "Interpreter",
+    "CompiledInterpreter",
+    "Engine",
+    "VMConfig",
+    "create_vm",
+    "run_program",
     "link",
     "assign_null_to_local",
     "clear_array_slot_on_remove",

@@ -10,8 +10,8 @@ from repro.core.profiler import ProfileResult, profile_program
 from repro.mjava.compiler import compile_program
 from repro.mjava.metrics import count_classes, count_statements
 from repro.mjava.parser import parse_program
+from repro.runtime.engine import create_vm
 from repro.runtime.generational import GenerationalCollector
-from repro.runtime.interpreter import Interpreter
 from repro.runtime.library import link
 from repro.benchmarks.registry import Benchmark
 
@@ -52,15 +52,22 @@ def run_pair(
     benchmark: Benchmark,
     which: str = "primary",
     interval_bytes: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> BenchmarkRun:
     """Profile the original and revised versions on one input."""
     interval = interval_bytes or benchmark.interval_bytes
     args = benchmark.args_for(which)
     original = profile_program(
-        compile_benchmark(benchmark, revised=False), args, interval_bytes=interval
+        compile_benchmark(benchmark, revised=False),
+        args,
+        interval_bytes=interval,
+        engine=engine,
     )
     revised = profile_program(
-        compile_benchmark(benchmark, revised=True), args, interval_bytes=interval
+        compile_benchmark(benchmark, revised=True),
+        args,
+        interval_bytes=interval,
+        engine=engine,
     )
     return BenchmarkRun(benchmark, which, original, revised)
 
@@ -137,6 +144,7 @@ def run_runtime_pair(
     benchmark: Benchmark,
     which: str = "primary",
     young_threshold: int = 64 * 1024,
+    engine: Optional[str] = None,
 ) -> RuntimeRun:
     """Run both versions unprofiled under the generational collector
     (the paper's Table-4 setup: HotSpot client, generational GC) and
@@ -145,8 +153,9 @@ def run_runtime_pair(
     results = []
     for revised in (False, True):
         program = compile_benchmark(benchmark, revised=revised)
-        interp = Interpreter(
+        interp = create_vm(
             program,
+            engine=engine,
             max_heap=benchmark.max_heap,
             collector_factory=_gen_factory(young_threshold),
         )

@@ -35,12 +35,16 @@ def _load_program(path: str, library_overrides=None):
 
 
 def cmd_run(args) -> int:
+    import time as _time
+
     from repro.mjava.compiler import compile_program
-    from repro.runtime.interpreter import Interpreter
+    from repro.runtime.engine import Engine
 
     program = compile_program(_load_program(args.file), main_class=args.main)
-    interp = Interpreter(program, max_heap=args.max_heap)
-    result = interp.run(args.args)
+    engine = Engine(program, engine=args.engine, max_heap=args.max_heap)
+    started = _time.perf_counter()
+    result = engine.run(args.args)
+    elapsed = _time.perf_counter() - started
     for line in result.stdout:
         print(line)
     if args.stats:
@@ -49,6 +53,15 @@ def cmd_run(args) -> int:
             f"allocated={result.heap_stats.bytes_allocated}B "
             f"objects={result.heap_stats.objects_allocated} "
             f"gc_runs={result.heap_stats.gc_runs}",
+            file=sys.stderr,
+        )
+    if args.time:
+        rate = result.instructions / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"[time] engine={engine.config.engine} "
+            f"instructions={result.instructions} "
+            f"instr/sec={rate:,.0f} "
+            f"byte-clock={result.clock}",
             file=sys.stderr,
         )
     return 0
@@ -82,6 +95,7 @@ def cmd_profile(args) -> int:
         nesting_depth=args.nesting,
         last_use_depth=args.last_use_depth,
         sink=sink,
+        engine=args.engine,
     )
     for line in result.run_result.stdout:
         print(line)
@@ -91,6 +105,12 @@ def cmd_profile(args) -> int:
         f"{result.end_time} bytes allocated",
         file=sys.stderr,
     )
+    if result.finalizer_errors:
+        print(
+            f"[profile] {result.finalizer_errors} finalizer exception(s) "
+            "swallowed during the run",
+            file=sys.stderr,
+        )
     if streaming:
         sink.close()  # already closed at program end; idempotent
         print(
@@ -247,6 +267,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--main", required=True, help="class containing static main")
     run.add_argument("--max-heap", type=int, default=None, help="heap limit in bytes")
     run.add_argument("--stats", action="store_true", help="print VM counters")
+    run.add_argument("--engine", choices=["baseline", "compiled"], default=None,
+                     help="dispatch engine: classic if/elif interpreter or "
+                     "precompiled closures (default: REPRO_ENGINE or baseline)")
+    run.add_argument("--time", action="store_true",
+                     help="print instructions, instr/sec, and final byte-clock")
     run.set_defaults(fn=cmd_run)
 
     profile = sub.add_parser("profile", help="phase 1: run under the drag profiler")
@@ -266,6 +291,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="log format for --sink stream: v1 JSONL or compact "
                          "v2 binary (auto: v2 for .dlog2 files)")
     profile.add_argument("--top", type=int, default=10)
+    profile.add_argument("--engine", choices=["baseline", "compiled"], default=None,
+                         help="dispatch engine (profiles are bit-identical "
+                         "either way)")
     profile.set_defaults(fn=cmd_profile)
 
     report = sub.add_parser("report", help="phase 2: analyze an object log")

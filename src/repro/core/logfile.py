@@ -35,12 +35,18 @@ FORMAT_VERSION = 1
 _HEADER_PAD = 192
 
 
-def _header_dict(end_time: Optional[int], metadata: Optional[dict]) -> dict:
+def _header_dict(
+    end_time: Optional[int],
+    metadata: Optional[dict],
+    finalizer_errors: Optional[int] = None,
+) -> dict:
     header = {
         "format": FORMAT_NAME,
         "version": FORMAT_VERSION,
         "end_time": end_time,
     }
+    if finalizer_errors is not None:
+        header["finalizer_errors"] = finalizer_errors
     if metadata:
         header["metadata"] = metadata
     return header
@@ -61,8 +67,14 @@ class LogWriter:
         self._file: Optional[IO[str]] = open(self.path, "w", encoding="utf-8")
         self._write_header(None)
 
-    def _write_header(self, end_time: Optional[int]) -> None:
-        text = json.dumps(_header_dict(end_time, self.metadata))
+    def _write_header(
+        self,
+        end_time: Optional[int],
+        finalizer_errors: Optional[int] = None,
+    ) -> None:
+        text = json.dumps(
+            _header_dict(end_time, self.metadata, finalizer_errors)
+        )
         if len(text) < _HEADER_PAD:
             text = text.ljust(_HEADER_PAD)
         self._file.write(text + "\n")
@@ -74,12 +86,16 @@ class LogWriter:
     def write_sample(self, sample) -> None:
         """v1 has no sample frames; accepted for sink compatibility."""
 
-    def close(self, end_time: Optional[int] = None) -> None:
+    def close(
+        self,
+        end_time: Optional[int] = None,
+        finalizer_errors: Optional[int] = None,
+    ) -> None:
         if self._file is None:
             return
         if end_time is not None:
             self._file.seek(0)
-            self._write_header(end_time)
+            self._write_header(end_time, finalizer_errors)
         self._file.close()
         self._file = None
 
@@ -108,7 +124,7 @@ class LoadedLog:
     """A parsed log: records plus header metadata (and, for v2 logs,
     the deep-GC heap samples)."""
 
-    __slots__ = ("records", "end_time", "metadata", "samples")
+    __slots__ = ("records", "end_time", "metadata", "samples", "finalizer_errors")
 
     def __init__(
         self,
@@ -116,11 +132,14 @@ class LoadedLog:
         end_time: Optional[int],
         metadata: dict,
         samples: Optional[list] = None,
+        finalizer_errors: Optional[int] = None,
     ) -> None:
         self.records = records
         self.end_time = end_time
         self.metadata = metadata
         self.samples = samples or []
+        # None = written before the field existed / run still in flight.
+        self.finalizer_errors = finalizer_errors
 
 
 def _is_v2(path: Union[str, Path]) -> bool:
@@ -192,4 +211,9 @@ def read_log(path: Union[str, Path], strict: bool = True) -> LoadedLog:
     with open(path, "r", encoding="utf-8") as f:
         header = _read_v1_header(f, path)
         records = list(_iter_v1_records(f, path, strict))
-    return LoadedLog(records, header.get("end_time"), header.get("metadata") or {})
+    return LoadedLog(
+        records,
+        header.get("end_time"),
+        header.get("metadata") or {},
+        finalizer_errors=header.get("finalizer_errors"),
+    )

@@ -68,6 +68,7 @@ class HeapProfiler:
         self.samples: List[HeapSample] = []
         self.record_count = 0
         self.sample_count = 0
+        self.finalizer_errors = 0
         self.interp = None
         self.program = None
         self._ended = False
@@ -166,8 +167,9 @@ class HeapProfiler:
         )
         for obj in list(interp.heap.iter_objects()):
             self._log(obj, collection_time=end_time, survived=True)
+        self.finalizer_errors = interp.finalizer_errors
         if self.sink is not None:
-            self.sink.on_end(end_time)
+            self.sink.on_end(end_time, finalizer_errors=self.finalizer_errors)
 
     # -- record emission ---------------------------------------------------------
 
@@ -249,6 +251,10 @@ class ProfileResult:
     def end_time(self) -> int:
         return self.run_result.clock
 
+    @property
+    def finalizer_errors(self) -> int:
+        return self.run_result.finalizer_errors
+
 
 def profile_program(
     program,
@@ -259,14 +265,17 @@ def profile_program(
     max_heap: Optional[int] = None,
     sink=None,
     buffered: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> ProfileResult:
     """Run a compiled program under the profiler (phase 1).
 
     With ``sink`` set, records and samples stream into it as they are
     emitted (see :mod:`repro.stream`) and are not buffered unless
-    ``buffered=True`` is also passed.
+    ``buffered=True`` is also passed. ``engine`` picks the dispatch
+    strategy (see :mod:`repro.runtime.engine`); both engines produce
+    bit-identical profiles.
     """
-    from repro.runtime.interpreter import Interpreter
+    from repro.runtime.engine import create_vm
 
     profiler = HeapProfiler(
         interval_bytes=interval_bytes,
@@ -275,7 +284,9 @@ def profile_program(
         sink=sink,
         buffered=buffered,
     )
-    interp = Interpreter(program, profiler=profiler, max_heap=max_heap)
+    interp = create_vm(
+        program, engine=engine, profiler=profiler, max_heap=max_heap
+    )
     run_result = interp.run(args or [])
     return ProfileResult(program, run_result, profiler)
 
@@ -290,6 +301,7 @@ def profile_source(
     library_overrides=None,
     sink=None,
     buffered: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> ProfileResult:
     """Convenience: link, compile, and profile mini-Java source."""
     from repro.mjava.compiler import compile_program
@@ -306,4 +318,5 @@ def profile_source(
         last_use_depth=last_use_depth,
         sink=sink,
         buffered=buffered,
+        engine=engine,
     )

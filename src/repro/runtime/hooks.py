@@ -1,0 +1,94 @@
+"""The profiler-hook layer: how a VM reports runtime events.
+
+Both execution engines feed the same three event kinds to whatever is
+observing a run (normally the :class:`repro.core.profiler.HeapProfiler`):
+
+* ``on_alloc(obj)`` — an object was just registered with the heap;
+* ``on_use(obj)`` — the paper's §2.1.1 *object use* (getfield, putfield,
+  invoking a method on the object, monitor enter/exit, array element
+  access/length, native handle dereference);
+* ``safepoint(vm)`` — an instruction boundary where the observer may
+  run a deep GC and take a sample.
+
+:class:`RuntimeHooks` is the protocol. The baseline interpreter checks
+``self.profiler`` inline on every event (the historical hot-path tax);
+the closure-compiling engine instead *specializes at translation time*:
+with :class:`NullHooks` (no profiler) the generated handler closures
+contain no hook call sites at all, and with :class:`ProfilerHooks` they
+bind the profiler's bound methods directly, skipping the per-event
+``is None`` test. Determinism is unaffected either way — hooks observe
+the byte clock, they never advance it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RuntimeHooks:
+    """Protocol for runtime event observers.
+
+    The base class is the null object: every event is a no-op and
+    :attr:`active` is False, which tells the closure compiler to emit
+    hook-free handlers.
+    """
+
+    #: True when events must actually be delivered. The closure
+    #: compiler reads this once, at method-translation time.
+    active = False
+
+    def on_alloc(self, obj) -> None:
+        """``obj`` was just allocated (heap registration complete)."""
+
+    def on_use(self, obj) -> None:
+        """``obj`` was used in the §2.1.1 sense."""
+
+    def safepoint(self, vm) -> None:
+        """An instruction boundary; the observer may sample/deep-GC."""
+
+
+class NullHooks(RuntimeHooks):
+    """No observer attached — the zero-overhead specialization."""
+
+    __slots__ = ()
+
+
+class ProfilerHooks(RuntimeHooks):
+    """Adapt a :class:`~repro.core.profiler.HeapProfiler` to the
+    protocol, exposing its bound methods for direct binding."""
+
+    __slots__ = ("profiler", "on_alloc", "on_use")
+
+    active = True
+
+    def __init__(self, profiler) -> None:
+        self.profiler = profiler
+        # Bound methods, so the closure compiler (and the heap) can
+        # call them without re-resolving attributes per event.
+        self.on_alloc = profiler.on_alloc
+        self.on_use = profiler.on_use
+
+    def safepoint(self, vm) -> None:
+        """Take a deep-GC sample if the byte clock has crossed the next
+        sampling threshold. Both engines inline this exact check in
+        their dispatch loops; this method is the reference semantics."""
+        profiler = self.profiler
+        if not vm._sampling and vm.heap.clock >= profiler.next_sample_at:
+            vm._sampling = True
+            try:
+                profiler.take_sample(vm)
+            finally:
+                vm._sampling = False
+
+
+def hooks_for(profiler) -> RuntimeHooks:
+    """The hook object for an optional profiler."""
+    return NullHooks() if profiler is None else ProfilerHooks(profiler)
+
+
+def resolve_on_use(hooks: Optional[RuntimeHooks]):
+    """The ``on_use`` callable the closure compiler should bind, or
+    None when hook calls must not be emitted at all."""
+    if hooks is None or not hooks.active:
+        return None
+    return hooks.on_use

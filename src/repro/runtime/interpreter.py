@@ -40,15 +40,28 @@ class MJThrow(Exception):
 
 
 class ProgramResult:
-    """Outcome of a program run: output and cost counters."""
+    """Outcome of a program run: output and cost counters.
 
-    __slots__ = ("stdout", "instructions", "heap_stats", "clock")
+    ``finalizer_errors`` counts mini-Java exceptions thrown (and, as in
+    Java, swallowed) by finalize() methods during the run — invisible
+    in stdout, so surfaced here and in the CLI summaries.
+    """
 
-    def __init__(self, stdout: List[str], instructions: int, heap_stats, clock: int) -> None:
+    __slots__ = ("stdout", "instructions", "heap_stats", "clock", "finalizer_errors")
+
+    def __init__(
+        self,
+        stdout: List[str],
+        instructions: int,
+        heap_stats,
+        clock: int,
+        finalizer_errors: int = 0,
+    ) -> None:
         self.stdout = stdout
         self.instructions = instructions
         self.heap_stats = heap_stats
         self.clock = clock
+        self.finalizer_errors = finalizer_errors
 
     @property
     def output_text(self) -> str:
@@ -182,6 +195,11 @@ class Interpreter:
         if self.run_finalizers():
             self.full_gc()
 
+    @property
+    def finalizer_errors(self) -> int:
+        """Finalizer-thrown (and swallowed) exceptions so far."""
+        return self._finalizer_errors
+
     # ------------------------------------------------------------------
     # program / method entry
     # ------------------------------------------------------------------
@@ -216,7 +234,11 @@ class Interpreter:
         if self.profiler is not None:
             self.profiler.on_program_end(self)
         return ProgramResult(
-            self.stdout, self.instr_count, self.heap.stats, self.heap.clock
+            self.stdout,
+            self.instr_count,
+            self.heap.stats,
+            self.heap.clock,
+            finalizer_errors=self._finalizer_errors,
         )
 
     def call_method(self, method: CompiledMethod, receiver, args: List[object]):

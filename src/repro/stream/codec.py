@@ -181,12 +181,22 @@ class V2LogWriter:
         self._frame(FRAME_SAMPLE, bytes(buf))
         self.sample_count += 1
 
-    def close(self, end_time: Optional[int] = None) -> None:
+    def close(
+        self,
+        end_time: Optional[int] = None,
+        finalizer_errors: Optional[int] = None,
+    ) -> None:
         if self._file is None:
             return
         buf = bytearray()
         _write_uvarint(buf, 0 if end_time is None else end_time + 1)
         _write_uvarint(buf, self.count)
+        # Trailing optional field (None-biased, 0 = unknown): readers of
+        # older logs stop at the declared count, newer readers pick this
+        # up when present.
+        _write_uvarint(
+            buf, 0 if finalizer_errors is None else finalizer_errors + 1
+        )
         self._frame(FRAME_END, bytes(buf))
         self._file.close()
         self._file = None
@@ -270,6 +280,7 @@ class _FrameParser:
         self.metadata: dict = {}
         self.end_time: Optional[int] = None
         self.declared_count: Optional[int] = None
+        self.finalizer_errors: Optional[int] = None
         self.ended = False
         self._buf = bytearray()
         self._header_done = False
@@ -308,6 +319,9 @@ class _FrameParser:
                 raw_end, pos = _read_uvarint(payload, pos)
                 self.end_time = None if raw_end == 0 else raw_end - 1
                 self.declared_count, pos = _read_uvarint(payload, pos)
+                if pos < len(payload):  # logs predating the field omit it
+                    raw_fe, pos = _read_uvarint(payload, pos)
+                    self.finalizer_errors = None if raw_fe == 0 else raw_fe - 1
                 self.ended = True
                 events.append(("end", self.end_time))
             else:
@@ -404,7 +418,13 @@ def read_v2_log(path: Union[str, Path], strict: bool = True):
             samples.append(value)
         elif kind == "end":
             end_time = value
-    return LoadedLog(records, end_time, parser.metadata, samples=samples)
+    return LoadedLog(
+        records,
+        end_time,
+        parser.metadata,
+        samples=samples,
+        finalizer_errors=parser.finalizer_errors,
+    )
 
 
 class V2TailReader:
@@ -431,6 +451,10 @@ class V2TailReader:
     @property
     def end_time(self) -> Optional[int]:
         return self._parser.end_time
+
+    @property
+    def finalizer_errors(self) -> Optional[int]:
+        return self._parser.finalizer_errors
 
     def poll(self) -> List[Tuple[str, object]]:
         with open(self.path, "rb") as f:

@@ -32,6 +32,7 @@ class LiveMetrics:
         "sample_count",
         "top_sites",
         "finished",
+        "finalizer_errors",
     )
 
     def __init__(
@@ -45,6 +46,7 @@ class LiveMetrics:
         sample_count: int,
         top_sites: List[dict],
         finished: bool = False,
+        finalizer_errors: int = 0,
     ) -> None:
         self.time = time
         self.reachable_bytes = reachable_bytes
@@ -55,6 +57,7 @@ class LiveMetrics:
         self.sample_count = sample_count
         self.top_sites = top_sites
         self.finished = finished
+        self.finalizer_errors = finalizer_errors
 
     def to_dict(self) -> dict:
         return {
@@ -67,6 +70,7 @@ class LiveMetrics:
             "sample_count": self.sample_count,
             "top_sites": self.top_sites,
             "finished": self.finished,
+            "finalizer_errors": self.finalizer_errors,
         }
 
     def __repr__(self) -> str:
@@ -84,6 +88,7 @@ def snapshot(
     sample_count: int,
     top_k: int = 5,
     finished: bool = False,
+    finalizer_errors: int = 0,
 ) -> LiveMetrics:
     """Freeze the aggregator's current state into a snapshot."""
     top = [
@@ -106,6 +111,7 @@ def snapshot(
         sample_count=sample_count,
         top_sites=top,
         finished=finished,
+        finalizer_errors=finalizer_errors,
     )
 
 
@@ -145,6 +151,7 @@ class MetricsSink(ProfileSink):
         self.history: List[LiveMetrics] = []
         self.latest: Optional[LiveMetrics] = None
         self.sample_count = 0
+        self.finalizer_errors = 0
         self._clock = 0
 
     def on_record(self, record) -> None:
@@ -163,8 +170,9 @@ class MetricsSink(ProfileSink):
             finished=False,
         )
 
-    def on_end(self, end_time: int) -> None:
+    def on_end(self, end_time: int, finalizer_errors: int = 0) -> None:
         self.analysis.end_time = end_time
+        self.finalizer_errors = finalizer_errors
         last = self.latest
         self._refresh(
             time=end_time,
@@ -184,6 +192,7 @@ class MetricsSink(ProfileSink):
             sample_count=self.sample_count,
             top_k=self.top_k,
             finished=finished,
+            finalizer_errors=self.finalizer_errors,
         )
         self.latest = metrics
         if self.keep_history:

@@ -27,8 +27,9 @@ class ProfileSink:
     def on_sample(self, sample) -> None:
         """One deep-GC heap sample."""
 
-    def on_end(self, end_time: int) -> None:
-        """The run finished; ``end_time`` is the final byte clock."""
+    def on_end(self, end_time: int, finalizer_errors: int = 0) -> None:
+        """The run finished; ``end_time`` is the final byte clock and
+        ``finalizer_errors`` counts exceptions swallowed by finalize()."""
 
     def close(self) -> None:
         """Release any resources (files). Idempotent."""
@@ -41,6 +42,7 @@ class BufferSink(ProfileSink):
         self.records: List = []
         self.samples: List = []
         self.end_time: Optional[int] = None
+        self.finalizer_errors: int = 0
 
     def on_record(self, record) -> None:
         self.records.append(record)
@@ -48,8 +50,9 @@ class BufferSink(ProfileSink):
     def on_sample(self, sample) -> None:
         self.samples.append(sample)
 
-    def on_end(self, end_time: int) -> None:
+    def on_end(self, end_time: int, finalizer_errors: int = 0) -> None:
         self.end_time = end_time
+        self.finalizer_errors = finalizer_errors
 
 
 class LogWriterSink(ProfileSink):
@@ -63,6 +66,7 @@ class LogWriterSink(ProfileSink):
     def __init__(self, writer) -> None:
         self.writer = writer
         self._end_time: Optional[int] = None
+        self._finalizer_errors: Optional[int] = None
         self._closed = False
 
     @property
@@ -75,14 +79,18 @@ class LogWriterSink(ProfileSink):
     def on_sample(self, sample) -> None:
         self.writer.write_sample(sample)
 
-    def on_end(self, end_time: int) -> None:
+    def on_end(self, end_time: int, finalizer_errors: int = 0) -> None:
         self._end_time = end_time
+        self._finalizer_errors = finalizer_errors
         self.close()
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
-            self.writer.close(end_time=self._end_time)
+            self.writer.close(
+                end_time=self._end_time,
+                finalizer_errors=self._finalizer_errors,
+            )
 
 
 class AggregatorSink(ProfileSink):
@@ -100,7 +108,7 @@ class AggregatorSink(ProfileSink):
     def on_record(self, record) -> None:
         self.analysis.add(record)
 
-    def on_end(self, end_time: int) -> None:
+    def on_end(self, end_time: int, finalizer_errors: int = 0) -> None:
         self.analysis.end_time = end_time
 
 
@@ -118,9 +126,9 @@ class TeeSink(ProfileSink):
         for sink in self.sinks:
             sink.on_sample(sample)
 
-    def on_end(self, end_time: int) -> None:
+    def on_end(self, end_time: int, finalizer_errors: int = 0) -> None:
         for sink in self.sinks:
-            sink.on_end(end_time)
+            sink.on_end(end_time, finalizer_errors=finalizer_errors)
 
     def close(self) -> None:
         for sink in self.sinks:

@@ -32,6 +32,7 @@ class _V1Tail:
         self.path = Path(path)
         self.metadata: dict = {}
         self.end_time: Optional[int] = None
+        self.finalizer_errors: Optional[int] = None
         self.ended = False
         self._offset = 0
         self._pending = b""
@@ -57,6 +58,7 @@ class _V1Tail:
                     header = {}
                 if header.get("end_time") is not None:
                     self.end_time = header["end_time"]
+                    self.finalizer_errors = header.get("finalizer_errors")
             f.seek(self._offset)
             chunk = f.read()
         self._offset += len(chunk)
@@ -75,6 +77,7 @@ class _V1Tail:
                     raise ProfileError(f"{self.path}: not a repro-drag-log file")
                 self.metadata = header.get("metadata") or {}
                 self.end_time = header.get("end_time")
+                self.finalizer_errors = header.get("finalizer_errors")
                 self._header_done = True
                 continue
             if not line.strip():
@@ -109,6 +112,7 @@ def render_summary(
     sample_count: int,
     top: int,
     finished: bool,
+    finalizer_errors: Optional[int] = None,
 ) -> str:
     """One refresh of the watch display."""
     state = "finished" if finished else "live"
@@ -118,6 +122,8 @@ def render_summary(
         f"   drag-so-far {_mb2(analysis.total_drag):.4f} MB^2"
         f"   logged bytes {analysis.total_bytes}"
     )
+    if finalizer_errors:
+        lines.append(f"finalizer errors: {finalizer_errors} (swallowed)")
     if last_sample is not None:
         lines.append(
             f"heap @ t={last_sample.time}: {last_sample.reachable_bytes} B reachable"
@@ -182,9 +188,16 @@ def watch_log(
                 analysis.end_time = value
                 finished = True
         if events or once or polls == 1:
+            finalizer_errors = getattr(tail, "finalizer_errors", None)
             print(
                 render_summary(
-                    path, analysis, last_sample, sample_count, top, finished
+                    path,
+                    analysis,
+                    last_sample,
+                    sample_count,
+                    top,
+                    finished,
+                    finalizer_errors=finalizer_errors,
                 ),
                 file=out,
             )
@@ -201,6 +214,7 @@ def watch_log(
                     sample_count=sample_count,
                     top_k=top,
                     finished=finished,
+                    finalizer_errors=finalizer_errors or 0,
                 )
                 write_metrics_json(metrics, metrics_json)
         if once or finished:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mjava.compiler import compile_program
-from repro.runtime.interpreter import Interpreter
+from repro.runtime.engine import create_vm
 from repro.runtime.library import link
 
 
@@ -14,9 +14,13 @@ def compile_app(source, main_class="Main", library_overrides=None):
 
 
 def run_source(source, args=None, main_class="Main", max_heap=None, **interp_kwargs):
-    """Compile + run; returns (ProgramResult, Interpreter)."""
+    """Compile + run; returns (ProgramResult, Interpreter).
+
+    Goes through the engine facade, so REPRO_ENGINE=compiled runs the
+    whole suite under the closure-compiled dispatcher.
+    """
     program = compile_app(source, main_class)
-    interp = Interpreter(program, max_heap=max_heap, **interp_kwargs)
+    interp = create_vm(program, max_heap=max_heap, **interp_kwargs)
     result = interp.run(args or [])
     return result, interp
 

@@ -160,3 +160,23 @@ def test_streaming_log_writer_readable_before_close(tmp_path):
     assert loaded.end_time is None
     assert len(loaded.records) == 1
     writer.close(end_time=10)
+
+
+def test_v1_header_carries_finalizer_errors(tmp_path):
+    from repro.core.logfile import LogWriter, read_log
+
+    path = tmp_path / "fe.draglog"
+    writer = LogWriter(path)
+    writer.close(end_time=700, finalizer_errors=3)
+    loaded = read_log(path)
+    assert loaded.end_time == 700
+    assert loaded.finalizer_errors == 3
+
+
+def test_v1_header_without_finalizer_errors_reads_none(tmp_path):
+    from repro.core.logfile import LogWriter, read_log
+
+    path = tmp_path / "nofe.draglog"
+    writer = LogWriter(path)
+    writer.close(end_time=700)
+    assert read_log(path).finalizer_errors is None

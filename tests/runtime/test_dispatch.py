@@ -1,0 +1,196 @@
+"""The closure compiler and engine facade.
+
+The headline property: when no profiler is attached, the compiled
+handlers contain *zero* profiler call sites — not disabled hooks, none.
+That is verifiable by introspection: no handler closes over ``on_use``
+and none references profiler machinery by name.
+"""
+
+import pytest
+
+from repro.errors import VMError
+from repro.core.profiler import HeapProfiler
+from repro.mjava.compiler import compile_program
+from repro.runtime.compiled import CompiledInterpreter
+from repro.runtime.engine import (
+    DEFAULT_ENGINE,
+    ENGINES,
+    Engine,
+    VMConfig,
+    create_vm,
+    run_program,
+)
+from repro.runtime.hooks import NullHooks, ProfilerHooks, hooks_for, resolve_on_use
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.library import link
+
+# Exercises every hooked use-op: getfield/putfield, array load/store,
+# arraylength, invokevirtual, monitorenter/exit — plus allocation,
+# branching, statics, exceptions, and string building.
+SOURCE = """
+class Box {
+    int value;
+    Box(int v) { value = v; }
+    int get() { return value; }
+}
+class Main {
+    static int total;
+    public static void main(String[] args) {
+        int[] nums = new int[4];
+        for (int i = 0; i < nums.length; i = i + 1) { nums[i] = i * 3; }
+        Box box = new Box(nums[2]);
+        synchronized (box) { total = box.get(); }
+        try { throw new RuntimeException("boom"); }
+        catch (RuntimeException e) { total = total + 1; }
+        System.println("total=" + total);
+    }
+}
+"""
+
+HOOK_NAMES = {"profiler", "note_use", "on_alloc", "on_use"}
+
+
+def _build(profiler=None):
+    program = compile_program(link(SOURCE), main_class="Main")
+    vm = CompiledInterpreter(program, profiler=profiler)
+    result = vm.run([])
+    return vm, result
+
+
+def _all_handlers(vm):
+    for handlers in vm._code_cache.values():
+        yield from handlers
+
+
+class TestHookSpecialization:
+    def test_unprofiled_handlers_have_zero_hook_sites(self):
+        vm, result = _build()
+        assert result.stdout == ["total=7"]
+        assert vm._code_cache, "nothing was translated"
+        for handler in _all_handlers(vm):
+            code = handler.__code__
+            assert "on_use" not in code.co_freevars, handler
+            assert not HOOK_NAMES & set(code.co_names), handler
+
+    def test_profiled_use_handlers_bind_on_use(self):
+        vm, _ = _build(profiler=HeapProfiler(interval_bytes=1 << 20))
+        bound = [
+            h for h in _all_handlers(vm) if "on_use" in h.__code__.co_freevars
+        ]
+        assert bound, "no handler bound the on_use hook"
+        # The bound cell must be the profiler method itself, not a shim.
+        for handler in bound:
+            idx = handler.__code__.co_freevars.index("on_use")
+            cell = handler.__closure__[idx].cell_contents
+            assert cell == vm.profiler.on_use
+
+    def test_hooks_for(self):
+        null = hooks_for(None)
+        assert isinstance(null, NullHooks)
+        assert not null.active
+        assert resolve_on_use(null) is None
+
+        profiler = HeapProfiler(interval_bytes=1 << 20)
+        active = hooks_for(profiler)
+        assert isinstance(active, ProfilerHooks)
+        assert active.active
+        assert resolve_on_use(active) == profiler.on_use
+
+
+class TestTranslation:
+    def test_translation_is_lazy_and_cached(self):
+        program = compile_program(link(SOURCE), main_class="Main")
+        vm = CompiledInterpreter(program)
+        assert not vm._code_cache
+        vm.run([])
+        main = program.lookup_method("Main", "main")
+        assert main in vm._code_cache
+        assert vm.handlers_for(main) is vm._code_cache[main]
+        assert len(vm._code_cache[main]) == len(main.code)
+
+
+class TestEngineFacade:
+    def test_engine_selection(self):
+        program = compile_program(link(SOURCE), main_class="Main")
+        assert type(create_vm(program, engine="baseline")) is Interpreter
+        assert type(create_vm(program, engine="compiled")) is CompiledInterpreter
+
+    def test_default_engine(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ENGINE", raising=False)
+        assert VMConfig().engine == DEFAULT_ENGINE == "baseline"
+
+    def test_env_var_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "compiled")
+        program = compile_program(link(SOURCE), main_class="Main")
+        assert type(create_vm(program)) is CompiledInterpreter
+
+    def test_env_var_rejects_unknown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "turbo")
+        with pytest.raises(VMError, match="turbo"):
+            VMConfig()
+
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(VMError, match="warp"):
+            VMConfig(engine="warp")
+
+    def test_config_replace(self):
+        config = VMConfig(engine="baseline", max_heap=1024)
+        replaced = config.replace(engine="compiled")
+        assert replaced.engine == "compiled"
+        assert replaced.max_heap == 1024
+        assert config.engine == "baseline"  # original untouched
+
+    def test_engine_run(self):
+        program = compile_program(link(SOURCE), main_class="Main")
+        engine = Engine(program, engine="compiled")
+        result = engine.run([])
+        assert result.stdout == ["total=7"]
+        assert engine.vm is not None
+        assert engine.vm.heap.stats.objects_allocated > 0
+
+    def test_run_program_one_call(self):
+        program = compile_program(link(SOURCE), main_class="Main")
+        result = run_program(program, engine="compiled")
+        assert result.stdout == ["total=7"]
+
+    def test_registry(self):
+        assert ENGINES["baseline"] is Interpreter
+        assert ENGINES["compiled"] is CompiledInterpreter
+
+
+class TestFinalizerErrors:
+    FINALIZER_SOURCE = """
+    class Leaky {
+        void finalize() { throw new RuntimeException("finalizer boom"); }
+    }
+    class Main {
+        public static void main(String[] args) {
+            for (int i = 0; i < 50; i = i + 1) {
+                Leaky l = new Leaky();
+                char[] pressure = new char[512];
+                pressure[0] = 'x';
+            }
+            System.println("done");
+        }
+    }
+    """
+
+    # Finalizers run during *deep GC* (collect -> finalize -> collect),
+    # which only the profiler triggers — so the nonzero cases are all
+    # profiled runs.
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_profiled_run_counts_swallowed_finalizer_exceptions(self, engine):
+        from repro.core.profiler import profile_source
+
+        result = profile_source(
+            self.FINALIZER_SOURCE, "Main", interval_bytes=4096, engine=engine
+        )
+        assert result.run_result.stdout == ["done"]
+        assert result.finalizer_errors == 50
+        assert result.run_result.finalizer_errors == 50
+        assert result.profiler.finalizer_errors == 50
+
+    def test_clean_run_has_zero(self):
+        program = compile_program(link(SOURCE), main_class="Main")
+        assert run_program(program).finalizer_errors == 0

@@ -1,0 +1,170 @@
+"""Differential harness: the compiled engine must be bit-identical to
+the baseline interpreter — stdout, instruction counts, byte clock, heap
+statistics, and (profiled) the full record/sample streams and the v1/v2
+log bytes — on every registered benchmark and example program.
+
+This suite is the gate for the layered execution engine: any dispatch
+optimization that shifts a safepoint, reorders a use event, or changes
+an exception message fails here.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.profiler import HeapProfiler
+from repro.benchmarks.registry import all_benchmarks
+from repro.benchmarks.runner import compile_benchmark
+from repro.mjava.compiler import compile_program
+from repro.runtime.compiled import CompiledInterpreter
+from repro.runtime.engine import ENGINES, create_vm
+from repro.runtime.interpreter import Interpreter
+from repro.runtime.library import link
+from repro.stream.sinks import LogWriterSink, open_log_writer
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples" / "programs"
+
+# Example programs: (filename, main class, args).
+EXAMPLE_PROGRAMS = [
+    ("wordcount.mj", "WordCount", ["12"]),
+]
+
+BENCHMARK_NAMES = sorted(all_benchmarks())
+
+def _stats_dict(stats):
+    return {f: getattr(stats, f) for f in stats.__slots__}
+
+
+def _sample_dicts(samples):
+    return [
+        {"time": s.time, "reachable": s.reachable_bytes, "objects": s.object_count}
+        for s in samples
+    ]
+
+
+def _run(engine_cls, program, args, max_heap=None, profiled=False, interval=65536):
+    profiler = HeapProfiler(interval_bytes=interval) if profiled else None
+    vm = engine_cls(program, max_heap=max_heap, profiler=profiler)
+    result = vm.run(list(args))
+    return result, profiler
+
+
+def _assert_results_equal(base, comp):
+    assert comp.stdout == base.stdout
+    assert comp.instructions == base.instructions
+    assert comp.clock == base.clock
+    assert comp.finalizer_errors == base.finalizer_errors
+    assert _stats_dict(comp.heap_stats) == _stats_dict(base.heap_stats)
+
+
+def _assert_profiles_equal(base_prof, comp_prof):
+    assert [r.to_dict() for r in comp_prof.records] == [
+        r.to_dict() for r in base_prof.records
+    ]
+    assert _sample_dicts(comp_prof.samples) == _sample_dicts(base_prof.samples)
+    assert comp_prof.record_count == base_prof.record_count
+    assert comp_prof.sample_count == base_prof.sample_count
+    assert comp_prof.finalizer_errors == base_prof.finalizer_errors
+
+
+# ---------------------------------------------------------------------------
+# Benchmarks
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_unprofiled_equivalence(name):
+    bench = all_benchmarks()[name]
+    args = bench.args_for("primary")
+    base, _ = _run(
+        Interpreter, compile_benchmark(bench, revised=False), args, bench.max_heap
+    )
+    comp, _ = _run(
+        CompiledInterpreter,
+        compile_benchmark(bench, revised=False),
+        args,
+        bench.max_heap,
+    )
+    _assert_results_equal(base, comp)
+
+
+@pytest.mark.parametrize("name", BENCHMARK_NAMES)
+def test_benchmark_profiled_equivalence(name):
+    bench = all_benchmarks()[name]
+    args = bench.args_for("primary")
+    # Each run compiles its own program: VM-internal allocation sites
+    # (make_throwable) are registered lazily in the program's site
+    # table, so sharing one program across runs would skew site ids.
+    base, base_prof = _run(
+        Interpreter,
+        compile_benchmark(bench, revised=False),
+        args,
+        bench.max_heap,
+        profiled=True,
+    )
+    comp, comp_prof = _run(
+        CompiledInterpreter,
+        compile_benchmark(bench, revised=False),
+        args,
+        bench.max_heap,
+        profiled=True,
+    )
+    _assert_results_equal(base, comp)
+    _assert_profiles_equal(base_prof, comp_prof)
+
+
+# ---------------------------------------------------------------------------
+# Example programs
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("filename,main_class,args", EXAMPLE_PROGRAMS)
+def test_example_program_equivalence(filename, main_class, args):
+    source = (EXAMPLES_DIR / filename).read_text(encoding="utf-8")
+
+    def fresh_program():
+        return compile_program(link(source), main_class=main_class)
+
+    base, base_prof = _run(Interpreter, fresh_program(), args, profiled=True)
+    comp, comp_prof = _run(CompiledInterpreter, fresh_program(), args, profiled=True)
+    _assert_results_equal(base, comp)
+    _assert_profiles_equal(base_prof, comp_prof)
+
+
+def test_all_example_programs_are_covered():
+    """Every .mj under examples/programs must be in EXAMPLE_PROGRAMS."""
+    on_disk = sorted(p.name for p in EXAMPLES_DIR.glob("*.mj"))
+    covered = sorted(name for name, _, _ in EXAMPLE_PROGRAMS)
+    assert on_disk == covered
+
+
+# ---------------------------------------------------------------------------
+# Log byte-identity: both engines must produce the same v1 and v2 files
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", ["db", "euler"])
+@pytest.mark.parametrize("fmt,suffix", [("v1", ".draglog"), ("v2", ".dlog2")])
+def test_log_bytes_identical(tmp_path, name, fmt, suffix):
+    bench = all_benchmarks()[name]
+    args = bench.args_for("primary")
+    paths = {}
+    for engine in ("baseline", "compiled"):
+        path = tmp_path / f"{name}-{engine}{suffix}"
+        sink = LogWriterSink(open_log_writer(path, fmt=fmt))
+        profiler = HeapProfiler(interval_bytes=65536, sink=sink)
+        vm = create_vm(
+            compile_benchmark(bench, revised=False),
+            engine=engine,
+            max_heap=bench.max_heap,
+            profiler=profiler,
+        )
+        vm.run(list(args))
+        sink.close()
+        paths[engine] = path
+    assert paths["baseline"].read_bytes() == paths["compiled"].read_bytes()
+
+
+def test_engines_registry_covers_this_suite():
+    """If a third engine is ever registered it must be added here."""
+    assert set(ENGINES) == {"baseline", "compiled"}

@@ -168,3 +168,39 @@ def test_tail_reader_handles_partial_frames(tmp_path):
     assert tail.ended and tail.end_time == 42
     handles = [r.handle for k, r in seen if k == "record"]
     assert handles == list(range(10))
+
+
+def test_end_frame_carries_finalizer_errors(tmp_path):
+    path = tmp_path / "fe.dlog2"
+    writer = V2LogWriter(path)
+    writer.write_record(make_record(handle=1))
+    writer.close(end_time=500, finalizer_errors=7)
+    loaded = read_v2_log(path)
+    assert loaded.end_time == 500
+    assert loaded.finalizer_errors == 7
+
+
+def test_end_frame_without_finalizer_errors_reads_none(tmp_path):
+    path = tmp_path / "nofe.dlog2"
+    write_v2(path, [make_record(handle=1)], end_time=500)
+    assert read_v2_log(path).finalizer_errors is None
+
+
+def test_old_end_frame_layout_still_parses(tmp_path):
+    """A pre-field END frame (end_time + count only) must still load."""
+    from repro.stream.codec import FRAME_END, _write_uvarint
+
+    path = tmp_path / "old.dlog2"
+    writer = V2LogWriter(path)
+    writer.write_record(make_record(handle=1))
+    # Emit the legacy two-field END frame by hand, then close the file
+    # without letting close() write its own.
+    buf = bytearray()
+    _write_uvarint(buf, 500 + 1)
+    _write_uvarint(buf, writer.count)
+    writer._frame(FRAME_END, bytes(buf))
+    writer._file.close()
+    writer._file = None
+    loaded = read_v2_log(path)
+    assert loaded.end_time == 500
+    assert loaded.finalizer_errors is None
