@@ -1,0 +1,89 @@
+"""The optimize gate, benched: the verified pipeline on db and euler.
+
+Runs the full §3.2 fixpoint loop (max 3 cycles) with differential
+verification on, asserts the gate invariants — every applied patch
+verified stdout-identical with non-increasing drag, no rollbacks on
+these inputs, total drag strictly decreasing — and records per-cycle
+drag deltas to benchmarks/out/optimize_gate.json.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.runtime.library import link
+from repro.transform import OptimizationPipeline
+
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "optimize_gate.json")
+
+
+def _record(name, result):
+    cycles = []
+    for index, cycle in enumerate(result.cycles, 1):
+        cycles.append(
+            {
+                "cycle": index,
+                "drag_before": cycle.drag_before,
+                "drag_after": cycle.drag_after,
+                "drag_saved": cycle.drag_saved,
+                "applied": [o.patch.to_dict() for o in cycle.applied()],
+                "rolled_back": [o.patch.to_dict() for o in cycle.rolled_back()],
+                "skips": len(cycle.skips),
+            }
+        )
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    data = {}
+    if os.path.exists(OUT_PATH):
+        with open(OUT_PATH, encoding="utf-8") as f:
+            data = json.load(f)
+    data[name] = {
+        "drag_before": result.drag_before,
+        "drag_after": result.drag_after,
+        "cycles": cycles,
+    }
+    with open(OUT_PATH, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+
+
+@pytest.mark.parametrize("name", ["db", "euler"])
+def bench_optimize_gate(benchmark, emit, name):
+    bench = get_benchmark(name)
+
+    def run_pipeline():
+        pipeline = OptimizationPipeline(
+            link(bench.original),
+            bench.main_class,
+            bench.primary_args,
+            interval_bytes=bench.interval_bytes,
+            verify=True,
+            max_cycles=3,
+        )
+        return pipeline.run()
+
+    result = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+
+    # Gate invariants.
+    assert result.applied(), "pipeline applied nothing"
+    for outcome in result.applied():
+        assert outcome.verification is not None and outcome.verification.ok, (
+            f"{name}: unverified applied patch {outcome.patch!r}"
+        )
+    assert not result.rolled_back(), f"{name}: unexpected rollback"
+    assert result.drag_after is not None
+    assert result.drag_after < result.drag_before, f"{name}: drag did not decrease"
+
+    _record(name, result)
+    emit()
+    emit(f"=== Optimize gate: {name} ===")
+    for index, cycle in enumerate(result.cycles, 1):
+        emit(
+            f"cycle {index}: drag {cycle.drag_before} -> {cycle.drag_after} "
+            f"(saved {cycle.drag_saved}), "
+            f"{cycle.applied_count} applied, {len(cycle.rolled_back())} rolled back, "
+            f"{len(cycle.skips)} skipped"
+        )
+    pct = 100.0 * (result.drag_before - result.drag_after) / result.drag_before
+    emit(f"total: {pct:.1f}% drag removed over {len(result.cycles)} cycle(s); "
+         f"every applied patch differentially verified")

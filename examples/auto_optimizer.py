@@ -2,16 +2,19 @@
 
 The paper closes with: "In the future we hope to develop feasible
 compiler algorithms that can achieve part of these savings." This
-example runs that pipeline: the advisor profiles the program, walks the
-sites in drag order, classifies each one's lifetime pattern (§3.4),
-validates the matching transformation with the Section-5 analyses, and
-rewrites the source. The revised source is printed for inspection.
+example runs that pipeline, verified: strategies plan structured
+patches from the drag profile joined with the lint findings, each
+patch is applied and differentially verified (identical stdout,
+non-increasing drag — unsound patches would be rolled back), and the
+revised source is printed as a diff for inspection.
 
 Run:  python examples/auto_optimizer.py
 """
 
-from repro import link, optimize, pretty_print, profile_source
+from repro import link, pretty_print, profile_source
 from repro.core.integrals import savings
+from repro.mjava.pretty import unified_source_diff
+from repro.transform import OptimizationPipeline
 
 SOURCE = """
 class Report {
@@ -67,10 +70,22 @@ def profile(program_ast):
 
 def main() -> None:
     program = link(SOURCE)
-    revised, report = optimize(program, "Main", interval_bytes=4096)
+    pipeline = OptimizationPipeline(program, "Main", interval_bytes=4096, verify=True)
 
-    print("=== advisor decisions ===")
-    print(report.summary())
+    print("=== planned patches ===")
+    print(pipeline.plan().describe_plan())
+
+    result = pipeline.run()
+    revised = result.revised
+    cycle = result.cycles[0]
+
+    print("\n=== pipeline decisions (verified) ===")
+    print(cycle.summary())
+    print(
+        f"\nverification: {cycle.applied_count} applied, "
+        f"{len(result.rolled_back())} rolled back; "
+        f"drag {cycle.drag_before} -> {cycle.drag_after}"
+    )
 
     before = profile(link(SOURCE))
     after = profile(revised)
@@ -79,6 +94,13 @@ def main() -> None:
     print("\n=== effect ===")
     print(f"drag saving  {row.drag_saving_pct:.1f}%")
     print(f"space saving {row.space_saving_pct:.1f}%")
+
+    print("\n=== rewrite diff (application classes) ===")
+    diff = unified_source_diff(program, revised)
+    print("".join(
+        line for line in diff.splitlines(keepends=True)
+        if "Locale" not in line  # elide the removed library initializers
+    ), end="")
 
     print("\n=== revised application source (library elided) ===")
     text = pretty_print(revised)

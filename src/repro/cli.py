@@ -166,22 +166,68 @@ def cmd_watch(args) -> int:
 
 
 def cmd_optimize(args) -> int:
-    from repro.mjava.pretty import pretty_print
-    from repro.transform.advisor import optimize
+    from repro.mjava.pretty import pretty_print, unified_source_diff
+    from repro.transform.pipeline import OptimizationPipeline
 
     program = _load_program(args.file)
-    revised, report = optimize(
-        program, args.main, args.args, interval_bytes=args.interval
+    pipeline = OptimizationPipeline(
+        program,
+        args.main,
+        args.args,
+        interval_bytes=args.interval,
+        max_cycles=args.max_cycles,
+        verify=args.verify,
+        engine=args.engine,
     )
-    print(report.summary(), file=sys.stderr)
-    applied = len(report.applied())
+
+    if args.dry_run:
+        cycle = pipeline.plan()
+        print(cycle.describe_plan())
+        print(
+            f"[optimize] {len(cycle.patches)} patch(es) planned "
+            "(dry run; nothing applied)",
+            file=sys.stderr,
+        )
+        return 0
+
+    result = pipeline.run()
+    applied = 0
+    for index, cycle in enumerate(result.cycles, 1):
+        if len(result.cycles) > 1:
+            print(f"--- cycle {index} ---", file=sys.stderr)
+        summary = cycle.summary()
+        if summary:
+            print(summary, file=sys.stderr)
+        applied += cycle.applied_count
+        if args.verify and cycle.drag_after is not None:
+            pct = (
+                100.0 * (cycle.drag_after - cycle.drag_before) / cycle.drag_before
+                if cycle.drag_before
+                else 0.0
+            )
+            print(
+                f"[optimize] cycle {index} verified: drag {cycle.drag_before} "
+                f"-> {cycle.drag_after} ({pct:+.1f}%), "
+                f"{cycle.applied_count} applied, "
+                f"{len(cycle.rolled_back())} rolled back",
+                file=sys.stderr,
+            )
     print(f"[optimize] {applied} transformation(s) applied", file=sys.stderr)
-    text = pretty_print(revised)
+
+    if args.diff:
+        print(
+            unified_source_diff(
+                program, result.revised,
+                fromfile=f"{args.file} (original)", tofile=f"{args.file} (revised)",
+            ),
+            end="",
+        )
+    text = pretty_print(result.revised)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:
             f.write(text)
         print(f"[optimize] wrote revised source to {args.output}", file=sys.stderr)
-    else:
+    elif not args.diff:
         print(text)
     return 0
 
@@ -324,6 +370,28 @@ def build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--main", required=True)
     optimize.add_argument("--interval", type=int, default=100 * 1024)
     optimize.add_argument("-o", "--output", help="write revised source here")
+    optimize.add_argument(
+        "--verify",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="re-run each applied patch and roll back on stdout/drag regression",
+    )
+    optimize.add_argument(
+        "--diff", action="store_true",
+        help="print a unified diff of original vs revised source",
+    )
+    optimize.add_argument(
+        "--dry-run", action="store_true",
+        help="plan and print patches without applying anything",
+    )
+    optimize.add_argument(
+        "--max-cycles", type=int, default=1,
+        help="repeat the profile-rewrite cycle up to N times (§3.2)",
+    )
+    optimize.add_argument(
+        "--engine", choices=["baseline", "compiled"], default=None,
+        help="VM engine for profiling and verification runs",
+    )
     optimize.set_defaults(fn=cmd_optimize)
 
     lint = sub.add_parser("lint", help="static drag analysis (no program run needed)")

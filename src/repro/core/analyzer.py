@@ -258,3 +258,75 @@ class DragAnalysis:
     def drag_share(self, group: SiteGroup) -> float:
         total = self.total_drag
         return group.total_drag / total if total > 0 else 0.0
+
+
+class DragDelta:
+    """The difference between two drag analyses (original vs revised) —
+    the quantity every row of the paper's Table 5 reports, and the
+    pipeline's verification criterion ("total drag must not increase")."""
+
+    __slots__ = ("before", "after")
+
+    def __init__(self, before: "DragAnalysis", after: "DragAnalysis") -> None:
+        self.before = before
+        self.after = after
+
+    @property
+    def total_before(self) -> int:
+        return self.before.total_drag
+
+    @property
+    def total_after(self) -> int:
+        return self.after.total_drag
+
+    @property
+    def delta(self) -> int:
+        """after − before; negative is a drag reduction."""
+        return self.total_after - self.total_before
+
+    @property
+    def pct(self) -> float:
+        """Delta as a percentage of the original total (0.0 when the
+        original had no drag)."""
+        if self.total_before == 0:
+            return 0.0
+        return 100.0 * self.delta / self.total_before
+
+    @property
+    def non_increasing(self) -> bool:
+        return self.total_after <= self.total_before
+
+    @property
+    def decreased(self) -> bool:
+        return self.total_after < self.total_before
+
+    def per_site(self, limit: Optional[int] = None):
+        """(site label, drag before, drag after) rows for every site in
+        either run, largest absolute change first."""
+        labels = set(self.before.by_site) | set(self.after.by_site)
+        rows = []
+        for label in labels:
+            b = self.before.by_site.get(label)
+            a = self.after.by_site.get(label)
+            rows.append((label, b.total_drag if b else 0, a.total_drag if a else 0))
+        rows.sort(key=lambda row: (-abs(row[2] - row[1]), row[0]))
+        return rows[:limit] if limit else rows
+
+    def summary(self) -> str:
+        return (
+            f"total drag {self.total_before} -> {self.total_after} "
+            f"({self.pct:+.1f}%)"
+        )
+
+    def __repr__(self) -> str:
+        return f"<drag-delta {self.summary()}>"
+
+
+def drag_delta(before, after) -> DragDelta:
+    """Build a :class:`DragDelta` from two runs. Each argument may be a
+    :class:`DragAnalysis` or an iterable of :class:`ObjectRecord`."""
+
+    def as_analysis(x):
+        return x if isinstance(x, DragAnalysis) else DragAnalysis(x)
+
+    return DragDelta(as_analysis(before), as_analysis(after))

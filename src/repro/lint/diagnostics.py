@@ -91,6 +91,16 @@ class Diagnostic:
     def rule_id(self) -> str:
         return self.rule.rule_id
 
+    @property
+    def ref(self) -> str:
+        """A stable human-readable reference for this finding, e.g.
+        ``DRAG002@Main.cycle:12(local,Main,cycle,buffer)`` — used by
+        optimization patches to name their originating diagnostics."""
+        base = f"{self.rule_id}@{self.span.label}"
+        if self.subject:
+            return base + "(" + ",".join(str(s) for s in self.subject) + ")"
+        return base
+
     def sort_key(self):
         """Severity, then measured drag (when correlated), then stable
         source order."""

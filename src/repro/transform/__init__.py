@@ -1,5 +1,5 @@
 """The three drag-reducing program transformations (§3.3) and the
-profile-driven advisor that picks among them (§3.4).
+verified optimization pipeline that plans and applies them (§3.2/§3.4).
 
 All transformations are source-to-source on the mini-Java AST, each
 validated by the Section-5 static analyses before being applied:
@@ -8,6 +8,19 @@ validated by the Section-5 static analyses before being applied:
   logical-size array-element case),
 * dead-code removal of allocations of never-used objects,
 * lazy allocation of rarely-used objects.
+
+Since the pipeline refactor the layer is split plan/apply:
+
+* :mod:`~repro.transform.planners` — strategies emitting structured
+  :class:`~repro.transform.patch.Patch` objects from profile drag
+  groups joined with lint diagnostics;
+* :mod:`~repro.transform.apply` — pure patch application
+  (:func:`apply_patches`);
+* :mod:`~repro.transform.verify` — differential verification (stdout
+  identical, drag non-increasing) through the engine facade;
+* :mod:`~repro.transform.pipeline` — the §3.2 fixpoint loop with
+  per-patch rollback;
+* :mod:`~repro.transform.advisor` — the legacy one-cycle facade.
 """
 
 from repro.transform.rewriter import clone_program, clone_node
@@ -17,6 +30,27 @@ from repro.transform.assign_null import (
 )
 from repro.transform.dead_code import remove_dead_allocations
 from repro.transform.lazy_alloc import lazy_allocate_field
+from repro.transform.patch import Patch, PatchOutcome, PlannedSkip
+from repro.transform.apply import APPLIERS, apply_patch, apply_patches
+from repro.transform.planners import (
+    AssignNullPlanner,
+    DeadCodePlanner,
+    LazyAllocPlanner,
+    PlanningContext,
+    Transformation,
+    default_strategies,
+)
+from repro.transform.verify import (
+    ReferenceRun,
+    VerificationResult,
+    run_reference,
+    verify_revision,
+)
+from repro.transform.pipeline import (
+    CycleReport,
+    OptimizationPipeline,
+    PipelineResult,
+)
 from repro.transform.advisor import (
     Advisor,
     AdvisorReport,
@@ -31,6 +65,25 @@ __all__ = [
     "clear_array_slot_on_remove",
     "remove_dead_allocations",
     "lazy_allocate_field",
+    "Patch",
+    "PatchOutcome",
+    "PlannedSkip",
+    "APPLIERS",
+    "apply_patch",
+    "apply_patches",
+    "Transformation",
+    "PlanningContext",
+    "DeadCodePlanner",
+    "LazyAllocPlanner",
+    "AssignNullPlanner",
+    "default_strategies",
+    "ReferenceRun",
+    "VerificationResult",
+    "run_reference",
+    "verify_revision",
+    "CycleReport",
+    "OptimizationPipeline",
+    "PipelineResult",
     "Advisor",
     "AdvisorReport",
     "optimize",

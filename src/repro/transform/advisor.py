@@ -1,47 +1,26 @@
-"""The profile-driven optimizer (§3.4 "Putting It All Together").
+"""The profile-driven optimizer (§3.4 "Putting It All Together") —
+legacy facade.
 
-Given a (linked) program and an input, the advisor:
-
-1. profiles the original program (phase 1 + 2),
-2. walks the allocation sites in decreasing drag order,
-3. finds each site's *anchor* allocation site in application code,
-4. classifies the site's lifetime pattern, and
-5. applies the §3.4-suggested transformation when its static-analysis
-   preconditions hold — dead-code removal for pattern 1, lazy
-   allocation for pattern 2, assigning null for pattern 3 (locals via
-   liveness; logical-size arrays via array liveness), nothing for
-   pattern 4.
-
-The result is a revised program plus a report of what was rewritten and
-what was skipped (and why) — the paper's manual workflow, automated for
-the cases its Section 5 analyses can justify.
-
-The static analyses come from the lint pipeline
-(:mod:`repro.lint`): the advisor builds one
-:class:`~repro.lint.passes.AnalysisContext` (program compiled once,
-call graph / CFGs / class table built once and shared across all
-sites) and consults the lint diagnostics before attempting each
-transformation — the static linter and the profile-driven optimizer
-share one analysis core, so everything the advisor acts on is, by
-construction, also a lint finding.
+Since the pipeline refactor this module is a thin backward-compat shim:
+the actual decision procedure lives in the strategy planners
+(:mod:`repro.transform.planners`), patch application in
+:mod:`repro.transform.apply`, and the profile→plan→apply(→verify)
+cycle in :mod:`repro.transform.pipeline`. :class:`Advisor` runs one
+*unverified* pipeline cycle and projects the result onto the original
+``(revised_ast, AdvisorReport)`` shape — same action order, same
+detail strings, same analysis sharing (one
+:class:`~repro.lint.passes.AnalysisContext`, one lint run) as the
+seed implementation. New code should use
+:class:`~repro.transform.pipeline.OptimizationPipeline` directly,
+which adds differential verification and rollback.
 """
 
 from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.errors import TransformError
-from repro.analysis.array_liveness import logical_size_pairs
-from repro.core.analyzer import DragAnalysis, SiteGroup
-from repro.core.patterns import LifetimePattern, classify_group
-from repro.core.profiler import profile_program
 from repro.mjava import ast
-from repro.mjava.compiler import compile_program
-from repro.mjava.sema import ClassTable
-from repro.transform.assign_null import assign_null_to_local, clear_array_slot_on_remove
-from repro.transform.dead_code import remove_dead_allocations
-from repro.transform.lazy_alloc import lazy_allocate_field
-from repro.transform.rewriter import clone_program
+from repro.transform.planners import parse_frame as _parse_frame  # noqa: F401 (compat)
 
 
 class Action:
@@ -79,15 +58,9 @@ class AdvisorReport:
         return "\n".join(lines)
 
 
-def _parse_frame(label: str):
-    """'Class.method:line' -> (class, method, line)."""
-    left, _, line = label.rpartition(":")
-    cls, _, method = left.partition(".")
-    return cls, method, int(line)
-
-
 class Advisor:
-    """Automates one profile→rewrite cycle."""
+    """Automates one profile→rewrite cycle (unverified; deprecated in
+    favor of :class:`~repro.transform.pipeline.OptimizationPipeline`)."""
 
     def __init__(
         self,
@@ -106,9 +79,9 @@ class Advisor:
         self.min_drag_share = min_drag_share
         self._context = None
         self._lint_result = None
-        # ClassTable cache for the revised AST: rebuilt only when an
-        # applied transform produces a new AST, not per site group.
-        self._revised_table = (None, None)
+        # The CycleReport behind the last run() — patches, outcomes,
+        # and skip entries for callers that want the structured view.
+        self.last_cycle = None
 
     @property
     def context(self):
@@ -132,232 +105,30 @@ class Advisor:
             )
         return self._lint_result
 
-    def _table_for(self, revised) -> ClassTable:
-        cached_ast, cached_table = self._revised_table
-        if cached_ast is not revised:
-            cached_table = ClassTable(revised)
-            self._revised_table = (revised, cached_table)
-        return cached_table
-
     def run(self):
-        """Profile, decide, rewrite. Returns (revised_ast, report)."""
-        compiled = self.context.compiled
-        profile = profile_program(
-            compiled, self.args, interval_bytes=self.interval_bytes
+        """Profile, decide, rewrite. Returns (revised_ast, report).
+
+        One unverified pipeline cycle sharing this advisor's analysis
+        context and lint result, so the profile is taken on the same
+        compiled program and no analysis is rebuilt.
+        """
+        from repro.transform.pipeline import OptimizationPipeline
+
+        pipeline = OptimizationPipeline(
+            self.program_ast,
+            self.main_class,
+            self.args,
+            interval_bytes=self.interval_bytes,
+            top=self.top,
+            min_drag_share=self.min_drag_share,
+            max_cycles=1,
+            verify=False,
         )
-        analysis = DragAnalysis(profile.records)
-        report = AdvisorReport()
-        revised = clone_program(self.program_ast)
-
-        # Dead-code removal runs program-wide once; it is the pattern-1
-        # transformation for every never-used site at once. The
-        # candidate set is the lint core's (DRAG001's own analysis), so
-        # whatever is removed here is exactly what the linter reports.
-        never_used_sites = analysis.never_used_sites()
-        if never_used_sites:
-            revised, removals = remove_dead_allocations(
-                revised, self.main_class, candidates=self.context.interproc.dead
-            )
-            detail = f"{len(removals)} allocation(s) removed"
-            for group in never_used_sites[: self.top]:
-                report.actions.append(
-                    Action(group.key, LifetimePattern.ALL_NEVER_USED, "dead-code-removal",
-                           bool(removals), detail)
-                )
-
-        lazy_done = set()
-        arrays_done = set()
-        # Nested-site groups distinguish call contexts that share a raw
-        # allocation site (e.g. two HashTable fields allocated by the
-        # same library constructor line) — exactly why §2.2 partitions
-        # by nested allocation site.
-        for group in analysis.sorted_nested(self.top):
-            if analysis.drag_share(group) < self.min_drag_share:
-                continue
-            pattern = classify_group(group, interval_bytes=self.interval_bytes)
-            if pattern is LifetimePattern.ALL_NEVER_USED:
-                continue  # handled above
-            if pattern is LifetimePattern.MOSTLY_NEVER_USED:
-                revised = self._try_lazy(revised, profile, group, report, lazy_done)
-            elif pattern is LifetimePattern.LARGE_DRAG:
-                revised = self._try_assign_null(revised, profile, group, report, arrays_done)
-            else:
-                report.actions.append(
-                    Action(group.key, pattern, None, False,
-                           "no transformation for this pattern (§3.4 pattern 4/unclassified)")
-                )
-        return revised, report
-
-    # -- pattern 2: lazy allocation ------------------------------------------
-
-    def _try_lazy(self, revised, profile, group: SiteGroup, report, done):
-        anchor = self._anchor(profile, group)
-        if anchor is None:
-            report.actions.append(
-                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
-                       False, "no application anchor frame"))
-            return revised
-        cls_name, method, line = _parse_frame(anchor)
-        # The anchor must be a constructor assigning the allocation to a
-        # field; find which field from the (original) AST.
-        field = self._ctor_assigned_field(cls_name, line)
-        if field is None:
-            report.actions.append(
-                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
-                       False, f"anchor {anchor} is not a ctor field assignment"))
-            return revised
-        if (cls_name, field) in done:
-            return revised
-        if not self.lint.find("DRAG003", "field", cls_name, field):
-            report.actions.append(
-                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
-                       False, f"{cls_name}.{field} is not a static lazy-allocation "
-                       "candidate (no DRAG003 finding)"))
-            return revised
-        try:
-            revised = lazy_allocate_field(revised, cls_name, field, self.main_class)
-            done.add((cls_name, field))
-            report.actions.append(
-                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
-                       True, f"{cls_name}.{field} now allocated on first use"))
-        except TransformError as exc:
-            report.actions.append(
-                Action(group.key, LifetimePattern.MOSTLY_NEVER_USED, "lazy-allocation",
-                       False, str(exc)))
-        return revised
-
-    # -- pattern 3: assigning null ---------------------------------------------
-
-    def _try_assign_null(self, revised, profile, group: SiteGroup, report, arrays_done):
-        # Case A: the dragged objects' last use is inside a class with a
-        # verified logical-size array (the jess Vector case). The lint
-        # DRAG002 findings already carry the verdict for every class
-        # (including instantiated library ones), so consult them first.
-        table = self._table_for(revised)
-        for use_group in sorted(
-            group.partition_by_last_use().values(), key=lambda g: -g.total_drag
-        ):
-            if use_group.key[1] is None:
-                continue
-            use_cls, _, _ = _parse_frame(use_group.key[1])
-            if use_cls in arrays_done or not table.has(use_cls):
-                continue
-            if not self.lint.find("DRAG002", "array", use_cls):
-                continue
-            pairs = logical_size_pairs(table, use_cls)
-            if pairs:
-                try:
-                    revised = clear_array_slot_on_remove(revised, use_cls)
-                    arrays_done.add(use_cls)
-                    report.actions.append(
-                        Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
-                               True, f"array liveness: cleared slots of {pairs} in {use_cls}"))
-                    return revised
-                except TransformError:
-                    pass
-        # Case B: the allocation is held by a local of the anchor
-        # method. Liveness on the anchor method pinpoints the local's
-        # last-use line (the profile's last-use frame may be in a
-        # callee — e.g. a fill() helper touching the buffer).
-        anchor = self._anchor(profile, group)
-        if anchor is None:
-            report.actions.append(
-                Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
-                       False, "no anchor frame in application code"))
-            return revised
-        a_cls, a_method, a_line = _parse_frame(anchor)
-        var = self._local_assigned_at(a_cls, a_method, a_line)
-        if var is None:
-            report.actions.append(
-                Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
-                       False, f"no local variable assigned at {anchor}"))
-            return revised
-        candidates = self._insertion_lines(profile.program, a_cls, a_method, var)
-        candidates = [line for line in candidates if line >= a_line]
-        if not candidates:
-            report.actions.append(
-                Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
-                       False, f"no liveness-safe nulling point for {var} in {a_cls}.{a_method}"))
-            return revised
-        last_error = None
-        for line in candidates[:5]:
-            try:
-                revised = assign_null_to_local(revised, a_cls, a_method, var, line)
-                report.actions.append(
-                    Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
-                           True, f"{var} = null inserted after {a_cls}.{a_method}:{line}"))
-                return revised
-            except TransformError as exc:
-                last_error = exc
-        report.actions.append(
-            Action(group.key, LifetimePattern.LARGE_DRAG, "assign-null",
-                   False, str(last_error)))
-        return revised
-
-    # -- helpers --------------------------------------------------------------
-
-    def _anchor(self, profile, group: SiteGroup) -> Optional[str]:
-        from repro.core.anchor import anchor_site
-
-        return anchor_site(group, profile.program)
-
-    def _insertion_lines(self, compiled, class_name: str, method_name: str, var: str):
-        """Liveness-safe lines after which ``var = null`` may go."""
-        from repro.transform.assign_null import null_insertion_candidates
-
-        cls = compiled.classes.get(class_name)
-        if cls is None or method_name not in cls.methods:
-            return []
-        return null_insertion_candidates(cls.methods[method_name], var)
-
-    def _dominant_last_use(self, group: SiteGroup) -> Optional[str]:
-        votes = {}
-        for record in group.records:
-            if record.last_use_frame:
-                votes[record.last_use_frame] = (
-                    votes.get(record.last_use_frame, 0) + record.drag
-                )
-        if not votes:
-            return None
-        return max(sorted(votes), key=lambda k: votes[k])
-
-    def _ctor_assigned_field(self, class_name: str, line: int) -> Optional[str]:
-        cls = self.program_ast.find_class(class_name)
-        if cls is None:
-            return None
-        for ctor in cls.ctors:
-            for node in ctor.body.walk():
-                if isinstance(node, ast.Assign) and node.pos.line == line:
-                    if isinstance(node.target, ast.Name):
-                        return node.target.ident
-                    if isinstance(node.target, ast.FieldAccess) and isinstance(
-                        node.target.target, ast.This
-                    ):
-                        return node.target.name
-        for field in cls.fields:
-            if field.pos.line == line and field.init is not None:
-                return field.name
-        return None
-
-    def _local_assigned_at(self, class_name: str, method_name: str, line: int) -> Optional[str]:
-        cls = self.program_ast.find_class(class_name)
-        if cls is None:
-            return None
-        for method in cls.methods:
-            if method.name != method_name or method.body is None:
-                continue
-            for node in method.body.walk():
-                if node.pos.line != line:
-                    continue
-                if isinstance(node, ast.VarDecl) and node.init is not None:
-                    return node.name
-                if isinstance(node, ast.Assign) and isinstance(node.target, ast.Name):
-                    local_names = {
-                        n.name for n in method.body.walk() if isinstance(n, ast.VarDecl)
-                    } | {p.name for p in method.params}
-                    if node.target.ident in local_names:
-                        return node.target.ident
-        return None
+        cycle = pipeline.run_cycle(
+            self.program_ast, context=self.context, lint=self.lint
+        )
+        self.last_cycle = cycle
+        return cycle.revised, cycle.to_advisor_report()
 
 
 def optimize(
@@ -389,13 +160,16 @@ def optimize_iteratively(
 
     Returns (revised_ast, [report per cycle]).
     """
-    current = program_ast
-    reports: List[AdvisorReport] = []
-    for _ in range(max_cycles):
-        advisor = Advisor(current, main_class, args, interval_bytes, top)
-        revised, report = advisor.run()
-        reports.append(report)
-        if not report.applied():
-            break
-        current = revised
-    return current, reports
+    from repro.transform.pipeline import OptimizationPipeline
+
+    pipeline = OptimizationPipeline(
+        program_ast,
+        main_class,
+        args,
+        interval_bytes=interval_bytes,
+        top=top,
+        max_cycles=max_cycles,
+        verify=False,
+    )
+    result = pipeline.run()
+    return result.revised, [cycle.to_advisor_report() for cycle in result.cycles]

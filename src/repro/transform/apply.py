@@ -1,0 +1,147 @@
+"""Pure patch application: ``apply_patches(program, patches) -> program``.
+
+Each :class:`~repro.transform.patch.Patch` kind maps to one applier
+built on the §3.3 transformation functions (which themselves clone
+before rewriting), so applying never mutates the input AST. An applier
+either returns ``(revised_program, detail)`` or raises
+:class:`~repro.errors.TransformError` when the patch's static
+precondition does not hold on this AST — the pipeline records that as
+a failed outcome and moves on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from repro.errors import TransformError
+from repro.mjava import ast
+from repro.transform.assign_null import (
+    assign_null_to_local,
+    clear_array_slot_on_remove,
+)
+from repro.transform.dead_code import remove_dead_allocations
+from repro.transform.lazy_alloc import lazy_allocate_field
+from repro.transform.patch import Patch
+from repro.transform.rewriter import clone_program, find_class, rewrite_block
+
+Applier = Callable[[ast.Program, Patch], Tuple[ast.Program, str]]
+
+APPLIERS: Dict[str, Applier] = {}
+
+
+def register_applier(kind: str) -> Callable[[Applier], Applier]:
+    def decorate(fn: Applier) -> Applier:
+        APPLIERS[kind] = fn
+        return fn
+
+    return decorate
+
+
+@register_applier("remove-dead-allocations")
+def _apply_remove_dead(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    revised, removals = remove_dead_allocations(
+        program,
+        patch.params["main_class"],
+        candidates=patch.params.get("candidates"),
+    )
+    detail = f"{len(removals)} allocation(s) removed"
+    if not removals:
+        raise TransformError(detail)
+    return revised, detail
+
+
+@register_applier("lazy-alloc-field")
+def _apply_lazy_field(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    cls_name = patch.params["class_name"]
+    field = patch.params["field_name"]
+    revised = lazy_allocate_field(
+        program, cls_name, field, patch.params.get("main_class")
+    )
+    return revised, f"{cls_name}.{field} now allocated on first use"
+
+
+@register_applier("clear-array-slot")
+def _apply_clear_array(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    cls_name = patch.params["class_name"]
+    pairs = patch.params["pairs"]
+    revised = clear_array_slot_on_remove(program, cls_name)
+    return revised, f"array liveness: cleared slots of {pairs} in {cls_name}"
+
+
+@register_applier("assign-null-local")
+def _apply_assign_null(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    cls_name = patch.params["class_name"]
+    method = patch.params["method_name"]
+    var = patch.params["var_name"]
+    lines = list(patch.params["lines"])
+    if not patch.params.get("validate", True):
+        # Escape hatch for synthetic/test patches: raw insertion with no
+        # liveness proof. Differential verification is the only net.
+        revised = _insert_null_unchecked(program, cls_name, method, var, lines[0])
+        return revised, f"{var} = null inserted after {cls_name}.{method}:{lines[0]} (unverified plan)"
+    last_error = None
+    for line in lines:
+        try:
+            revised = assign_null_to_local(program, cls_name, method, var, line)
+            return revised, f"{var} = null inserted after {cls_name}.{method}:{line}"
+        except TransformError as exc:
+            last_error = exc
+    raise TransformError(
+        str(last_error)
+        if last_error is not None
+        else f"no liveness-safe nulling point for {var} in {cls_name}.{method}"
+    )
+
+
+def _insert_null_unchecked(
+    program: ast.Program, class_name: str, method_name: str, var: str, after_line: int
+) -> ast.Program:
+    revised = clone_program(program)
+    target_cls = find_class(revised, class_name)
+    target_method = None
+    for method in target_cls.methods:
+        if method.name == method_name:
+            target_method = method
+    if target_method is None or target_method.body is None:
+        raise TransformError(f"no body for {class_name}.{method_name}")
+    inserted: List[ast.Stmt] = []
+
+    def insert_after(stmt: ast.Stmt):
+        if (
+            stmt.pos.line == after_line
+            and not isinstance(stmt, ast.Block)
+            and not inserted
+        ):
+            inserted.append(stmt)
+            null_assign = ast.Assign(
+                ast.Name(var, pos=stmt.pos), ast.NullLit(pos=stmt.pos), pos=stmt.pos
+            )
+            return [stmt, null_assign]
+        return stmt
+
+    rewrite_block(target_method.body, insert_after)
+    if not inserted:
+        raise TransformError(
+            f"no statement at line {after_line} in {class_name}.{method_name}"
+        )
+    return revised
+
+
+def apply_patch(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    """Apply one patch; returns (revised program, human detail)."""
+    applier = APPLIERS.get(patch.kind)
+    if applier is None:
+        raise TransformError(f"no applier for patch kind {patch.kind!r}")
+    return applier(program, patch)
+
+
+def apply_patches(program: ast.Program, patches) -> ast.Program:
+    """Apply a sequence of patches in order, purely: the input program
+    is never mutated and each patch sees its predecessors' output. A
+    patch whose precondition fails on the evolving AST raises
+    :class:`TransformError` (use the pipeline for record-and-continue
+    semantics)."""
+    current = program
+    for patch in patches:
+        current, _ = apply_patch(current, patch)
+    return current

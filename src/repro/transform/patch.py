@@ -1,0 +1,165 @@
+"""Structured patches: the unit of work of the optimization pipeline.
+
+The seed-era advisor mutated cloned ASTs inline, leaving no record of
+*what* changed beyond a free-text detail string. The pipeline splits
+every §3.3 transformation into a *plan* step that emits a
+:class:`Patch` — a declarative description carrying the source span,
+the replacement sketch, the rationale, the originating lint
+diagnostics (DRAG001–003) and the profile site whose drag motivated it
+— and an *apply* step (:mod:`repro.transform.apply`) that executes the
+patch purely, producing a new program AST.
+
+A planned patch that is applied, verified, or rolled back is tracked
+as a :class:`PatchOutcome`; sites the planner looked at but declined
+are recorded as :class:`PlannedSkip` entries so reports keep the
+paper's "what was skipped and why" shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class Patch:
+    """One planned source rewrite.
+
+    ``kind`` names the applier (see :data:`repro.transform.apply.APPLIERS`);
+    ``params`` carries everything the applier needs, making the patch
+    self-contained: ``apply_patches(program, patches)`` needs no other
+    context. ``site``/``pattern``/``drag`` tie the patch back to the
+    profile group that motivated it, ``diagnostics`` to the lint
+    findings that justified it, and ``span``/``replacement``/
+    ``rationale`` make the plan human-readable (``--dry-run``).
+    """
+
+    __slots__ = (
+        "strategy",
+        "kind",
+        "params",
+        "span",
+        "site",
+        "pattern",
+        "drag",
+        "rationale",
+        "diagnostics",
+        "replacement",
+        "priority",
+    )
+
+    def __init__(
+        self,
+        strategy: str,
+        kind: str,
+        params: Dict[str, object],
+        span=None,
+        site=None,
+        pattern=None,
+        drag: int = 0,
+        rationale: str = "",
+        diagnostics: Tuple[str, ...] = (),
+        replacement: str = "",
+        priority: int = 1,
+    ) -> None:
+        self.strategy = strategy
+        self.kind = kind
+        self.params = params
+        self.span = span  # SourceSpan of the code being rewritten (or None)
+        self.site = site  # profile group key that motivated the patch
+        self.pattern = pattern  # LifetimePattern that selected the strategy
+        self.drag = drag  # measured bytes*time of the motivating group
+        self.rationale = rationale
+        self.diagnostics = diagnostics  # refs of originating lint findings
+        self.replacement = replacement  # human-readable sketch of the rewrite
+        self.priority = priority  # scheduling class; lower runs earlier
+
+    @property
+    def label(self) -> str:
+        return self.span.label if self.span is not None else str(self.site)
+
+    def describe(self) -> str:
+        """One-paragraph plan entry (the ``--dry-run`` format)."""
+        lines = [f"{self.strategy} [{self.kind}] @ {self.label}  drag={self.drag}"]
+        if self.replacement:
+            lines.append(f"    rewrite: {self.replacement}")
+        if self.rationale:
+            lines.append(f"    why:     {self.rationale}")
+        if self.diagnostics:
+            lines.append(f"    lint:    {', '.join(self.diagnostics)}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "kind": self.kind,
+            "span": self.span.label if self.span is not None else None,
+            "site": str(self.site) if self.site is not None else None,
+            "pattern": self.pattern.name if self.pattern is not None else None,
+            "drag": self.drag,
+            "rationale": self.rationale,
+            "diagnostics": list(self.diagnostics),
+            "replacement": self.replacement,
+        }
+
+    def __repr__(self) -> str:
+        return f"<patch {self.strategy}/{self.kind} @ {self.label}>"
+
+
+# Outcome statuses, in lifecycle order.
+PLANNED = "planned"
+APPLIED = "applied"
+FAILED = "failed"  # the applier raised (precondition not met on this AST)
+ROLLED_BACK = "rolled-back"  # applied, then differential verification failed
+
+
+class PatchOutcome:
+    """A patch plus what happened to it in one pipeline cycle."""
+
+    __slots__ = ("patch", "status", "detail", "verification")
+
+    def __init__(self, patch: Patch, status: str = PLANNED, detail: str = "") -> None:
+        self.patch = patch
+        self.status = status
+        self.detail = detail
+        # VerificationResult when the differential check ran (applied or
+        # rolled-back patches under --verify), else None.
+        self.verification = None
+
+    @property
+    def applied(self) -> bool:
+        return self.status == APPLIED
+
+    def __repr__(self) -> str:
+        return f"<{self.status} {self.patch!r}: {self.detail}>"
+
+
+class PlannedSkip:
+    """A profile group the planner examined and declined, with the
+    §3.4 reason — kept so pipeline reports subsume advisor reports."""
+
+    __slots__ = ("site", "pattern", "strategy", "detail")
+
+    def __init__(self, site, pattern, strategy: Optional[str], detail: str) -> None:
+        self.site = site
+        self.pattern = pattern
+        self.strategy = strategy
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"<skip {self.strategy} at {self.site}: {self.detail}>"
+
+
+def describe_plan(entries: List[object]) -> str:
+    """Render a planned cycle (patches and skips) for ``--dry-run``."""
+    lines: List[str] = []
+    index = 0
+    for entry in entries:
+        if isinstance(entry, PatchOutcome):
+            entry = entry.patch
+        if isinstance(entry, Patch):
+            index += 1
+            lines.append(f"{index}. {entry.describe()}")
+        else:
+            lines.append(f"-  skip {entry.strategy or '-'} @ {entry.site}: {entry.detail}")
+    if index == 0:
+        lines.append("(no patches planned)")
+    return "\n".join(lines)

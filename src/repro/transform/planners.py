@@ -1,0 +1,378 @@
+"""Patch planners: one per §3.3 transformation strategy.
+
+A planner looks at a profile drag group (already classified into a
+§3.4 lifetime pattern), joins it with the lint diagnostics that
+justify the rewrite (DRAG001 for dead code, DRAG003 for lazy
+allocation, DRAG002 for droppable references), and emits
+:class:`~repro.transform.patch.Patch` objects — or
+:class:`~repro.transform.patch.PlannedSkip` entries naming why the
+site was declined. No planner touches the AST: application is
+:mod:`repro.transform.apply`'s job, and the decision procedure here is
+exactly the seed advisor's (same anchor walk, same lint joins, same
+skip messages), so pipeline reports subsume advisor reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.array_liveness import logical_size_pairs
+from repro.core.patterns import LifetimePattern
+from repro.mjava import ast
+from repro.transform.patch import Patch, PlannedSkip
+
+PlanEntry = Union[Patch, PlannedSkip]
+
+
+class PlanningContext:
+    """Everything one planning cycle sees: the program, the shared lint
+    :class:`~repro.lint.passes.AnalysisContext`, the lint findings, the
+    phase-1 profile and its drag analysis — plus the cross-strategy
+    dedup sets (one lazy rewrite per field, one array-clear per class)."""
+
+    __slots__ = (
+        "program_ast",
+        "main_class",
+        "context",
+        "lint",
+        "profile",
+        "analysis",
+        "interval_bytes",
+        "top",
+        "min_drag_share",
+        "lazy_done",
+        "arrays_done",
+    )
+
+    def __init__(
+        self,
+        program_ast: ast.Program,
+        main_class: str,
+        context,
+        lint,
+        profile,
+        analysis,
+        interval_bytes: int,
+        top: int,
+        min_drag_share: float,
+    ) -> None:
+        self.program_ast = program_ast
+        self.main_class = main_class
+        self.context = context
+        self.lint = lint
+        self.profile = profile
+        self.analysis = analysis
+        self.interval_bytes = interval_bytes
+        self.top = top
+        self.min_drag_share = min_drag_share
+        self.lazy_done: Set[Tuple[str, str]] = set()
+        self.arrays_done: Set[str] = set()
+
+
+# -- shared frame/AST helpers (formerly Advisor private methods) ----------
+
+
+def parse_frame(label: str) -> Tuple[str, str, int]:
+    """'Class.method:line' -> (class, method, line)."""
+    left, _, line = label.rpartition(":")
+    cls, _, method = left.partition(".")
+    return cls, method, int(line)
+
+
+def span_of_frame(label: str):
+    from repro.lint.diagnostics import SourceSpan
+
+    try:
+        cls, method, line = parse_frame(label)
+    except ValueError:
+        return None  # e.g. the profiler's "<unknown>" site label
+    return SourceSpan(cls, method, line)
+
+
+def anchor_of(profile, group) -> Optional[str]:
+    """The §3.4 anchor allocation site of a drag group."""
+    from repro.core.anchor import anchor_site
+
+    return anchor_site(group, profile.program)
+
+
+def ctor_assigned_field(
+    program_ast: ast.Program, class_name: str, line: int
+) -> Optional[str]:
+    """The field assigned at ``line`` of a constructor (or field
+    initializer) of ``class_name``, if any."""
+    cls = program_ast.find_class(class_name)
+    if cls is None:
+        return None
+    for ctor in cls.ctors:
+        for node in ctor.body.walk():
+            if isinstance(node, ast.Assign) and node.pos.line == line:
+                if isinstance(node.target, ast.Name):
+                    return node.target.ident
+                if isinstance(node.target, ast.FieldAccess) and isinstance(
+                    node.target.target, ast.This
+                ):
+                    return node.target.name
+    for field in cls.fields:
+        if field.pos.line == line and field.init is not None:
+            return field.name
+    return None
+
+
+def local_assigned_at(
+    program_ast: ast.Program, class_name: str, method_name: str, line: int
+) -> Optional[str]:
+    """The local variable assigned at ``line`` of a method, if any."""
+    cls = program_ast.find_class(class_name)
+    if cls is None:
+        return None
+    for method in cls.methods:
+        if method.name != method_name or method.body is None:
+            continue
+        for node in method.body.walk():
+            if node.pos.line != line:
+                continue
+            if isinstance(node, ast.VarDecl) and node.init is not None:
+                return node.name
+            if isinstance(node, ast.Assign) and isinstance(node.target, ast.Name):
+                local_names = {
+                    n.name for n in method.body.walk() if isinstance(n, ast.VarDecl)
+                } | {p.name for p in method.params}
+                if node.target.ident in local_names:
+                    return node.target.ident
+    return None
+
+
+def insertion_lines(compiled, class_name: str, method_name: str, var: str) -> List[int]:
+    """Liveness-safe lines after which ``var = null`` may go."""
+    from repro.transform.assign_null import null_insertion_candidates
+
+    cls = compiled.classes.get(class_name)
+    if cls is None or method_name not in cls.methods:
+        return []
+    return null_insertion_candidates(cls.methods[method_name], var)
+
+
+def _refs(diags) -> Tuple[str, ...]:
+    return tuple(d.ref for d in diags)
+
+
+# -- the strategies ---------------------------------------------------------
+
+
+class Transformation:
+    """The planner protocol: ``plan_program`` runs once per cycle
+    (program-wide strategies), ``plan_group`` once per drag group whose
+    lifetime pattern is in :attr:`patterns`."""
+
+    name = "?"
+    patterns: Sequence[LifetimePattern] = ()
+
+    def plan_program(self, pctx: PlanningContext) -> List[PlanEntry]:
+        return []
+
+    def plan_group(
+        self, pctx: PlanningContext, group, pattern: LifetimePattern
+    ) -> List[PlanEntry]:
+        return []
+
+
+class DeadCodePlanner(Transformation):
+    """§3.3.2 pattern 1: every never-used site at once, candidates from
+    the lint core's interprocedural must-use analysis (DRAG001)."""
+
+    name = "dead-code-removal"
+    patterns = ()  # program-wide; ALL_NEVER_USED groups are its evidence
+
+    def plan_program(self, pctx: PlanningContext) -> List[PlanEntry]:
+        never_used = pctx.analysis.never_used_sites()
+        if not never_used:
+            return []
+        top_sites = never_used[: pctx.top]
+        drag = sum(g.total_drag for g in never_used)
+        return [
+            Patch(
+                strategy=self.name,
+                kind="remove-dead-allocations",
+                params={
+                    "main_class": pctx.main_class,
+                    "candidates": pctx.context.interproc.dead,
+                    "sites": [g.key for g in top_sites],
+                },
+                span=span_of_frame(str(top_sites[0].key)),
+                site=top_sites[0].key,
+                pattern=LifetimePattern.ALL_NEVER_USED,
+                drag=drag,
+                rationale=(
+                    f"{len(never_used)} allocation site(s) whose objects are "
+                    "all never used (§2.2 'a sure bet for code rewriting'); "
+                    "removal candidates proven by the DRAG001 analyses"
+                ),
+                diagnostics=_refs(pctx.lint.by_rule("DRAG001")),
+                replacement="delete never-used allocating stores and initializers",
+                priority=0,  # schedule before per-site patches, as §3.4 does
+            )
+        ]
+
+
+class LazyAllocPlanner(Transformation):
+    """§3.3.3 pattern 2: constructor-assigned field, lazily allocated
+    behind a null-check accessor (gated by a DRAG003 finding)."""
+
+    name = "lazy-allocation"
+    patterns = (LifetimePattern.MOSTLY_NEVER_USED,)
+
+    def plan_group(
+        self, pctx: PlanningContext, group, pattern: LifetimePattern
+    ) -> List[PlanEntry]:
+        anchor = anchor_of(pctx.profile, group)
+        if anchor is None:
+            return [PlannedSkip(group.key, pattern, self.name, "no application anchor frame")]
+        cls_name, _method, line = parse_frame(anchor)
+        field = ctor_assigned_field(pctx.program_ast, cls_name, line)
+        if field is None:
+            return [
+                PlannedSkip(
+                    group.key, pattern, self.name,
+                    f"anchor {anchor} is not a ctor field assignment",
+                )
+            ]
+        if (cls_name, field) in pctx.lazy_done:
+            return []
+        diags = pctx.lint.find("DRAG003", "field", cls_name, field)
+        if not diags:
+            return [
+                PlannedSkip(
+                    group.key, pattern, self.name,
+                    f"{cls_name}.{field} is not a static lazy-allocation "
+                    "candidate (no DRAG003 finding)",
+                )
+            ]
+        pctx.lazy_done.add((cls_name, field))
+        return [
+            Patch(
+                strategy=self.name,
+                kind="lazy-alloc-field",
+                params={
+                    "class_name": cls_name,
+                    "field_name": field,
+                    "main_class": pctx.main_class,
+                },
+                span=diags[0].span,
+                site=group.key,
+                pattern=pattern,
+                drag=group.total_drag,
+                rationale=(
+                    f"anchor {anchor}: mostly-never-used objects held by "
+                    f"ctor-assigned field {cls_name}.{field}; DRAG003 proves "
+                    "the lazy-allocation preconditions"
+                ),
+                diagnostics=_refs(diags[:1]),
+                replacement=f"reads of {field} go through lazyInit_{field}() null-check accessor",
+            )
+        ]
+
+
+class AssignNullPlanner(Transformation):
+    """§3.3.1 pattern 3: drop a dead reference — the §5.2 logical-size
+    array case first (DRAG002 array findings), else ``v = null`` after a
+    liveness-proven last use of the anchor method's local."""
+
+    name = "assign-null"
+    patterns = (LifetimePattern.LARGE_DRAG,)
+
+    def plan_group(
+        self, pctx: PlanningContext, group, pattern: LifetimePattern
+    ) -> List[PlanEntry]:
+        # Case A: objects last used inside a class with a verified
+        # logical-size (array, count) pair — clear the removed slot.
+        table = pctx.context.table
+        for use_group in sorted(
+            group.partition_by_last_use().values(), key=lambda g: -g.total_drag
+        ):
+            if use_group.key[1] is None:
+                continue
+            use_cls, _, _ = parse_frame(use_group.key[1])
+            if use_cls in pctx.arrays_done or not table.has(use_cls):
+                continue
+            diags = pctx.lint.find("DRAG002", "array", use_cls)
+            if not diags:
+                continue
+            pairs = logical_size_pairs(table, use_cls)
+            if pairs:
+                pctx.arrays_done.add(use_cls)
+                return [
+                    Patch(
+                        strategy=self.name,
+                        kind="clear-array-slot",
+                        params={"class_name": use_cls, "pairs": pairs},
+                        span=diags[0].span,
+                        site=group.key,
+                        pattern=pattern,
+                        drag=group.total_drag,
+                        rationale=(
+                            f"dragged objects' last use is in {use_cls}, which "
+                            f"has verified logical-size pair(s) {pairs} (§5.2 "
+                            "array liveness; DRAG002)"
+                        ),
+                        diagnostics=_refs(diags[:1]),
+                        replacement="null the array slot after each logical removal",
+                    )
+                ]
+        # Case B: the allocation is held by a local of the anchor method.
+        anchor = anchor_of(pctx.profile, group)
+        if anchor is None:
+            return [PlannedSkip(group.key, pattern, self.name, "no anchor frame in application code")]
+        a_cls, a_method, a_line = parse_frame(anchor)
+        var = local_assigned_at(pctx.program_ast, a_cls, a_method, a_line)
+        if var is None:
+            return [
+                PlannedSkip(
+                    group.key, pattern, self.name,
+                    f"no local variable assigned at {anchor}",
+                )
+            ]
+        candidates = [
+            line
+            for line in insertion_lines(pctx.profile.program, a_cls, a_method, var)
+            if line >= a_line
+        ]
+        if not candidates:
+            return [
+                PlannedSkip(
+                    group.key, pattern, self.name,
+                    f"no liveness-safe nulling point for {var} in {a_cls}.{a_method}",
+                )
+            ]
+        diags = pctx.lint.find("DRAG002", "local", a_cls, a_method, var)
+        span = diags[0].span if diags else span_of_frame(anchor)
+        return [
+            Patch(
+                strategy=self.name,
+                kind="assign-null-local",
+                params={
+                    "class_name": a_cls,
+                    "method_name": a_method,
+                    "var_name": var,
+                    # Try the earliest liveness-safe lines in order; the
+                    # applier keeps the first whose AST scope also allows it.
+                    "lines": tuple(candidates[:5]),
+                    "validate": True,
+                },
+                span=span,
+                site=group.key,
+                pattern=pattern,
+                drag=group.total_drag,
+                rationale=(
+                    f"anchor {anchor}: large-drag objects held by local "
+                    f"{var}; §5.1 liveness proves the slot dead after "
+                    f"line(s) {list(candidates[:5])}"
+                ),
+                diagnostics=_refs(diags[:1]),
+                replacement=f"{var} = null;",
+            )
+        ]
+
+
+def default_strategies() -> List[Transformation]:
+    return [DeadCodePlanner(), LazyAllocPlanner(), AssignNullPlanner()]

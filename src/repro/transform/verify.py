@@ -1,0 +1,154 @@
+"""Differential verification of applied patches.
+
+The paper checks its hand rewrites by re-running the benchmark and
+comparing outputs; this module automates that. After a patch is
+applied, the revised program is compiled and re-profiled through the
+PR 3 engine facade (:func:`repro.core.profiler.profile_program` goes
+through :func:`repro.runtime.engine.create_vm`), and the run is
+compared against the last *accepted* run:
+
+* **stdout must be identical** — the rewrite preserved behavior;
+* **total drag must not increase** (within ``drag_tolerance``) — the
+  rewrite moved in the paper's Table 5 direction.
+
+A revised program that fails to compile or crashes at runtime is a
+verification failure, not an internal error: the pipeline rolls the
+patch back and continues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import MiniJavaException, ReproError
+
+
+class ReferenceRun:
+    """One accepted profiled run: the baseline the next patch is
+    differenced against."""
+
+    __slots__ = ("stdout", "records", "analysis", "total_drag", "profile")
+
+    def __init__(self, stdout: List[str], records, analysis, profile=None) -> None:
+        self.stdout = stdout
+        self.records = records
+        self.analysis = analysis
+        self.total_drag = analysis.total_drag
+        self.profile = profile
+
+    @classmethod
+    def from_profile(cls, profile) -> "ReferenceRun":
+        from repro.core.analyzer import DragAnalysis
+
+        analysis = DragAnalysis(profile.records)
+        return cls(list(profile.run_result.stdout), profile.records, analysis, profile)
+
+
+def run_reference(
+    program_ast,
+    main_class: str,
+    args: Optional[List[str]] = None,
+    interval_bytes: int = 100 * 1024,
+    engine: Optional[str] = None,
+) -> ReferenceRun:
+    """Compile and profile a program AST; raises
+    :class:`~repro.errors.ReproError` /
+    :class:`~repro.errors.MiniJavaException` when it cannot run."""
+    from repro.core.profiler import profile_program
+    from repro.mjava.compiler import compile_program
+
+    compiled = compile_program(program_ast, main_class=main_class)
+    profile = profile_program(
+        compiled, list(args or []), interval_bytes=interval_bytes, engine=engine
+    )
+    return ReferenceRun.from_profile(profile)
+
+
+class VerificationResult:
+    """The verdict on one applied patch."""
+
+    __slots__ = ("ok", "stdout_ok", "drag_ok", "drag_before", "drag_after", "detail")
+
+    def __init__(
+        self,
+        ok: bool,
+        stdout_ok: bool,
+        drag_ok: bool,
+        drag_before: int,
+        drag_after: Optional[int],
+        detail: str,
+    ) -> None:
+        self.ok = ok
+        self.stdout_ok = stdout_ok
+        self.drag_ok = drag_ok
+        self.drag_before = drag_before
+        self.drag_after = drag_after  # None when the revised program crashed
+        self.detail = detail
+
+    @property
+    def drag_saved(self) -> int:
+        if self.drag_after is None:
+            return 0
+        return self.drag_before - self.drag_after
+
+    def __repr__(self) -> str:
+        verdict = "ok" if self.ok else "FAIL"
+        return f"<verify {verdict}: {self.detail}>"
+
+
+def verify_revision(
+    baseline: ReferenceRun,
+    revised_ast,
+    main_class: str,
+    args: Optional[List[str]] = None,
+    interval_bytes: int = 100 * 1024,
+    engine: Optional[str] = None,
+    drag_tolerance: float = 0.0,
+) -> Tuple[VerificationResult, Optional[ReferenceRun]]:
+    """Differential check of ``revised_ast`` against ``baseline``.
+
+    Returns (result, revised run); the run is ``None`` when the revised
+    program failed to compile or crashed. On success the caller adopts
+    the revised run as the next baseline, so drag comparisons are
+    always patch-over-accepted-predecessor.
+    """
+    try:
+        run = run_reference(
+            revised_ast, main_class, args, interval_bytes=interval_bytes, engine=engine
+        )
+    except (ReproError, MiniJavaException) as exc:
+        return (
+            VerificationResult(
+                False, False, False, baseline.total_drag, None,
+                f"revised program failed to run: {exc}",
+            ),
+            None,
+        )
+    stdout_ok = run.stdout == baseline.stdout
+    allowed = baseline.total_drag * (1.0 + drag_tolerance)
+    drag_ok = run.total_drag <= allowed
+    ok = stdout_ok and drag_ok
+    if not stdout_ok:
+        detail = _stdout_mismatch(baseline.stdout, run.stdout)
+    elif not drag_ok:
+        detail = (
+            f"total drag increased: {baseline.total_drag} -> {run.total_drag} "
+            f"(allowed <= {allowed:.0f})"
+        )
+    else:
+        detail = (
+            f"stdout identical ({len(run.stdout)} line(s)); "
+            f"drag {baseline.total_drag} -> {run.total_drag}"
+        )
+    return VerificationResult(
+        ok, stdout_ok, drag_ok, baseline.total_drag, run.total_drag, detail
+    ), run
+
+
+def _stdout_mismatch(before: List[str], after: List[str]) -> str:
+    if len(before) != len(after):
+        return f"stdout differs: {len(before)} line(s) before, {len(after)} after"
+    for i, (a, b) in enumerate(zip(before, after)):
+        if a != b:
+            return f"stdout differs at line {i + 1}: {a!r} != {b!r}"
+    return "stdout differs"

@@ -1,12 +1,22 @@
 """Pretty-print / re-parse round-trip tests, including a hypothesis
-property test over randomly generated ASTs."""
+property test over randomly generated ASTs and the full corpus of
+shipped programs (examples/ plus all nine benchmark sources) — the
+property ``--diff`` and ``-o`` output depend on."""
 
+from pathlib import Path
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.benchmarks.registry import all_benchmarks
 from repro.mjava import ast
 from repro.mjava.parser import parse_program
 from repro.mjava.pretty import format_expr, pretty_print
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parents[2] / "examples" / "programs").glob("*.mj")
+)
 
 CORPUS = [
     "class A { }",
@@ -99,6 +109,23 @@ def test_pretty_is_stable():
         once = pretty_print(program)
         twice = pretty_print(parse_program(once))
         assert once == twice
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_programs_roundtrip(path):
+    program, printed, reparsed = roundtrip(path.read_text())
+    assert program == reparsed, printed
+
+
+@pytest.mark.parametrize("name", sorted(all_benchmarks()))
+@pytest.mark.parametrize("which", ["original", "revised"])
+def test_benchmark_sources_roundtrip(name, which):
+    """parse(pretty(ast)) == ast for every shipped benchmark source,
+    both the original and the paper's hand-revised version."""
+    source = getattr(all_benchmarks()[name], which)
+    program, printed, reparsed = roundtrip(source)
+    assert program == reparsed, f"{name}/{which} failed to round-trip"
+    assert pretty_print(reparsed) == printed  # printing is a fixpoint too
 
 
 # --------------------------------------------------------------------------

@@ -112,6 +112,73 @@ def test_optimize_writes_revised_source(program_file, tmp_path, capsys):
     assert "class Main" in revised
 
 
+def test_optimize_dry_run_plans_without_writing(program_file, tmp_path, capsys):
+    out_path = tmp_path / "revised.mj"
+    code = main(
+        ["optimize", program_file, "--main", "Main", "--interval", "4096",
+         "--dry-run", "-o", str(out_path)]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    # The plan goes to stdout: numbered patches with strategy + rationale.
+    assert "dead-code-removal" in captured.out
+    assert "1." in captured.out
+    assert "planned (dry run; nothing applied)" in captured.err
+    # Nothing is applied or written.
+    assert not out_path.exists()
+
+
+def test_optimize_diff_prints_unified_diff(program_file, capsys):
+    code = main(
+        ["optimize", program_file, "--main", "Main", "--interval", "4096",
+         "--diff"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "--- " in captured.out and "+++ " in captured.out
+    assert "@@" in captured.out
+    # The removed never-used buffer shows as a deletion.
+    assert any(
+        line.startswith("-") and "new char[5000]" in line
+        for line in captured.out.splitlines()
+    )
+    # With --diff the revised source itself is not dumped to stdout.
+    assert "class Main {" not in [l for l in captured.out.splitlines() if not l[:1] in "-+"]
+
+
+def test_optimize_verified_run_reports_drag_delta(program_file, capsys):
+    code = main(
+        ["optimize", program_file, "--main", "Main", "--interval", "4096",
+         "--verify"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "verified: drag" in captured.err
+    assert "rolled back" in captured.err
+    assert "transformation(s) applied" in captured.err
+
+
+def test_optimize_no_verify_skips_differential_run(program_file, capsys):
+    code = main(
+        ["optimize", program_file, "--main", "Main", "--interval", "4096",
+         "--no-verify"]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "verified" not in captured.err
+    assert "transformation(s) applied" in captured.err
+
+
+def test_optimize_max_cycles_runs_fixpoint(program_file, capsys):
+    code = main(
+        ["optimize", program_file, "--main", "Main", "--interval", "4096",
+         "--max-cycles", "3"]
+    )
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "--- cycle 1 ---" in err
+
+
 def test_disasm_single_class(program_file, capsys):
     assert main(["disasm", program_file, "--class", "Main"]) == 0
     out = capsys.readouterr().out
