@@ -1,0 +1,91 @@
+"""Microbenchmark: telemetry overhead must stay within noise.
+
+The observability layer promises two things at once: attached telemetry
+observes every GC cycle and dispatch event, and *disabled* telemetry
+leaves zero call sites in the compiled handlers. This bench enforces
+the quantitative half of that contract — with a live Telemetry (tracer
++ metrics registry) attached, instr/sec on db and euler must stay
+within 3% of the telemetry-off run — and re-asserts the qualitative
+half: stdout, instruction counts, and byte clocks are bit-identical
+either way. Best-of-N timing on both engines; the floor is only
+enforced on the compiled engine, where the specialization machinery
+lives (the baseline engine rows are reported for context).
+"""
+
+import time
+
+from repro.obs import Telemetry
+from repro.benchmarks import all_benchmarks
+from repro.benchmarks.runner import compile_benchmark
+from repro.runtime.engine import create_vm
+
+BENCHES = ["db", "euler"]
+ROUNDS = 3
+OVERHEAD_FLOOR = 0.97  # traced instr/sec must be >= 97% of untraced
+
+
+def _best_run(name, engine, traced):
+    bench = all_benchmarks()[name]
+    args = bench.args_for("primary")
+    best = None
+    result = None
+    for _ in range(ROUNDS):
+        # Fresh program and VM per round: compiled handlers cache per
+        # program, and telemetry specialization happens at translation
+        # time, so reuse would let one config warm up the other.
+        program = compile_benchmark(bench, revised=False)
+        vm = create_vm(
+            program,
+            engine=engine,
+            max_heap=bench.max_heap,
+            telemetry=Telemetry() if traced else None,
+        )
+        started = time.perf_counter()
+        result = vm.run(list(args))
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def bench_obs_overhead(benchmark, emit):
+    def measure():
+        rows = {}
+        for name in BENCHES:
+            for engine in ("baseline", "compiled"):
+                off, t_off = _best_run(name, engine, traced=False)
+                on, t_on = _best_run(name, engine, traced=True)
+                assert on.stdout == off.stdout
+                assert on.instructions == off.instructions
+                assert on.clock == off.clock
+                rows[(name, engine)] = {
+                    "instructions": off.instructions,
+                    "off_ips": off.instructions / t_off if t_off else 0.0,
+                    "on_ips": on.instructions / t_on if t_on else 0.0,
+                }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit()
+    emit("=== Telemetry overhead: instr/sec with tracer+metrics attached ===")
+    emit(
+        f"{'Benchmark':10s} {'Engine':>10s} {'Instructions':>13s} "
+        f"{'Off i/s':>13s} {'On i/s':>13s} {'Ratio':>7s}"
+    )
+    for name in BENCHES:
+        for engine in ("baseline", "compiled"):
+            row = rows[(name, engine)]
+            ratio = row["on_ips"] / row["off_ips"] if row["off_ips"] else 0.0
+            emit(
+                f"{name:10s} {engine:>10s} {row['instructions']:13d} "
+                f"{row['off_ips']:13,.0f} {row['on_ips']:13,.0f} "
+                f"{ratio:6.3f}"
+            )
+            if engine == "compiled":
+                assert ratio >= OVERHEAD_FLOOR, (
+                    f"{name}/{engine}: telemetry overhead ratio {ratio:.3f} "
+                    f"< {OVERHEAD_FLOOR} floor (>3% slowdown)"
+                )
+    emit("(telemetry on/off runs produce identical stdout, instruction "
+         "counts, and byte clocks; profile-log bit-identity is enforced "
+         "by tests/obs/test_telemetry_integration.py)")

@@ -34,17 +34,71 @@ def _load_program(path: str, library_overrides=None):
     return link(source, library_overrides=library_overrides)
 
 
-def cmd_run(args) -> int:
-    import time as _time
+def _make_telemetry(args, extra: bool = False):
+    """One :class:`repro.obs.Telemetry` per invocation when any
+    observability flag asked for it, else None — the convention every
+    instrumented layer specializes on."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics_out", None) or extra):
+        return None
+    from repro.obs import Telemetry
 
+    return Telemetry()
+
+
+def _flush_telemetry(args, telemetry) -> None:
+    """Write the trace / metrics files the flags requested."""
+    if telemetry is None:
+        return
+    if getattr(args, "trace", None):
+        telemetry.tracer.write_chrome_trace(args.trace)
+        print(f"[obs] wrote Chrome trace to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics_out", None):
+        telemetry.registry.write_exposition(args.metrics_out)
+        print(f"[obs] wrote Prometheus metrics to {args.metrics_out}", file=sys.stderr)
+
+
+def _add_obs_flags(parser) -> None:
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a Chrome trace-event JSON file "
+                        "(load in Perfetto, or render with 'repro trace')")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write Prometheus text-format metrics here")
+
+
+def _gc_summary(stats) -> str:
+    return (
+        f"gc_runs={stats.gc_runs} "
+        f"(minor={stats.minor_gc_runs} major={stats.major_gc_runs} "
+        f"deep={stats.deep_gc_runs}) "
+        f"gc_pause_ms={stats.gc_pause_seconds * 1e3:.1f} "
+        f"reclaimed={stats.bytes_reclaimed}B"
+    )
+
+
+def cmd_run(args) -> int:
     from repro.mjava.compiler import compile_program
     from repro.runtime.engine import Engine
 
-    program = compile_program(_load_program(args.file), main_class=args.main)
-    engine = Engine(program, engine=args.engine, max_heap=args.max_heap)
-    started = _time.perf_counter()
-    result = engine.run(args.args)
-    elapsed = _time.perf_counter() - started
+    # --time rides the tracer too: the root span *is* the timer.
+    telemetry = _make_telemetry(args, extra=args.time)
+    program_ast = _load_program(args.file)
+    main_class = args.main
+    if main_class is None:
+        from repro.lint import detect_main_class
+
+        main_class = detect_main_class(program_ast)
+    program = compile_program(program_ast, main_class=main_class)
+    engine = Engine(
+        program, engine=args.engine, max_heap=args.max_heap, telemetry=telemetry
+    )
+    if telemetry is None:
+        result = engine.run(args.args)
+        root = None
+    else:
+        with telemetry.span(
+            "run", category="cli", file=args.file, engine=engine.config.engine
+        ) as root:
+            result = engine.run(args.args)
     for line in result.stdout:
         print(line)
     if args.stats:
@@ -52,10 +106,11 @@ def cmd_run(args) -> int:
             f"[stats] instructions={result.instructions} "
             f"allocated={result.heap_stats.bytes_allocated}B "
             f"objects={result.heap_stats.objects_allocated} "
-            f"gc_runs={result.heap_stats.gc_runs}",
+            f"{_gc_summary(result.heap_stats)}",
             file=sys.stderr,
         )
     if args.time:
+        elapsed = root.wall_seconds
         rate = result.instructions / elapsed if elapsed > 0 else float("inf")
         print(
             f"[time] engine={engine.config.engine} "
@@ -64,6 +119,7 @@ def cmd_run(args) -> int:
             f"byte-clock={result.clock}",
             file=sys.stderr,
         )
+    _flush_telemetry(args, telemetry)
     return 0
 
 
@@ -78,6 +134,7 @@ def cmd_profile(args) -> int:
     if streaming and not args.log:
         print("error: --sink stream requires --log", file=sys.stderr)
         return 2
+    telemetry = _make_telemetry(args)
     program = compile_program(_load_program(args.file), main_class=args.main)
     metadata = {"main": args.main, "interval": args.interval}
 
@@ -96,6 +153,7 @@ def cmd_profile(args) -> int:
         last_use_depth=args.last_use_depth,
         sink=sink,
         engine=args.engine,
+        telemetry=telemetry,
     )
     for line in result.run_result.stdout:
         print(line)
@@ -103,6 +161,10 @@ def cmd_profile(args) -> int:
         f"[profile] {result.profiler.record_count} objects logged, "
         f"{result.profiler.sample_count} deep-GC samples, "
         f"{result.end_time} bytes allocated",
+        file=sys.stderr,
+    )
+    print(
+        f"[profile] {_gc_summary(result.run_result.heap_stats)}",
         file=sys.stderr,
     )
     if result.finalizer_errors:
@@ -135,6 +197,7 @@ def cmd_profile(args) -> int:
                 program=result.program,
             )
         )
+    _flush_telemetry(args, telemetry)
     return 0
 
 
@@ -161,6 +224,7 @@ def cmd_watch(args) -> int:
         poll_interval=args.poll,
         top=args.top,
         metrics_json=args.metrics_json,
+        metrics_out=args.metrics_out,
     )
     return 0
 
@@ -169,6 +233,7 @@ def cmd_optimize(args) -> int:
     from repro.mjava.pretty import pretty_print, unified_source_diff
     from repro.transform.pipeline import OptimizationPipeline
 
+    telemetry = _make_telemetry(args)
     program = _load_program(args.file)
     pipeline = OptimizationPipeline(
         program,
@@ -178,6 +243,7 @@ def cmd_optimize(args) -> int:
         max_cycles=args.max_cycles,
         verify=args.verify,
         engine=args.engine,
+        telemetry=telemetry,
     )
 
     if args.dry_run:
@@ -188,6 +254,7 @@ def cmd_optimize(args) -> int:
             "(dry run; nothing applied)",
             file=sys.stderr,
         )
+        _flush_telemetry(args, telemetry)
         return 0
 
     result = pipeline.run()
@@ -229,6 +296,7 @@ def cmd_optimize(args) -> int:
         print(f"[optimize] wrote revised source to {args.output}", file=sys.stderr)
     elif not args.diff:
         print(text)
+    _flush_telemetry(args, telemetry)
     return 0
 
 
@@ -242,10 +310,12 @@ def cmd_lint(args) -> int:
             print(f"error: unknown rule(s) {', '.join(bad)}; "
                   f"have {', '.join(sorted(RULES_BY_ID))}", file=sys.stderr)
             return 2
+    telemetry = _make_telemetry(args)
     program = _load_program(args.file)
     main_class = args.main or detect_main_class(program)
     result = lint_program(
-        program, main_class, program_path=args.file, rules=args.rules or None
+        program, main_class, program_path=args.file, rules=args.rules or None,
+        telemetry=telemetry,
     )
     if args.profile:
         from repro.core.analyzer import DragAnalysis
@@ -254,6 +324,7 @@ def cmd_lint(args) -> int:
         loaded = read_log(args.profile)
         result.correlate(DragAnalysis(loaded.records), profile_path=args.profile)
     print(render(result, args.format))
+    _flush_telemetry(args, telemetry)
     if args.fail_on and result.at_least(args.fail_on):
         return 1
     return 0
@@ -274,6 +345,14 @@ def cmd_chart(args) -> int:
     print(heap_profile_chart(curves, width=args.width, height=args.height,
                              end_time=loaded.end_time))
     print("legend: # reachable   . in-use")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs import read_chrome_trace, render_span_tree
+
+    roots = read_chrome_trace(args.trace_file)
+    print(render_span_tree(roots, width=args.width))
     return 0
 
 
@@ -310,7 +389,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run a mini-Java program")
     run.add_argument("file")
-    run.add_argument("--main", required=True, help="class containing static main")
+    run.add_argument("--main", help="class containing static main "
+                     "(default: auto-detect the unique one)")
     run.add_argument("--max-heap", type=int, default=None, help="heap limit in bytes")
     run.add_argument("--stats", action="store_true", help="print VM counters")
     run.add_argument("--engine", choices=["baseline", "compiled"], default=None,
@@ -318,6 +398,7 @@ def build_parser() -> argparse.ArgumentParser:
                      "precompiled closures (default: REPRO_ENGINE or baseline)")
     run.add_argument("--time", action="store_true",
                      help="print instructions, instr/sec, and final byte-clock")
+    _add_obs_flags(run)
     run.set_defaults(fn=cmd_run)
 
     profile = sub.add_parser("profile", help="phase 1: run under the drag profiler")
@@ -340,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--engine", choices=["baseline", "compiled"], default=None,
                          help="dispatch engine (profiles are bit-identical "
                          "either way)")
+    _add_obs_flags(profile)
     profile.set_defaults(fn=cmd_profile)
 
     report = sub.add_parser("report", help="phase 2: analyze an object log")
@@ -363,6 +445,10 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--metrics-json",
                        help="flush a machine-readable metrics snapshot here "
                        "on every refresh")
+    watch.add_argument("--metrics-out", metavar="FILE",
+                       help="flush Prometheus text-format metrics here "
+                       "on every refresh (same repro_live_* series as "
+                       "the in-process MetricsSink)")
     watch.set_defaults(fn=cmd_watch)
 
     optimize = sub.add_parser("optimize", help="profile-driven automatic rewriting")
@@ -392,6 +478,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["baseline", "compiled"], default=None,
         help="VM engine for profiling and verification runs",
     )
+    _add_obs_flags(optimize)
     optimize.set_defaults(fn=cmd_optimize)
 
     lint = sub.add_parser("lint", help="static drag analysis (no program run needed)")
@@ -405,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="exit 1 if any finding is at least this severe")
     lint.add_argument("--rule", dest="rules", action="append", metavar="RULEID",
                       help="restrict to specific rule IDs (repeatable)")
+    _add_obs_flags(lint)
     lint.set_defaults(fn=cmd_lint)
 
     chart = sub.add_parser("chart", help="render Figure-2-style heap curves from a log")
@@ -412,6 +500,12 @@ def build_parser() -> argparse.ArgumentParser:
     chart.add_argument("--width", type=int, default=72)
     chart.add_argument("--height", type=int, default=16)
     chart.set_defaults(fn=cmd_chart)
+
+    trace = sub.add_parser("trace", help="render a --trace file as a span tree")
+    trace.add_argument("trace_file", help="a Chrome trace JSON file from --trace")
+    trace.add_argument("--width", type=int, default=44,
+                       help="label column width for the tree")
+    trace.set_defaults(fn=cmd_trace)
 
     disasm = sub.add_parser("disasm", help="disassemble compiled bytecode")
     disasm.add_argument("file")

@@ -266,6 +266,7 @@ def profile_program(
     sink=None,
     buffered: Optional[bool] = None,
     engine: Optional[str] = None,
+    telemetry=None,
 ) -> ProfileResult:
     """Run a compiled program under the profiler (phase 1).
 
@@ -273,7 +274,9 @@ def profile_program(
     emitted (see :mod:`repro.stream`) and are not buffered unless
     ``buffered=True`` is also passed. ``engine`` picks the dispatch
     strategy (see :mod:`repro.runtime.engine`); both engines produce
-    bit-identical profiles.
+    bit-identical profiles. ``telemetry`` (a :class:`repro.obs.Telemetry`)
+    wraps the run in a span and flushes profiler counters; profiles are
+    bit-identical with it on or off.
     """
     from repro.runtime.engine import create_vm
 
@@ -285,9 +288,17 @@ def profile_program(
         buffered=buffered,
     )
     interp = create_vm(
-        program, engine=engine, profiler=profiler, max_heap=max_heap
+        program, engine=engine, profiler=profiler, max_heap=max_heap,
+        telemetry=telemetry,
     )
-    run_result = interp.run(args or [])
+    if telemetry is None:
+        run_result = interp.run(args or [])
+    else:
+        with telemetry.span(
+            "profile.run", category="profiler", interval_bytes=interval_bytes
+        ):
+            run_result = interp.run(args or [])
+        telemetry.record_profiler(profiler)
     return ProfileResult(program, run_result, profiler)
 
 
@@ -302,6 +313,7 @@ def profile_source(
     sink=None,
     buffered: Optional[bool] = None,
     engine: Optional[str] = None,
+    telemetry=None,
 ) -> ProfileResult:
     """Convenience: link, compile, and profile mini-Java source."""
     from repro.mjava.compiler import compile_program
@@ -319,4 +331,5 @@ def profile_source(
         sink=sink,
         buffered=buffered,
         engine=engine,
+        telemetry=telemetry,
     )

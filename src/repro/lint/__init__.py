@@ -73,18 +73,30 @@ def lint_program(
     program_path: Optional[str] = None,
     rules: Optional[Sequence[str]] = None,
     context: Optional[AnalysisContext] = None,
+    telemetry=None,
 ) -> LintResult:
-    """Run the standard lint pipeline over a linked program AST."""
+    """Run the standard lint pipeline over a linked program AST.
+
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, or None) records
+    per-pass spans/durations and per-rule diagnostic counts.
+    """
     context = context or AnalysisContext(program, main_class)
-    manager = standard_pass_manager(context)
+    manager = standard_pass_manager(context, telemetry=telemetry)
     result = LintResult(program_path=program_path, main_class=main_class)
-    return manager.run_all(result, rules=rules)
+    if telemetry is None:
+        return manager.run_all(result, rules=rules)
+    with telemetry.span("lint.run_all", category="lint", main=main_class):
+        manager.run_all(result, rules=rules)
+    for rule_id, count in sorted(result.counts().items()):
+        telemetry.record_lint_diagnostics(rule_id, count)
+    return result
 
 
 def lint_file(
     path: str,
     main_class: Optional[str] = None,
     rules: Optional[Sequence[str]] = None,
+    telemetry=None,
 ) -> LintResult:
     """Load, link, and lint a ``.mj`` source file."""
     from repro.runtime.library import link
@@ -94,4 +106,6 @@ def lint_file(
     program = link(source)
     if main_class is None:
         main_class = detect_main_class(program)
-    return lint_program(program, main_class, program_path=path, rules=rules)
+    return lint_program(
+        program, main_class, program_path=path, rules=rules, telemetry=telemetry
+    )

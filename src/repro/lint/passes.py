@@ -19,6 +19,7 @@ subset, runs each at most once, and caches results. Rule passes emit
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
 from repro.analysis.callgraph import CallGraph
@@ -132,13 +133,21 @@ class Pass:
 
 
 class PassManager:
-    """Registers passes, orders them by dependencies, runs each once."""
+    """Registers passes, orders them by dependencies, runs each once.
 
-    def __init__(self, context: AnalysisContext) -> None:
+    ``telemetry`` (a :class:`repro.obs.Telemetry`, or None) wraps each
+    pass execution in a ``lint.pass.<name>`` span and feeds the
+    ``repro_lint_pass_seconds`` histogram; per-pass wall durations are
+    always kept in :attr:`durations` for the CLI summary.
+    """
+
+    def __init__(self, context: AnalysisContext, telemetry=None) -> None:
         self.context = context
+        self.telemetry = telemetry
         self.passes: Dict[str, Pass] = {}
         self.results: Dict[str, object] = {}
         self.run_counts: Dict[str, int] = {}
+        self.durations: Dict[str, float] = {}
 
     def register(self, pass_: Pass) -> None:
         if pass_.name in self.passes:
@@ -176,11 +185,21 @@ class PassManager:
         call, so shared dependencies execute exactly once."""
         if name in self.results:
             return self.results[name]
+        telemetry = self.telemetry
         for dep in self.schedule([name]):
             if dep in self.results:
                 continue
             self.run_counts[dep] = self.run_counts.get(dep, 0) + 1
-            self.results[dep] = self.passes[dep].fn(self.context, result)
+            started = perf_counter()
+            if telemetry is None:
+                self.results[dep] = self.passes[dep].fn(self.context, result)
+            else:
+                with telemetry.span(f"lint.pass.{dep}", category="lint"):
+                    self.results[dep] = self.passes[dep].fn(self.context, result)
+            elapsed = perf_counter() - started
+            self.durations[dep] = self.durations.get(dep, 0.0) + elapsed
+            if telemetry is not None:
+                telemetry.record_lint_pass(dep, elapsed)
         return self.results[name]
 
     def run_all(self, result: LintResult, rules: Optional[Sequence[str]] = None) -> LintResult:
@@ -548,9 +567,9 @@ RULE_PASSES = {
 }
 
 
-def standard_pass_manager(context: AnalysisContext) -> PassManager:
+def standard_pass_manager(context: AnalysisContext, telemetry=None) -> PassManager:
     """The default pipeline: shared analyses plus one pass per rule."""
-    manager = PassManager(context)
+    manager = PassManager(context, telemetry=telemetry)
     manager.register(Pass("callgraph", _pass_callgraph))
     manager.register(Pass("exceptions", _pass_exceptions, requires=("callgraph",)))
     manager.register(Pass("interproc-use", _pass_interproc, requires=("callgraph", "exceptions")))

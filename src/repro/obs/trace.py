@@ -1,0 +1,332 @@
+"""Spans: where the wall time (and the byte clock) went.
+
+A :class:`Tracer` records a tree of nested spans. Each span carries two
+durations: wall time (``time.perf_counter``) and — when a byte-clock
+source is bound, normally ``lambda: vm.heap.clock`` — the number of
+bytes allocated while the span was open. Time in this reproduction *is*
+bytes allocated (§2.1.1), so a span like ``gc.deep`` showing 40 ms of
+wall and 0 B of clock is exactly the paper's point: the collector costs
+real time but no logical time.
+
+Export targets:
+
+* :meth:`Tracer.to_chrome_trace` — the Chrome trace-event JSON format
+  (``{"traceEvents": [...]}`` with complete ``"ph": "X"`` events),
+  loadable in Perfetto or ``chrome://tracing``;
+* :func:`render_span_tree` — an indented text report (``repro trace``),
+  with same-named siblings collapsed into one aggregated line.
+
+A disabled tracer is inert: :meth:`Tracer.span` returns a shared no-op
+context manager and records nothing, so telemetry call sites outside
+the hot path cost one attribute check.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ReproError
+
+
+class TraceError(ReproError):
+    """A trace file could not be read or is not Chrome trace JSON."""
+
+
+class Span:
+    """One timed region: wall-clock interval plus byte-clock interval."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "start_wall",
+        "end_wall",
+        "start_clock",
+        "end_clock",
+        "args",
+        "children",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        start_wall: float,
+        start_clock: Optional[int],
+        args: Optional[dict] = None,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.start_wall = start_wall
+        self.end_wall: Optional[float] = None
+        self.start_clock = start_clock
+        self.end_clock: Optional[int] = None
+        self.args = dict(args) if args else {}
+        self.children: List[Span] = []
+
+    @property
+    def wall_seconds(self) -> float:
+        if self.end_wall is None:
+            return 0.0
+        return self.end_wall - self.start_wall
+
+    @property
+    def clock_bytes(self) -> Optional[int]:
+        """Bytes allocated while the span was open, if a clock was bound."""
+        if self.start_clock is None or self.end_clock is None:
+            return None
+        return self.end_clock - self.start_clock
+
+    def __repr__(self) -> str:
+        return (
+            f"<span {self.name} wall={self.wall_seconds * 1e3:.2f}ms"
+            f"{'' if self.clock_bytes is None else f' clock={self.clock_bytes}B'}>"
+        )
+
+
+class _NullSpanContext:
+    """The no-op context manager a disabled tracer hands out."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class _SpanContext:
+    """Context manager that closes one span on exit."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self.tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self.span.args.setdefault("error", exc_type.__name__)
+        self.tracer._close(self.span)
+        return False
+
+
+class Tracer:
+    """Collects a tree of spans for one tool invocation.
+
+    ``clock_fn`` (see :meth:`bind_clock`) supplies the byte clock; spans
+    opened while no clock is bound carry wall time only. The tracer is
+    single-threaded by design — the VM is — so nesting is a plain stack.
+    """
+
+    def __init__(self, enabled: bool = True, clock_fn: Optional[Callable[[], int]] = None) -> None:
+        self.enabled = enabled
+        self.clock_fn = clock_fn
+        self.epoch = time.perf_counter()
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+
+    def bind_clock(self, clock_fn: Optional[Callable[[], int]]) -> None:
+        """Attach the byte-clock source (normally a live VM's heap
+        clock). Spans opened from now on record clock intervals too."""
+        self.clock_fn = clock_fn
+
+    def span(self, name: str, category: str = "repro", **args):
+        """Open a nested span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        clock = self.clock_fn() if self.clock_fn is not None else None
+        span = Span(name, category, time.perf_counter(), clock, args or None)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return _SpanContext(self, span)
+
+    def _close(self, span: Span) -> None:
+        span.end_wall = time.perf_counter()
+        if span.start_clock is not None and self.clock_fn is not None:
+            span.end_clock = self.clock_fn()
+        # Close any children left open by a non-local exit, then pop.
+        while self._stack and self._stack[-1] is not span:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+
+    # -- export ------------------------------------------------------------
+
+    def _events(self, span: Span, out: List[dict]) -> None:
+        args = dict(span.args)
+        if span.clock_bytes is not None:
+            args["clock_start"] = span.start_clock
+            args["clock_bytes"] = span.clock_bytes
+        out.append(
+            {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": 1,
+                "tid": 1,
+                "ts": round((span.start_wall - self.epoch) * 1e6, 3),
+                "dur": round(span.wall_seconds * 1e6, 3),
+                "args": args,
+            }
+        )
+        for child in span.children:
+            self._events(child, out)
+
+    def to_chrome_trace(self) -> dict:
+        """The trace as a Chrome trace-event JSON object."""
+        events: List[dict] = []
+        for root in self.roots:
+            self._events(root, events)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"format": "repro-trace", "clock_unit": "bytes-allocated"},
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(self.to_chrome_trace(), f, indent=1)
+            f.write("\n")
+
+    def span_tree(self) -> str:
+        """The indented text report over this tracer's own spans."""
+        return render_span_tree(self.roots)
+
+
+# ---------------------------------------------------------------------------
+# reading traces back (the ``repro trace`` subcommand)
+# ---------------------------------------------------------------------------
+
+
+def read_chrome_trace(path: str) -> List[Span]:
+    """Load a Chrome trace JSON file and rebuild the span forest.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare-array form. Nesting is reconstructed from interval containment
+    per (pid, tid), which is exact for single-threaded complete events.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}: not JSON: {exc}") from exc
+    events = data.get("traceEvents") if isinstance(data, dict) else data
+    if not isinstance(events, list):
+        raise TraceError(f"{path}: no traceEvents array")
+    spans: List[tuple] = []
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "X":
+            continue
+        try:
+            ts = float(event["ts"])
+            dur = float(event.get("dur", 0.0))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TraceError(f"{path}: bad complete event: {event!r}") from exc
+        span = Span(
+            str(event.get("name", "?")),
+            str(event.get("cat", "repro")),
+            ts / 1e6,
+            None,
+            args={
+                k: v
+                for k, v in (event.get("args") or {}).items()
+                if k not in ("clock_start", "clock_bytes")
+            },
+        )
+        span.end_wall = (ts + dur) / 1e6
+        clock_args = event.get("args") or {}
+        if "clock_bytes" in clock_args:
+            span.start_clock = clock_args.get("clock_start", 0)
+            span.end_clock = span.start_clock + clock_args["clock_bytes"]
+        spans.append(((event.get("pid", 1), event.get("tid", 1)), ts, dur, span))
+    # Sort by start ascending, duration descending: parents come before
+    # their children, so a stack rebuilds the forest.
+    spans.sort(key=lambda item: (item[0], item[1], -item[2]))
+    roots: List[Span] = []
+    stack: List[tuple] = []  # (key, end_ts, span)
+    # Pop entries that cannot contain the current span: different
+    # pid/tid, or an interval ending before this one does (0.005 us of
+    # slack absorbs the export's microsecond rounding).
+    for key, ts, dur, span in spans:
+        end = ts + dur
+        while stack and (stack[-1][0] != key or stack[-1][1] + 0.005 < end):
+            stack.pop()
+        if stack:
+            stack[-1][2].children.append(span)
+        else:
+            roots.append(span)
+        stack.append((key, end, span))
+    return roots
+
+
+def _format_bytes(n: int) -> str:
+    return f"{n:,}B"
+
+
+class _Aggregate:
+    __slots__ = ("name", "count", "wall", "clock", "has_clock", "children", "first")
+
+    def __init__(self, span: Span) -> None:
+        self.name = span.name
+        self.count = 0
+        self.wall = 0.0
+        self.clock = 0
+        self.has_clock = False
+        self.first = span
+        self.children: "Dict[str, _Aggregate]" = {}
+
+    def add(self, span: Span) -> None:
+        self.count += 1
+        self.wall += span.wall_seconds
+        if span.clock_bytes is not None:
+            self.has_clock = True
+            self.clock += span.clock_bytes
+        for child in span.children:
+            agg = self.children.get(child.name)
+            if agg is None:
+                agg = self.children[child.name] = _Aggregate(child)
+            agg.add(child)
+
+
+def render_span_tree(roots: List[Span], width: int = 44) -> str:
+    """Indented span-tree text. Same-named siblings collapse into one
+    line with a ``xN`` multiplier and summed durations, so a trace with
+    hundreds of ``gc.deep`` spans stays readable."""
+    lines: List[str] = []
+
+    def walk(agg: _Aggregate, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if depth == 0 else ("`- " if is_last else "|- ")
+        label = agg.name if agg.count == 1 else f"{agg.name} x{agg.count}"
+        cell = f"{prefix}{connector}{label}"
+        detail = f"wall {agg.wall * 1e3:10.2f}ms"
+        if agg.has_clock:
+            detail += f"   clock {_format_bytes(agg.clock):>14s}"
+        lines.append(f"{cell:<{width}s} {detail}")
+        child_prefix = prefix if depth == 0 else prefix + ("   " if is_last else "|  ")
+        kids = list(agg.children.values())
+        for i, child in enumerate(kids):
+            walk(child, child_prefix, i == len(kids) - 1, depth + 1)
+
+    top: Dict[str, _Aggregate] = {}
+    for root in roots:
+        agg = top.get(root.name)
+        if agg is None:
+            agg = top[root.name] = _Aggregate(root)
+        agg.add(root)
+    if not top:
+        return "(empty trace)"
+    for agg in top.values():
+        walk(agg, "", True, 0)
+    return "\n".join(lines)

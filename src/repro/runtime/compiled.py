@@ -33,7 +33,7 @@ from typing import Dict, List
 from repro.errors import OutOfMemory
 from repro.bytecode.program import CompiledMethod
 from repro.runtime.dispatch import DispatchContext, Handler, compile_method
-from repro.runtime.hooks import hooks_for, resolve_on_use
+from repro.runtime.hooks import hooks_for, resolve_dispatch_stats, resolve_on_use
 from repro.runtime.interpreter import Interpreter, MJThrow
 
 
@@ -46,7 +46,11 @@ class CompiledInterpreter(Interpreter):
         # RET/RETV handlers read it to route return values.
         self._floor = 0
         self.hooks = hooks_for(self.profiler)
-        self._ctx = DispatchContext(self, on_use=resolve_on_use(self.hooks))
+        self._ctx = DispatchContext(
+            self,
+            on_use=resolve_on_use(self.hooks),
+            stats=resolve_dispatch_stats(self.telemetry),
+        )
         self._code_cache: Dict[CompiledMethod, List[Handler]] = {}
 
     # ------------------------------------------------------------------

@@ -44,9 +44,9 @@ Handler = Callable[[Frame], None]
 class DispatchContext:
     """Everything a handler may bind at translation time."""
 
-    __slots__ = ("vm", "heap", "frames", "program", "statics", "on_use")
+    __slots__ = ("vm", "heap", "frames", "program", "statics", "on_use", "stats")
 
-    def __init__(self, vm, on_use=None) -> None:
+    def __init__(self, vm, on_use=None, stats=None) -> None:
         self.vm = vm
         self.heap = vm.heap
         self.frames = vm.frames
@@ -54,6 +54,11 @@ class DispatchContext:
         self.statics = vm.statics
         # None => emit no hook calls; else bound HeapProfiler.on_use.
         self.on_use = on_use
+        # None => emit no telemetry call sites; else a
+        # repro.obs.DispatchStats whose inline-cache counters the
+        # INVOKEV handlers increment. Same specialization discipline as
+        # on_use: the disabled variant is absent, not gated.
+        self.stats = stats
 
 
 # ---------------------------------------------------------------------------
@@ -289,7 +294,9 @@ def _c_invokev(instr, ctx):
     # method. lookup_method is deterministic over an immutable class
     # graph, so memoizing it cannot change behaviour.
     cache = {}
-    if ctx.on_use is None:
+    on_use = ctx.on_use
+    stats = ctx.stats
+    if on_use is None and stats is None:
 
         def op_invokev(frame):
             stack = frame.stack
@@ -314,9 +321,61 @@ def _c_invokev(instr, ctx):
 
         return op_invokev
 
-    on_use = ctx.on_use
+    if on_use is None:
 
-    def op_invokev_profiled(frame):
+        def op_invokev_traced(frame):
+            stack = frame.stack
+            args = stack[len(stack) - argc:]
+            del stack[len(stack) - argc:]
+            recv = stack.pop()
+            if recv is None:
+                vm.throw("NullPointerException", npe)
+            cls_name = recv.class_name if isinstance(recv, Instance) else "Object"
+            method = cache.get(cls_name)
+            if method is None:
+                stats.ic_misses += 1
+                method = program.lookup_method(cls_name, name)
+                if method is None:
+                    raise VMError(f"no method {cls_name}.{name}")
+                cache[cls_name] = method
+            else:
+                stats.ic_hits += 1
+            if method.is_native:
+                result = vm._call_native(method, recv, args)
+                if method.return_descriptor != "void":
+                    stack.append(result)
+            else:
+                frames.append(Frame(method, make_locals(method, args, recv)))
+
+        return op_invokev_traced
+
+    if stats is None:
+
+        def op_invokev_profiled(frame):
+            stack = frame.stack
+            args = stack[len(stack) - argc:]
+            del stack[len(stack) - argc:]
+            recv = stack.pop()
+            if recv is None:
+                vm.throw("NullPointerException", npe)
+            on_use(recv)
+            cls_name = recv.class_name if isinstance(recv, Instance) else "Object"
+            method = cache.get(cls_name)
+            if method is None:
+                method = program.lookup_method(cls_name, name)
+                if method is None:
+                    raise VMError(f"no method {cls_name}.{name}")
+                cache[cls_name] = method
+            if method.is_native:
+                result = vm._call_native(method, recv, args)
+                if method.return_descriptor != "void":
+                    stack.append(result)
+            else:
+                frames.append(Frame(method, make_locals(method, args, recv)))
+
+        return op_invokev_profiled
+
+    def op_invokev_profiled_traced(frame):
         stack = frame.stack
         args = stack[len(stack) - argc:]
         del stack[len(stack) - argc:]
@@ -327,10 +386,13 @@ def _c_invokev(instr, ctx):
         cls_name = recv.class_name if isinstance(recv, Instance) else "Object"
         method = cache.get(cls_name)
         if method is None:
+            stats.ic_misses += 1
             method = program.lookup_method(cls_name, name)
             if method is None:
                 raise VMError(f"no method {cls_name}.{name}")
             cache[cls_name] = method
+        else:
+            stats.ic_hits += 1
         if method.is_native:
             result = vm._call_native(method, recv, args)
             if method.return_descriptor != "void":
@@ -338,7 +400,7 @@ def _c_invokev(instr, ctx):
         else:
             frames.append(Frame(method, make_locals(method, args, recv)))
 
-    return op_invokev_profiled
+    return op_invokev_profiled_traced
 
 
 def _c_invokestatic(instr, ctx):
@@ -943,4 +1005,8 @@ def compile_method(
     for instr in method.code:
         factory = OP_COMPILERS.get(instr.op, _c_unknown)
         handlers.append(factory(instr, ctx))
+    stats = ctx.stats
+    if stats is not None:
+        stats.methods_translated += 1
+        stats.handlers_emitted += len(handlers)
     return handlers

@@ -75,6 +75,7 @@ class VMConfig:
         "collector_factory",
         "natives",
         "liveness_roots",
+        "telemetry",
     )
 
     def __init__(
@@ -85,6 +86,7 @@ class VMConfig:
         collector_factory=None,
         natives=None,
         liveness_roots: bool = False,
+        telemetry=None,
     ) -> None:
         if engine is None:
             engine = default_engine()
@@ -98,6 +100,10 @@ class VMConfig:
         self.collector_factory = collector_factory
         self.natives = natives
         self.liveness_roots = liveness_roots
+        # Optional repro.obs.Telemetry: spans + metrics for GC, dispatch
+        # and run totals. None means telemetry call sites are never
+        # emitted (the compiled engine specializes them out).
+        self.telemetry = telemetry
 
     def replace(self, **overrides) -> "VMConfig":
         """A copy with some fields replaced."""
@@ -133,6 +139,7 @@ def create_vm(
         collector_factory=config.collector_factory,
         natives=config.natives,
         liveness_roots=config.liveness_roots,
+        telemetry=config.telemetry,
     )
 
 

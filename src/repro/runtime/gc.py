@@ -9,6 +9,7 @@ the full deep-GC cycle (see ``Interpreter.deep_gc``).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, List
 
 from repro.bytecode.program import CompiledProgram
@@ -59,6 +60,7 @@ class MarkSweepCollector:
         """
         heap = self.heap
         heap.stats.gc_runs += 1
+        started = perf_counter()
         # Finalize-queue members must survive until their finalizer runs.
         marked = self.mark(list(roots) + list(self.finalize_queue) + heap.temp_roots)
         heap.stats.objects_marked += marked
@@ -77,4 +79,10 @@ class MarkSweepCollector:
                 reclaimed += obj.size
         for obj in heap.objects.values():
             obj.marked = False
+        pause = perf_counter() - started
+        heap.stats.gc_pause_seconds += pause
+        if heap.telemetry is not None:
+            heap.telemetry.record_gc(
+                pause, reclaimed, heap.live_bytes, heap.object_count(), kind="major"
+            )
         return reclaimed

@@ -21,6 +21,7 @@ eliminating allocations (the paper's rewrites) reduces GC time.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, List
 
 from repro.bytecode.program import CompiledProgram
@@ -82,6 +83,7 @@ class GenerationalCollector(MarkSweepCollector):
         heap = self.heap
         heap.stats.gc_runs += 1
         heap.stats.minor_gc_runs += 1
+        started = perf_counter()
         young = self.young
         marked: set = set()
         stack: List[HeapObject] = []
@@ -144,6 +146,12 @@ class GenerationalCollector(MarkSweepCollector):
         for obj in promoted:
             if any(ref.handle in young for ref in obj.iter_references()):
                 self.remembered.add(obj)
+        pause = perf_counter() - started
+        heap.stats.gc_pause_seconds += pause
+        if heap.telemetry is not None:
+            heap.telemetry.record_gc(
+                pause, reclaimed, heap.live_bytes, heap.object_count(), kind="minor"
+            )
         return reclaimed
 
     def collect_major(self, roots: Iterable[HeapObject]) -> int:

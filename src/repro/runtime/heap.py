@@ -33,6 +33,8 @@ class HeapStats:
         "finalizers_run",
         "minor_gc_runs",
         "major_gc_runs",
+        "gc_pause_seconds",
+        "deep_gc_runs",
     )
 
     def __init__(self) -> None:
@@ -45,6 +47,13 @@ class HeapStats:
         self.finalizers_run = 0
         self.minor_gc_runs = 0
         self.major_gc_runs = 0
+        # Wall-clock time spent inside collections (stop-the-world
+        # pause), and §2.1.1 deep-GC cycle count. Wall time is outside
+        # the deterministic core — it never feeds the byte clock or the
+        # profile — but it is what "the GC is eating my run" questions
+        # need answered.
+        self.gc_pause_seconds = 0.0
+        self.deep_gc_runs = 0
 
 
 class Heap:
@@ -65,6 +74,10 @@ class Heap:
         self.interned: Dict[str, Instance] = {}
         self.temp_roots: List[HeapObject] = []
         self.profiler = None  # set by Interpreter when profiling
+        # Optional repro.obs.Telemetry; collectors report pause/occupancy
+        # metrics through it. None keeps every GC path check-free past
+        # one attribute test per collection.
+        self.telemetry = None
         self.stats = HeapStats()
         # Called when an allocation would exceed max_bytes; should run a
         # synchronous full GC. Installed by the interpreter.

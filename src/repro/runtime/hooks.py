@@ -92,3 +92,13 @@ def resolve_on_use(hooks: Optional[RuntimeHooks]):
     if hooks is None or not hooks.active:
         return None
     return hooks.on_use
+
+
+def resolve_dispatch_stats(telemetry):
+    """The :class:`repro.obs.DispatchStats` the closure compiler should
+    bind, or None when telemetry counters must not be emitted at all
+    (the same specialize-at-translation-time discipline as
+    :func:`resolve_on_use`)."""
+    if telemetry is None:
+        return None
+    return telemetry.dispatch_stats

@@ -79,9 +79,17 @@ class Interpreter:
         collector_factory=None,
         natives=None,
         liveness_roots: bool = False,
+        telemetry=None,
     ) -> None:
         self.program = program
         self.heap = Heap(max_bytes=max_heap)
+        # Optional repro.obs.Telemetry. Observes only: spans and metric
+        # updates read the byte clock but never advance it, so telemetry
+        # on/off cannot change stdout, instruction counts, or profiles.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self.heap.telemetry = telemetry
+            telemetry.bind_clock(lambda: self.heap.clock)
         self.heap.gc_request = self.full_gc
         factory = collector_factory or MarkSweepCollector
         self.collector = factory(self.heap, program)
@@ -191,9 +199,18 @@ class Interpreter:
 
     def deep_gc(self) -> None:
         """The paper's deep GC: GC, run all finalizers, GC (§2.1.1)."""
-        self.full_gc()
-        if self.run_finalizers():
+        self.heap.stats.deep_gc_runs += 1
+        telemetry = self.telemetry
+        if telemetry is None:
             self.full_gc()
+            if self.run_finalizers():
+                self.full_gc()
+            return
+        with telemetry.span("gc.deep", category="gc"):
+            self.full_gc()
+            if self.run_finalizers():
+                self.full_gc()
+        telemetry.record_deep_gc()
 
     @property
     def finalizer_errors(self) -> int:
@@ -233,13 +250,16 @@ class Interpreter:
         self.call_method(main, None, [arr])
         if self.profiler is not None:
             self.profiler.on_program_end(self)
-        return ProgramResult(
+        result = ProgramResult(
             self.stdout,
             self.instr_count,
             self.heap.stats,
             self.heap.clock,
             finalizer_errors=self._finalizer_errors,
         )
+        if self.telemetry is not None:
+            self.telemetry.record_run(self, result)
+        return result
 
     def call_method(self, method: CompiledMethod, receiver, args: List[object]):
         """Invoke a method from the host (or re-entrantly, e.g. for

@@ -115,6 +115,36 @@ def snapshot(
     )
 
 
+def update_registry(registry, metrics: LiveMetrics) -> None:
+    """Mirror one snapshot into a :class:`repro.obs.MetricsRegistry`.
+
+    Both :class:`MetricsSink` and ``repro watch`` feed the same gauges,
+    so a live profile and an after-the-fact log replay expose identical
+    Prometheus series (``repro_live_*``).
+    """
+    registry.gauge(
+        "repro_live_clock_bytes", "Byte clock at the last snapshot"
+    ).set(metrics.time)
+    registry.gauge(
+        "repro_live_reachable_bytes", "Reachable bytes at the last deep-GC sample"
+    ).set(metrics.reachable_bytes)
+    registry.gauge(
+        "repro_live_reachable_objects", "Reachable objects at the last deep-GC sample"
+    ).set(metrics.reachable_objects)
+    registry.gauge(
+        "repro_live_records_seen", "Object records streamed so far"
+    ).set(metrics.records_seen)
+    registry.gauge(
+        "repro_live_drag_bytes_time", "Total drag (byte·bytes) accumulated so far"
+    ).set(metrics.total_drag)
+    registry.gauge(
+        "repro_live_sample_count", "Deep-GC samples streamed so far"
+    ).set(metrics.sample_count)
+    registry.gauge(
+        "repro_live_finished", "1 once the end-of-stream marker arrived"
+    ).set(1 if metrics.finished else 0)
+
+
 def write_metrics_json(metrics: LiveMetrics, path: str) -> None:
     """Atomically replace ``path`` with the snapshot's JSON, so a
     dashboard polling the file never reads a half-written flush."""
@@ -132,7 +162,9 @@ class MetricsSink(ProfileSink):
     refreshes :attr:`latest` on every heap sample and at program end.
     ``json_path`` makes each refresh also flush machine-readable JSON;
     ``on_snapshot`` (a callable) is invoked with each new snapshot —
-    that's the hook ``repro watch``-style consumers use.
+    that's the hook ``repro watch``-style consumers use; ``registry``
+    (a :class:`repro.obs.MetricsRegistry`) mirrors each snapshot into
+    the ``repro_live_*`` Prometheus gauges.
     """
 
     def __init__(
@@ -142,11 +174,13 @@ class MetricsSink(ProfileSink):
         json_path: Optional[str] = None,
         on_snapshot=None,
         keep_history: bool = False,
+        registry=None,
     ) -> None:
         self.analysis = analysis or StreamingDragAnalysis()
         self.top_k = top_k
         self.json_path = json_path
         self.on_snapshot = on_snapshot
+        self.registry = registry
         self.keep_history = keep_history
         self.history: List[LiveMetrics] = []
         self.latest: Optional[LiveMetrics] = None
@@ -199,5 +233,7 @@ class MetricsSink(ProfileSink):
             self.history.append(metrics)
         if self.json_path:
             write_metrics_json(metrics, self.json_path)
+        if self.registry is not None:
+            update_registry(self.registry, metrics)
         if self.on_snapshot is not None:
             self.on_snapshot(metrics)

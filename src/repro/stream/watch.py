@@ -22,7 +22,7 @@ from repro.core.trailer import ObjectRecord
 from repro.core.integrals import MB
 from repro.stream.aggregate import StreamingDragAnalysis
 from repro.stream.codec import MAGIC, V2TailReader
-from repro.stream.live import snapshot, write_metrics_json
+from repro.stream.live import snapshot, update_registry, write_metrics_json
 
 
 class _V1Tail:
@@ -151,14 +151,23 @@ def watch_log(
     metrics_json: Optional[str] = None,
     out=None,
     max_polls: Optional[int] = None,
+    registry=None,
+    metrics_out: Optional[str] = None,
 ) -> StreamingDragAnalysis:
     """Tail ``path`` until the log ends (or forever), printing a
     refreshed summary after each poll that saw new data.
 
     ``once`` reads what is there now, prints a single summary, and
-    returns. ``max_polls`` bounds the loop for tests. Returns the
-    accumulated analysis.
+    returns. ``max_polls`` bounds the loop for tests. ``registry`` (a
+    :class:`repro.obs.MetricsRegistry`) receives the same ``repro_live_*``
+    gauges :class:`~repro.stream.live.MetricsSink` maintains;
+    ``metrics_out`` additionally flushes its Prometheus exposition to a
+    file after each refresh. Returns the accumulated analysis.
     """
+    if registry is None and metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
     path = Path(path)
     out = out if out is not None else sys.stdout
     waited = 0.0
@@ -201,7 +210,7 @@ def watch_log(
                 ),
                 file=out,
             )
-            if metrics_json:
+            if metrics_json or registry is not None:
                 metrics = snapshot(
                     analysis,
                     time=(
@@ -216,7 +225,12 @@ def watch_log(
                     finished=finished,
                     finalizer_errors=finalizer_errors or 0,
                 )
-                write_metrics_json(metrics, metrics_json)
+                if metrics_json:
+                    write_metrics_json(metrics, metrics_json)
+                if registry is not None:
+                    update_registry(registry, metrics)
+                    if metrics_out:
+                        registry.write_exposition(metrics_out)
         if once or finished:
             return analysis
         if max_polls is not None and polls >= max_polls:

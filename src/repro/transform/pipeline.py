@@ -23,6 +23,7 @@ over one unverified cycle of this pipeline.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import List, Optional, Sequence
 
 from repro.errors import TransformError
@@ -180,6 +181,7 @@ class OptimizationPipeline:
         engine: Optional[str] = None,
         strategies: Optional[Sequence[Transformation]] = None,
         extra_patches: Sequence[Patch] = (),
+        telemetry=None,
     ) -> None:
         self.program_ast = program_ast
         self.main_class = main_class
@@ -191,6 +193,9 @@ class OptimizationPipeline:
         self.verify = verify
         self.drag_tolerance = drag_tolerance
         self.engine = engine
+        # Optional repro.obs.Telemetry: per-cycle plan/apply/verify
+        # spans plus patch-outcome and drag counters.
+        self.telemetry = telemetry
         self.strategies = list(strategies) if strategies is not None else default_strategies()
         # Extra pre-planned patches injected into the first cycle —
         # the rollback tests use this to feed the verifier an unsound
@@ -225,6 +230,13 @@ class OptimizationPipeline:
         """
         from repro.core.profiler import profile_program
 
+        telemetry = self.telemetry
+
+        def span(name, **args):
+            if telemetry is None:
+                return nullcontext()
+            return telemetry.span(name, category="optimize", **args)
+
         if context is None:
             from repro.lint.passes import AnalysisContext
 
@@ -232,15 +244,19 @@ class OptimizationPipeline:
         if lint is None:
             from repro.lint import lint_program
 
-            lint = lint_program(program_ast, self.main_class, context=context)
-        if reference is None:
-            profile = profile_program(
-                context.compiled,
-                self.args,
-                interval_bytes=self.interval_bytes,
-                engine=self.engine,
+            lint = lint_program(
+                program_ast, self.main_class, context=context, telemetry=telemetry
             )
-            reference = ReferenceRun.from_profile(profile)
+        if reference is None:
+            with span("optimize.profile"):
+                profile = profile_program(
+                    context.compiled,
+                    self.args,
+                    interval_bytes=self.interval_bytes,
+                    engine=self.engine,
+                    telemetry=telemetry,
+                )
+                reference = ReferenceRun.from_profile(profile)
         profile = reference.profile
         analysis = reference.analysis
 
@@ -249,36 +265,40 @@ class OptimizationPipeline:
         report.reference = reference
 
         # -- plan ---------------------------------------------------------
-        pctx = PlanningContext(
-            program_ast, self.main_class, context, lint, profile, analysis,
-            self.interval_bytes, self.top, self.min_drag_share,
-        )
-        for strategy in self.strategies:
-            for entry in strategy.plan_program(pctx):
-                report.entries.append(self._wrap(entry))
-        pattern_map = {}
-        for strategy in self.strategies:
-            for pattern in strategy.patterns:
-                pattern_map.setdefault(pattern, strategy)
-        for group in analysis.sorted_nested(self.top):
-            if analysis.drag_share(group) < self.min_drag_share:
-                continue
-            pattern = classify_group(group, interval_bytes=self.interval_bytes)
-            if pattern is LifetimePattern.ALL_NEVER_USED:
-                continue  # the program-wide dead-code patch covers these
-            strategy = pattern_map.get(pattern)
-            if strategy is None:
-                report.entries.append(
-                    PlannedSkip(group.key, pattern, None,
-                                "no transformation for this pattern (§3.4 pattern 4/unclassified)")
-                )
-                continue
-            for entry in strategy.plan_group(pctx, group, pattern):
-                report.entries.append(self._wrap(entry))
-        for patch in extra_patches:
-            report.entries.append(PatchOutcome(patch))
+        with span("optimize.plan", drag_before=report.drag_before):
+            pctx = PlanningContext(
+                program_ast, self.main_class, context, lint, profile, analysis,
+                self.interval_bytes, self.top, self.min_drag_share,
+            )
+            for strategy in self.strategies:
+                for entry in strategy.plan_program(pctx):
+                    report.entries.append(self._wrap(entry))
+            pattern_map = {}
+            for strategy in self.strategies:
+                for pattern in strategy.patterns:
+                    pattern_map.setdefault(pattern, strategy)
+            for group in analysis.sorted_nested(self.top):
+                if analysis.drag_share(group) < self.min_drag_share:
+                    continue
+                pattern = classify_group(group, interval_bytes=self.interval_bytes)
+                if pattern is LifetimePattern.ALL_NEVER_USED:
+                    continue  # the program-wide dead-code patch covers these
+                strategy = pattern_map.get(pattern)
+                if strategy is None:
+                    report.entries.append(
+                        PlannedSkip(group.key, pattern, None,
+                                    "no transformation for this pattern (§3.4 pattern 4/unclassified)")
+                    )
+                    continue
+                for entry in strategy.plan_group(pctx, group, pattern):
+                    report.entries.append(self._wrap(entry))
+            for patch in extra_patches:
+                report.entries.append(PatchOutcome(patch))
 
         if dry_run:
+            if telemetry is not None:
+                for outcome in report.outcomes:
+                    telemetry.record_patch("planned")
             report.drag_after = report.drag_before if self.verify else None
             return report
 
@@ -291,26 +311,34 @@ class OptimizationPipeline:
         )
         current = clone_program(program_ast)
         for outcome in schedule:
-            try:
-                candidate, detail = apply_patch(current, outcome.patch)
-            except TransformError as exc:
-                outcome.status = FAILED
-                outcome.detail = str(exc)
+            with span("optimize.apply", kind=outcome.patch.kind):
+                try:
+                    candidate, detail = apply_patch(current, outcome.patch)
+                except TransformError as exc:
+                    outcome.status = FAILED
+                    outcome.detail = str(exc)
+                    candidate = None
+            if candidate is None:
+                if telemetry is not None:
+                    telemetry.record_patch("failed")
                 continue
             if not self.verify:
                 current = candidate
                 outcome.status = APPLIED
                 outcome.detail = detail
+                if telemetry is not None:
+                    telemetry.record_patch("applied")
                 continue
-            result, run = verify_revision(
-                reference,
-                candidate,
-                self.main_class,
-                self.args,
-                interval_bytes=self.interval_bytes,
-                engine=self.engine,
-                drag_tolerance=self.drag_tolerance,
-            )
+            with span("optimize.verify", kind=outcome.patch.kind):
+                result, run = verify_revision(
+                    reference,
+                    candidate,
+                    self.main_class,
+                    self.args,
+                    interval_bytes=self.interval_bytes,
+                    engine=self.engine,
+                    drag_tolerance=self.drag_tolerance,
+                )
             outcome.verification = result
             if result.ok:
                 current = candidate
@@ -320,10 +348,16 @@ class OptimizationPipeline:
             else:
                 outcome.status = ROLLED_BACK
                 outcome.detail = f"{detail} [rolled back: {result.detail}]"
+            if telemetry is not None:
+                telemetry.record_patch(
+                    "applied" if result.ok else "rolled_back"
+                )
 
         report.revised = current
         report.reference = reference
         report.drag_after = reference.total_drag if self.verify else None
+        if telemetry is not None:
+            telemetry.record_cycle(report.drag_before, report.drag_after)
         return report
 
     @staticmethod
@@ -338,12 +372,19 @@ class OptimizationPipeline:
         current = self.program_ast
         cycles: List[CycleReport] = []
         reference: Optional[ReferenceRun] = None
+        telemetry = self.telemetry
         for index in range(self.max_cycles):
-            report = self.run_cycle(
-                current,
-                reference=reference,
-                extra_patches=self.extra_patches if index == 0 else (),
+            cycle_span = (
+                nullcontext()
+                if telemetry is None
+                else telemetry.span("optimize.cycle", category="optimize", index=index)
             )
+            with cycle_span:
+                report = self.run_cycle(
+                    current,
+                    reference=reference,
+                    extra_patches=self.extra_patches if index == 0 else (),
+                )
             cycles.append(report)
             current = report.revised
             # The accepted verification run already profiles `current`;

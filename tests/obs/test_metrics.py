@@ -1,0 +1,168 @@
+"""Metrics registry: instruments, Prometheus exposition, snapshots."""
+
+import pytest
+
+from repro.obs import MetricsError, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(MetricsError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_labels(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total", "Hits", ("result",))
+        counter.labels(result="hit").inc(3)
+        counter.labels(result="miss").inc()
+        assert counter.labels("hit").value == 3
+        assert counter.labels("miss").value == 1
+
+    def test_wrong_label_count_rejected(self):
+        counter = MetricsRegistry().counter("c_total", "", ("a", "b"))
+        with pytest.raises(MetricsError, match="expected labels"):
+            counter.labels("only-one")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("temp")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert gauge.value == 12
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        hist = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.bucket_counts == [1, 2, 3]  # cumulative by construction
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(55.55)
+
+    def test_exposition_layout(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "Latency", buckets=(0.5, 2.0))
+        hist.observe(0.25)
+        hist.observe(1.0)
+        text = registry.exposition()
+        assert '# TYPE lat_seconds histogram' in text
+        assert 'lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'lat_seconds_bucket{le="2"} 2' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 2' in text
+        assert 'lat_seconds_sum 1.25' in text
+        assert 'lat_seconds_count 2' in text
+
+    def test_labeled_histogram_merges_label_sets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("p_seconds", "", ("pass",), buckets=(1.0,))
+        hist.labels("a").observe(0.5)
+        text = registry.exposition()
+        assert 'p_seconds_bucket{pass="a",le="1"} 1' in text
+        assert 'p_seconds_count{pass="a"} 1' in text
+
+    def test_empty_buckets_rejected(self):
+        with pytest.raises(MetricsError, match="at least one bucket"):
+            MetricsRegistry().histogram("h", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", "X")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(MetricsError, match="already registered"):
+            registry.gauge("x_total")
+
+    def test_labelname_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total", "", ("a",))
+        with pytest.raises(MetricsError, match="already registered"):
+            registry.counter("x_total", "", ("b",))
+
+    def test_contains_and_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("present_total")
+        assert "present_total" in registry
+        assert registry.get("present_total") is counter
+        assert registry.get("absent") is None
+
+
+class TestExposition:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total", "B counter").inc(2)
+        registry.gauge("a_gauge", "A gauge").set(7)
+        labeled = registry.counter("c_total", "C", ("kind",))
+        labeled.labels(kind="minor").inc()
+        labeled.labels(kind="major").inc(3)
+        return registry
+
+    def test_sorted_and_parseable(self):
+        text = self._populated().exposition()
+        lines = text.strip().splitlines()
+        # Metric families in name order: a_gauge, b_total, c_total.
+        names = [l.split()[2] for l in lines if l.startswith("# TYPE")]
+        assert names == ["a_gauge", "b_total", "c_total"]
+        # Every sample line: <name>{labels} <value>
+        for line in lines:
+            if line.startswith("#"):
+                parts = line.split(maxsplit=3)
+                assert parts[1] in ("HELP", "TYPE")
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # parseable number
+            assert name_part[0].isalpha()
+        assert 'c_total{kind="major"} 3' in text
+        assert 'c_total{kind="minor"} 1' in text
+        assert text.endswith("\n")
+
+    def test_label_values_sorted(self):
+        text = self._populated().exposition()
+        assert text.index('kind="major"') < text.index('kind="minor"')
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("esc_total", "", ("site",)).labels('a"b\\c').inc()
+        assert 'site="a\\"b\\\\c"' in registry.exposition()
+
+    def test_write_exposition(self, tmp_path):
+        registry = self._populated()
+        path = tmp_path / "metrics.prom"
+        registry.write_exposition(str(path))
+        assert path.read_text() == registry.exposition()
+
+    def test_empty_registry(self):
+        assert MetricsRegistry().exposition() == ""
+
+
+class TestSnapshot:
+    def test_deterministic_and_json_shaped(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("n_total").inc(2)
+        registry.counter("l_total", "", ("k",)).labels(k="x").inc()
+        registry.histogram("h_seconds", buckets=(1.0,)).observe(0.5)
+        snap1 = registry.snapshot()
+        snap2 = registry.snapshot()
+        assert snap1 == snap2
+        assert json.dumps(snap1, sort_keys=True) == json.dumps(snap2, sort_keys=True)
+        assert snap1["n_total"] == 2
+        assert snap1["l_total"] == {"k=x": 1}
+        assert snap1["h_seconds"] == {"buckets": {"1": 1}, "sum": 0.5, "count": 1}

@@ -1,0 +1,184 @@
+"""Tracer spans: nesting, clocks, Chrome trace export/import, render."""
+
+import json
+
+import pytest
+
+from repro.obs import Span, TraceError, Tracer, read_chrome_trace, render_span_tree
+
+
+class TestSpanNesting:
+    def test_sibling_and_child_ordering(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                with tracer.span("grandchild"):
+                    pass
+        assert [s.name for s in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [c.name for c in outer.children] == ["first", "second"]
+        assert [c.name for c in outer.children[1].children] == ["grandchild"]
+
+    def test_multiple_roots(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [s.name for s in tracer.roots] == ["a", "b"]
+
+    def test_span_records_wall_duration(self):
+        tracer = Tracer()
+        with tracer.span("timed"):
+            pass
+        span = tracer.roots[0]
+        assert span.end_wall is not None
+        assert span.wall_seconds >= 0.0
+
+    def test_byte_clock_interval(self):
+        clock = {"value": 100}
+        tracer = Tracer(clock_fn=lambda: clock["value"])
+        with tracer.span("alloc"):
+            clock["value"] += 64
+        span = tracer.roots[0]
+        assert span.start_clock == 100
+        assert span.end_clock == 164
+        assert span.clock_bytes == 64
+
+    def test_no_clock_bound_means_no_clock_interval(self):
+        tracer = Tracer()
+        with tracer.span("wall-only"):
+            pass
+        assert tracer.roots[0].clock_bytes is None
+
+    def test_bind_clock_midway(self):
+        tracer = Tracer()
+        with tracer.span("before"):
+            pass
+        tracer.bind_clock(lambda: 7)
+        with tracer.span("after"):
+            pass
+        assert tracer.roots[0].clock_bytes is None
+        assert tracer.roots[1].clock_bytes == 0
+
+    def test_error_recorded_in_args(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("nope")
+        span = tracer.roots[0]
+        assert span.args["error"] == "ValueError"
+        assert span.end_wall is not None  # closed despite the raise
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("invisible") as span:
+            assert span is None
+        assert tracer.roots == []
+
+    def test_span_kwargs_become_args(self):
+        tracer = Tracer()
+        with tracer.span("tagged", category="gc", kind="major") as span:
+            pass
+        assert span.category == "gc"
+        assert span.args == {"kind": "major"}
+
+
+class TestChromeTraceExport:
+    def _trace(self):
+        clock = {"value": 0}
+        tracer = Tracer(clock_fn=lambda: clock["value"])
+        with tracer.span("root", category="cli"):
+            clock["value"] += 512
+            with tracer.span("child", category="gc", kind="major"):
+                clock["value"] += 256
+        return tracer
+
+    def test_schema(self):
+        data = self._trace().to_chrome_trace()
+        assert set(data) == {"traceEvents", "displayTimeUnit", "otherData"}
+        events = data["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert isinstance(event["ts"], float)
+            assert isinstance(event["dur"], float)
+            assert event["dur"] >= 0
+        root, child = events
+        assert root["name"] == "root" and root["cat"] == "cli"
+        assert child["name"] == "child" and child["cat"] == "gc"
+        assert child["args"]["kind"] == "major"
+        assert root["args"]["clock_bytes"] == 768
+        assert child["args"]["clock_bytes"] == 256
+
+    def test_json_serializable_and_loadable(self, tmp_path):
+        path = tmp_path / "trace.json"
+        tracer = self._trace()
+        tracer.write_chrome_trace(str(path))
+        data = json.loads(path.read_text())
+        assert data["traceEvents"][0]["name"] == "root"
+
+    def test_round_trip_rebuilds_nesting(self, tmp_path):
+        path = tmp_path / "trace.json"
+        self._trace().write_chrome_trace(str(path))
+        roots = read_chrome_trace(str(path))
+        assert [s.name for s in roots] == ["root"]
+        assert [c.name for c in roots[0].children] == ["child"]
+        assert roots[0].children[0].clock_bytes == 256
+        assert roots[0].children[0].args == {"kind": "major"}
+
+    def test_bare_array_form_accepted(self, tmp_path):
+        path = tmp_path / "bare.json"
+        events = self._trace().to_chrome_trace()["traceEvents"]
+        path.write_text(json.dumps(events))
+        roots = read_chrome_trace(str(path))
+        assert [s.name for s in roots] == ["root"]
+
+    def test_not_json_raises(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("not json {")
+        with pytest.raises(TraceError, match="not JSON"):
+            read_chrome_trace(str(path))
+
+    def test_no_events_array_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"foo": 1}))
+        with pytest.raises(TraceError, match="traceEvents"):
+            read_chrome_trace(str(path))
+
+
+class TestRenderSpanTree:
+    def _span(self, name, start, dur, children=()):
+        span = Span(name, "repro", start, None)
+        span.end_wall = start + dur
+        span.children = list(children)
+        return span
+
+    def test_empty(self):
+        assert render_span_tree([]) == "(empty trace)"
+
+    def test_same_named_siblings_collapse(self):
+        children = [self._span("gc.deep", i * 0.1, 0.01) for i in range(3)]
+        root = self._span("run", 0.0, 1.0, children)
+        text = render_span_tree([root])
+        assert "gc.deep x3" in text
+        assert text.count("gc.deep") == 1  # one aggregated line
+
+    def test_distinct_names_stay_separate(self):
+        root = self._span(
+            "run", 0.0, 1.0,
+            [self._span("plan", 0.0, 0.1), self._span("apply", 0.2, 0.1)],
+        )
+        lines = render_span_tree([root]).splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("run")
+        assert "plan" in lines[1] and "apply" in lines[2]
+
+    def test_tracer_span_tree_shortcut(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        assert tracer.span_tree().startswith("only")

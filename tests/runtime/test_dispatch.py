@@ -49,10 +49,14 @@ class Main {
 
 HOOK_NAMES = {"profiler", "note_use", "on_alloc", "on_use"}
 
+# Telemetry machinery must likewise never leak into handlers compiled
+# with telemetry off: no DispatchStats cell, no counter attributes.
+TELEMETRY_NAMES = {"stats", "telemetry", "ic_hits", "ic_misses", "registry", "tracer"}
 
-def _build(profiler=None):
+
+def _build(profiler=None, telemetry=None):
     program = compile_program(link(SOURCE), main_class="Main")
-    vm = CompiledInterpreter(program, profiler=profiler)
+    vm = CompiledInterpreter(program, profiler=profiler, telemetry=telemetry)
     result = vm.run([])
     return vm, result
 
@@ -71,6 +75,31 @@ class TestHookSpecialization:
             code = handler.__code__
             assert "on_use" not in code.co_freevars, handler
             assert not HOOK_NAMES & set(code.co_names), handler
+
+    def test_untraced_handlers_have_zero_telemetry_sites(self):
+        """Telemetry off (the default) must leave handlers exactly as
+        hook-free as profiler-off does: no stats cell, no counter names."""
+        vm, result = _build()
+        assert result.stdout == ["total=7"]
+        for handler in _all_handlers(vm):
+            code = handler.__code__
+            assert "stats" not in code.co_freevars, handler
+            assert not TELEMETRY_NAMES & set(code.co_names), handler
+            assert not TELEMETRY_NAMES & set(code.co_freevars), handler
+
+    def test_traced_invokev_handlers_bind_stats(self):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        vm, result = _build(telemetry=telemetry)
+        assert result.stdout == ["total=7"]
+        bound = [
+            h for h in _all_handlers(vm) if "stats" in h.__code__.co_freevars
+        ]
+        assert bound, "no handler bound the DispatchStats counters"
+        for handler in bound:
+            idx = handler.__code__.co_freevars.index("stats")
+            assert handler.__closure__[idx].cell_contents is telemetry.dispatch_stats
 
     def test_profiled_use_handlers_bind_on_use(self):
         vm, _ = _build(profiler=HeapProfiler(interval_bytes=1 << 20))

@@ -31,8 +31,17 @@ EXAMPLE_PROGRAMS = [
 
 BENCHMARK_NAMES = sorted(all_benchmarks())
 
+# Wall-clock fields are outside the deterministic core (they never feed
+# the byte clock or the profile) and cannot be equal across two runs.
+NONDETERMINISTIC_STATS = {"gc_pause_seconds"}
+
+
 def _stats_dict(stats):
-    return {f: getattr(stats, f) for f in stats.__slots__}
+    return {
+        f: getattr(stats, f)
+        for f in stats.__slots__
+        if f not in NONDETERMINISTIC_STATS
+    }
 
 
 def _sample_dicts(samples):

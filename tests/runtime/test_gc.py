@@ -223,3 +223,26 @@ def test_gc_stats_accumulate():
     assert interp.heap.stats.gc_runs >= 1
     assert interp.heap.stats.objects_marked > 0
     assert interp.heap.stats.bytes_reclaimed > 0
+
+
+def test_gc_pause_time_accumulates():
+    """Every collection adds its stop-the-world wall time to
+    gc_pause_seconds, telemetry attached or not."""
+    _, interp = run_main_body(
+        "for (int i = 0; i < 100; i = i + 1) { Object o = new Object(); } System.gc();"
+    )
+    stats = interp.heap.stats
+    assert stats.gc_runs >= 1
+    assert stats.gc_pause_seconds > 0.0
+    assert stats.deep_gc_runs == 0  # no profiler, no deep GC
+    before = stats.gc_pause_seconds
+    interp.full_gc()
+    assert stats.gc_pause_seconds > before
+
+
+def test_deep_gc_runs_counted():
+    _, interp = run_main_body("Object o = new Object();")
+    assert interp.heap.stats.deep_gc_runs == 0
+    interp.deep_gc()
+    interp.deep_gc()
+    assert interp.heap.stats.deep_gc_runs == 2
