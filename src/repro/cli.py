@@ -15,6 +15,19 @@ Mirrors the paper's two-phase workflow::
 phase 1 stream records to disk with bounded memory, and ``watch``
 tails such a log — even mid-run — with live drag metrics. ``optimize``
 runs the §3.4 advisor and writes the rewritten source.
+
+The service mode (see :mod:`repro.serve`)::
+
+    python -m repro serve --port 7091 --workers 4
+    python -m repro profile program.mj --main Main --serve localhost:7091
+    python -m repro replay run.dlog2 --serve localhost:7091 --clients 4
+    python -m repro report --serve localhost:7092
+    python -m repro watch --follow localhost:7092
+
+``serve`` is the long-running sharded aggregation daemon; ``profile
+--serve`` streams phase 1 to it instead of (or in addition to) a local
+file, and ``report``/``watch`` read the live merged rankings back over
+its HTTP port.
 """
 
 from __future__ import annotations
@@ -131,20 +144,37 @@ def cmd_profile(args) -> int:
     from repro.mjava.compiler import compile_program
 
     streaming = args.sink == "stream"
-    if streaming and not args.log:
-        print("error: --sink stream requires --log", file=sys.stderr)
+    if streaming and not args.log and not args.serve:
+        print("error: --sink stream requires --log or --serve", file=sys.stderr)
         return 2
     telemetry = _make_telemetry(args)
     program = compile_program(_load_program(args.file), main_class=args.main)
     metadata = {"main": args.main, "interval": args.interval}
 
-    sink = None
-    if streaming:
+    log_sink = None
+    if streaming and args.log:
         from repro.stream import LogWriterSink, open_log_writer
 
-        sink = LogWriterSink(
+        log_sink = LogWriterSink(
             open_log_writer(args.log, fmt=args.format, metadata=metadata)
         )
+    serve_sink = None
+    if args.serve:
+        from repro.serve import ServeSink, parse_hostport
+
+        host, port = parse_hostport(args.serve)
+        serve_sink = ServeSink(
+            host, port,
+            metadata=dict(metadata, program=args.file),
+        )
+    sinks = [s for s in (log_sink, serve_sink) if s is not None]
+    sink = None
+    if len(sinks) == 1:
+        sink = sinks[0]
+    elif sinks:
+        from repro.stream import TeeSink
+
+        sink = TeeSink(*sinks)
     result = profile_program(
         program,
         args.args,
@@ -152,6 +182,9 @@ def cmd_profile(args) -> int:
         nesting_depth=args.nesting,
         last_use_depth=args.last_use_depth,
         sink=sink,
+        # --serve plus a buffered --log still needs the records in
+        # memory for write_log below.
+        buffered=True if (serve_sink and args.log and not streaming) else None,
         engine=args.engine,
         telemetry=telemetry,
     )
@@ -173,10 +206,20 @@ def cmd_profile(args) -> int:
             "swallowed during the run",
             file=sys.stderr,
         )
-    if streaming:
-        sink.close()  # already closed at program end; idempotent
+    if serve_sink is not None:
+        serve_sink.close()  # already closed at program end; idempotent
+        routed = serve_sink.server_records
         print(
-            f"[profile] streamed {sink.count} records to {args.log}",
+            f"[profile] streamed {serve_sink.count} records to serve "
+            f"{args.serve} (stream {serve_sink.stream_id}"
+            + (f", {routed} routed" if routed is not None else "")
+            + ")",
+            file=sys.stderr,
+        )
+    if streaming and args.log:
+        log_sink.close()  # already closed at program end; idempotent
+        print(
+            f"[profile] streamed {log_sink.count} records to {args.log}",
             file=sys.stderr,
         )
     elif args.log:
@@ -187,6 +230,8 @@ def cmd_profile(args) -> int:
             metadata=metadata,
         )
         print(f"[profile] wrote {count} records to {args.log}", file=sys.stderr)
+    elif serve_sink is not None:
+        pass  # the daemon owns the analysis; read it back via /rankings
     else:
         analysis = DragAnalysis(result.records)
         print(
@@ -202,6 +247,26 @@ def cmd_profile(args) -> int:
 
 
 def cmd_report(args) -> int:
+    if args.serve:
+        from repro.serve import fetch_json, fetch_rankings, parse_hostport
+        from repro.serve.merge import render_rankings_text
+
+        if args.log:
+            print("error: pass a log file or --serve, not both", file=sys.stderr)
+            return 2
+        addr = parse_hostport(args.serve)
+        rankings = fetch_rankings(
+            addr,
+            top=args.top or None,
+            table="nested" if args.nested else "site",
+        )
+        summary = fetch_json(addr, "/summary")
+        print(render_rankings_text(rankings, summary=summary))
+        return 0
+    if not args.log:
+        print("error: report needs a log file (or --serve HOST:PORT)",
+              file=sys.stderr)
+        return 2
     from repro.core.analyzer import DragAnalysis
     from repro.core.logfile import read_log
     from repro.core.report import drag_report
@@ -216,8 +281,25 @@ def cmd_report(args) -> int:
 
 
 def cmd_watch(args) -> int:
-    from repro.stream.watch import watch_log
+    from repro.stream.watch import follow_server, watch_log
 
+    if args.follow and args.log:
+        print("error: pass a log file or --follow, not both", file=sys.stderr)
+        return 2
+    if args.follow:
+        follow_server(
+            args.follow,
+            once=args.once,
+            poll_interval=args.poll,
+            top=args.top,
+            metrics_json=args.metrics_json,
+            metrics_out=args.metrics_out,
+        )
+        return 0
+    if not args.log:
+        print("error: watch needs a log file (or --follow HOST:PORT)",
+              file=sys.stderr)
+        return 2
     watch_log(
         args.log,
         once=args.once,
@@ -226,6 +308,58 @@ def cmd_watch(args) -> int:
         metrics_json=args.metrics_json,
         metrics_out=args.metrics_out,
     )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serve import DragServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        http_port=args.http_port,
+        workers=args.workers,
+        inline=args.inline,
+        top_k=args.top,
+        drain_timeout=args.drain_timeout,
+    )
+    return DragServer(config).run()
+
+
+def cmd_replay(args) -> int:
+    import threading
+
+    from repro.serve import parse_hostport, replay_log
+
+    host, port = parse_hostport(args.serve)
+    results = [None] * args.clients
+    errors = []
+
+    def one(index: int) -> None:
+        try:
+            results[index] = replay_log(
+                args.log, host, port, mode=args.mode, rate=args.rate,
+                metadata={"replay": args.log, "client": index},
+            )
+        except Exception as exc:  # surfaced collectively below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=one, args=(i,)) for i in range(args.clients)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for index, ack in enumerate(r for r in results if r is not None):
+        print(
+            f"[replay] client {index}: {ack.get('records')} records routed"
+            + (" (truncated)" if ack.get("truncated") else ""),
+            file=sys.stderr,
+        )
+    if errors:
+        print(f"error: {errors[0]}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -417,6 +551,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--format", choices=["auto", "v1", "v2"], default="auto",
                          help="log format for --sink stream: v1 JSONL or compact "
                          "v2 binary (auto: v2 for .dlog2 files)")
+    profile.add_argument("--serve", metavar="HOST:PORT",
+                         help="stream the profile to a running 'repro serve' "
+                         "daemon (combines with --log to also keep a local copy)")
     profile.add_argument("--top", type=int, default=10)
     profile.add_argument("--engine", choices=["baseline", "compiled"], default=None,
                          help="dispatch engine (profiles are bit-identical "
@@ -425,7 +562,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.set_defaults(fn=cmd_profile)
 
     report = sub.add_parser("report", help="phase 2: analyze an object log")
-    report.add_argument("log")
+    report.add_argument("log", nargs="?",
+                        help="an object log file (omit with --serve)")
+    report.add_argument("--serve", metavar="HOST:HTTP_PORT",
+                        help="read live merged rankings from a serve daemon's "
+                        "HTTP port instead of a log file")
     report.add_argument("--top", type=int, default=10)
     report.add_argument("--nested", action="store_true",
                         help="group by nested allocation site (call chain)")
@@ -436,7 +577,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(fn=cmd_report)
 
     watch = sub.add_parser("watch", help="tail a growing log with live drag metrics")
-    watch.add_argument("log")
+    watch.add_argument("log", nargs="?",
+                       help="a growing log file (omit with --follow)")
+    watch.add_argument("--follow", metavar="HOST:HTTP_PORT",
+                       help="poll a serve daemon's /rankings endpoint instead "
+                       "of tailing a file")
     watch.add_argument("--once", action="store_true",
                        help="print one summary of the log as it is now and exit")
     watch.add_argument("--poll", type=float, default=1.0,
@@ -494,6 +639,42 @@ def build_parser() -> argparse.ArgumentParser:
                       help="restrict to specific rule IDs (repeatable)")
     _add_obs_flags(lint)
     lint.set_defaults(fn=cmd_lint)
+
+    serve = sub.add_parser(
+        "serve", help="run the sharded drag-aggregation daemon")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7091,
+                       help="TCP ingest port for profile streams (default 7091; "
+                       "0 picks a free port)")
+    serve.add_argument("--http-port", type=int, default=None,
+                       help="HTTP port for /rankings, /summary, /healthz, "
+                       "/metrics (default: ingest port + 1)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="shard worker processes (default 4)")
+    serve.add_argument("--inline", action="store_true",
+                       help="run shards in-process instead of worker processes "
+                       "(debugging, low-traffic)")
+    serve.add_argument("--top", type=int, default=10,
+                       help="default top-K for /rankings")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds to wait for in-flight streams on "
+                       "SIGTERM/SIGINT")
+    serve.set_defaults(fn=cmd_serve)
+
+    replay = sub.add_parser(
+        "replay", help="stream a recorded log to a serve daemon (load generator)")
+    replay.add_argument("log", help="a v1 or v2 object log to replay")
+    replay.add_argument("--serve", metavar="HOST:PORT", required=True,
+                        help="the daemon's TCP ingest address")
+    replay.add_argument("--clients", type=int, default=1,
+                        help="concurrent replay connections (default 1)")
+    replay.add_argument("--mode", choices=["records", "raw"], default="records",
+                        help="'records' re-encodes each record (live-profiler "
+                        "cost); 'raw' copies v2 bytes verbatim (max pressure)")
+    replay.add_argument("--rate", type=float, default=None,
+                        help="per-client records/sec pacing (records mode; "
+                        "default: full speed)")
+    replay.set_defaults(fn=cmd_replay)
 
     chart = sub.add_parser("chart", help="render Figure-2-style heap curves from a log")
     chart.add_argument("log")

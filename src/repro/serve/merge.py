@@ -1,0 +1,188 @@
+"""Associative shard merge and the rankings it serves.
+
+The merge primitive is :meth:`StreamingDragAnalysis.merge` from PR 1 —
+per-site sums are associative and commutative, so folding the shard
+snapshots in any order equals a single-stream analysis of the
+concatenated logs, which in turn is bit-identical to the batch
+:class:`~repro.core.analyzer.DragAnalysis` (pinned by
+``tests/stream/test_aggregate.py``). :func:`prove_merge_equals_batch`
+is the executable form of that argument: it shards a record list K
+ways, merges, and requires the full (untruncated) rankings payload to
+be equal — not approximately, ``==`` on the JSON-able structure — to
+the batch analyzer's.
+
+:func:`rankings_payload` is deliberately duck-typed over both analyzers
+so the server (merged shards) and ``repro report`` (batch) serialize
+through literally the same code path; "bit-identical rankings" then
+means equality of these payloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence
+
+from repro.stream.aggregate import StreamingDragAnalysis
+
+
+def merge_snapshots(
+    snapshots: Iterable[StreamingDragAnalysis],
+) -> StreamingDragAnalysis:
+    """Fold shard snapshots into one fresh analysis (inputs untouched)."""
+    merged = StreamingDragAnalysis()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged
+
+
+def _key_json(key) -> object:
+    """Partition keys JSON-ably: site labels stay strings, nested
+    chains and (site, last-use) pairs become lists."""
+    if isinstance(key, str):
+        return key
+    return list(key)
+
+
+def rankings_payload(
+    analysis, top: Optional[int] = None, table: str = "site"
+) -> dict:
+    """The /rankings response body, computed from either analyzer.
+
+    ``table`` is ``"site"`` (plain allocation site), ``"nested"`` (call
+    chain), or ``"never_used"`` (§2.2's sure-bet partition). ``top``
+    of None means all groups — what the equivalence proof compares.
+    """
+    if table == "site":
+        groups = analysis.sorted_sites(top)
+    elif table == "nested":
+        groups = analysis.sorted_nested(top)
+    elif table == "never_used":
+        groups = analysis.never_used_sites(top)
+    else:
+        raise ValueError(f"unknown rankings table {table!r}")
+    total_drag = analysis.total_drag
+    sites = [
+        {
+            "rank": rank,
+            "site": _key_json(group.key),
+            "drag": group.total_drag,
+            "drag_share": (
+                group.total_drag / total_drag if total_drag > 0 else 0.0
+            ),
+            "objects": group.count,
+            "bytes": group.total_bytes,
+            "in_use": group.total_in_use,
+            "never_used": group.never_used_count,
+            "never_used_drag": group.never_used_drag,
+            # Sorted, not insertion-ordered: arrival order differs per
+            # shard, so only the set is associative under merge.
+            "types": sorted(group.type_names),
+        }
+        for rank, group in enumerate(groups, start=1)
+    ]
+    return {
+        "table": table,
+        "objects": analysis.object_count,
+        "total_bytes": analysis.total_bytes,
+        "total_drag": total_drag,
+        "sites": sites,
+    }
+
+
+def render_rankings_text(rankings: dict, summary: Optional[dict] = None) -> str:
+    """``repro report --serve``'s phase-2-style text over a /rankings
+    body (plus /summary context when available)."""
+    mb2 = float(1 << 20) ** 2
+    lines = ["=== Drag report (from serve daemon) ==="]
+    lines.append(
+        f"objects logged: {rankings['objects']}"
+        f"   total drag: {rankings['total_drag'] / mb2:.4f} MB^2"
+    )
+    if summary:
+        streams = summary.get("streams", [])
+        truncated = sum(1 for s in streams if s.get("truncated"))
+        lines.append(
+            f"streams: {len(streams)}"
+            f"   active: {summary.get('active_clients', 0)}"
+            f"   shards: {len(summary.get('shards', []))}"
+            + (f"   truncated: {truncated}" if truncated else "")
+        )
+    table = rankings.get("table", "site")
+    label = {"site": "allocation sites", "nested": "nested allocation sites",
+             "never_used": "never-used allocation sites"}[table]
+    sites = rankings["sites"]
+    lines.append("")
+    lines.append(f"--- top {len(sites)} {label} by drag ---")
+    for entry in sites:
+        key = entry["site"]
+        name = key if isinstance(key, str) else " <- ".join(key)
+        lines.append(
+            f"#{entry['rank']} {name}"
+        )
+        lines.append(
+            f"    drag {entry['drag'] / mb2:.4f} MB^2"
+            f" ({100.0 * entry['drag_share']:.1f}% of total)"
+            f"   objects {entry['objects']}"
+            f"   bytes {entry['bytes']}"
+            f"   never-used {entry['never_used']}"
+        )
+        if entry["types"]:
+            lines.append(f"    types: {', '.join(entry['types'])}")
+    if not sites:
+        lines.append("(no records ingested yet)")
+    return "\n".join(lines)
+
+
+def prove_merge_equals_batch(
+    records: Sequence,
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 0,
+    by_site_hash: bool = True,
+) -> dict:
+    """Verify merge-equals-batch on ``records``; returns the proof.
+
+    For every K in ``shard_counts`` the records are split K ways — by
+    the daemon's site-hash partitioner, and (when a ``seed`` RNG is
+    given) additionally by a uniformly random assignment, which is the
+    stronger claim: associativity cannot lean on the partition being
+    site-aligned. Each split is aggregated per-shard, merged, and the
+    *full* rankings payloads (site, nested, and never-used tables) are
+    required to equal the batch analyzer's. Raises AssertionError on
+    the first mismatch.
+    """
+    from repro.core.analyzer import DragAnalysis
+
+    from repro.serve.shard import partition_records
+
+    batch = DragAnalysis(records)
+    expected = {
+        table: rankings_payload(batch, table=table)
+        for table in ("site", "nested", "never_used")
+    }
+    rng = random.Random(seed)
+    checked = 0
+    for k in shard_counts:
+        splits: List[List[List]] = []
+        if by_site_hash:
+            splits.append(partition_records(records, k))
+        random_split: List[List] = [[] for _ in range(k)]
+        for record in records:
+            random_split[rng.randrange(k)].append(record)
+        splits.append(random_split)
+        for split in splits:
+            merged = merge_snapshots(
+                StreamingDragAnalysis().consume(shard) for shard in split
+            )
+            for table, want in expected.items():
+                got = rankings_payload(merged, table=table)
+                assert got == want, (
+                    f"merge != batch for K={k} shards, table={table!r}"
+                )
+            checked += 1
+    return {
+        "records": len(records),
+        "shard_counts": list(shard_counts),
+        "splits_checked": checked,
+        "sites": len(expected["site"]["sites"]),
+        "total_drag": expected["site"]["total_drag"],
+    }

@@ -29,7 +29,7 @@ from repro.stream.codec import (
 )
 from repro.stream.aggregate import SiteStats, StreamingDragAnalysis
 from repro.stream.live import LiveMetrics, MetricsSink
-from repro.stream.watch import watch_log
+from repro.stream.watch import follow_server, watch_log
 
 __all__ = [
     "ProfileSink",
@@ -47,4 +47,5 @@ __all__ = [
     "LiveMetrics",
     "MetricsSink",
     "watch_log",
+    "follow_server",
 ]

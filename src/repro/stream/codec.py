@@ -79,16 +79,21 @@ def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
         shift += 7
 
 
-class V2LogWriter:
-    """Streaming writer: frames hit the file as events arrive."""
+class V2FrameEncoder:
+    """Encode the v2 frame stream onto any binary ``write()`` target.
 
-    def __init__(self, path: Union[str, Path], metadata: Optional[dict] = None) -> None:
-        self.path = Path(path)
+    The byte sequence is identical whether the target is a file (via
+    :class:`V2LogWriter`) or a socket (via
+    :class:`repro.serve.client.ServeSink`), so a server ingesting the
+    stream and a reader replaying the file decode with the same parser.
+    """
+
+    def __init__(self, out, metadata: Optional[dict] = None) -> None:
         self.metadata = metadata
         self.count = 0
         self.sample_count = 0
         self._strings: Dict[str, int] = {}
-        self._file: Optional[IO[bytes]] = open(self.path, "wb")
+        self._out = out
         header = {"format": "repro-drag-log", "version": VERSION}
         if metadata:
             header["metadata"] = metadata
@@ -97,7 +102,7 @@ class V2LogWriter:
         prefix += MAGIC
         prefix.append(VERSION)
         _write_uvarint(prefix, len(payload))
-        self._file.write(bytes(prefix) + payload)
+        self._out.write(bytes(prefix) + payload)
 
     # -- frame plumbing ---------------------------------------------------
 
@@ -105,7 +110,7 @@ class V2LogWriter:
         head = bytearray()
         head.append(frame_type)
         _write_uvarint(head, len(payload))
-        self._file.write(bytes(head) + payload)
+        self._out.write(bytes(head) + payload)
 
     def _intern(self, text: str) -> int:
         sid = self._strings.get(text)
@@ -181,13 +186,11 @@ class V2LogWriter:
         self._frame(FRAME_SAMPLE, bytes(buf))
         self.sample_count += 1
 
-    def close(
+    def write_end(
         self,
         end_time: Optional[int] = None,
         finalizer_errors: Optional[int] = None,
     ) -> None:
-        if self._file is None:
-            return
         buf = bytearray()
         _write_uvarint(buf, 0 if end_time is None else end_time + 1)
         _write_uvarint(buf, self.count)
@@ -198,6 +201,24 @@ class V2LogWriter:
             buf, 0 if finalizer_errors is None else finalizer_errors + 1
         )
         self._frame(FRAME_END, bytes(buf))
+
+
+class V2LogWriter(V2FrameEncoder):
+    """Streaming writer: frames hit the file as events arrive."""
+
+    def __init__(self, path: Union[str, Path], metadata: Optional[dict] = None) -> None:
+        self.path = Path(path)
+        self._file: Optional[IO[bytes]] = open(self.path, "wb")
+        super().__init__(self._file, metadata=metadata)
+
+    def close(
+        self,
+        end_time: Optional[int] = None,
+        finalizer_errors: Optional[int] = None,
+    ) -> None:
+        if self._file is None:
+            return
+        self.write_end(end_time=end_time, finalizer_errors=finalizer_errors)
         self._file.close()
         self._file = None
 
@@ -266,16 +287,60 @@ def _decode_record(payload: bytes, strings: List[str]) -> ObjectRecord:
     )
 
 
+def peek_site_label(payload: bytes, strings: List[str]) -> str:
+    """Decode only as far as a RECORD payload's site label.
+
+    The serve daemon routes each record frame to its shard by site-label
+    hash; this skips the fixed-width varint prefix instead of paying for
+    a full :func:`_decode_record`, leaving the rest of the decode to the
+    shard worker that owns the site.
+    """
+    pos = 1  # flags byte
+    flags = payload[0]
+    skip = 7 if flags & _F_HAS_SITE else 6  # 6 times/sizes + optional site id
+    for _ in range(skip + 1):  # ... then the type-name string id
+        _, pos = _read_uvarint(payload, pos)
+    label_id, _ = _read_uvarint(payload, pos)
+    return strings[label_id]
+
+
+def decode_end(payload: bytes) -> Tuple[Optional[int], int, Optional[int]]:
+    """Decode an END frame payload into
+    ``(end_time, declared_count, finalizer_errors)``."""
+    pos = 0
+    raw_end, pos = _read_uvarint(payload, pos)
+    end_time = None if raw_end == 0 else raw_end - 1
+    declared_count, pos = _read_uvarint(payload, pos)
+    finalizer_errors = None
+    if pos < len(payload):  # logs predating the field omit it
+        raw_fe, pos = _read_uvarint(payload, pos)
+        finalizer_errors = None if raw_fe == 0 else raw_fe - 1
+    return end_time, declared_count, finalizer_errors
+
+
 class _FrameParser:
     """Incremental frame decoder over an append-only byte stream.
 
     Feed it chunks as the file grows; it yields complete events and
-    keeps partial frames pending. This is the engine behind both the
-    one-shot readers and :class:`V2TailReader`.
+    keeps partial frames pending. This is the engine behind the one-shot
+    readers, :class:`V2TailReader`, and — via the undecoded
+    :meth:`feed_frames` layer — the serve daemon's per-connection
+    ingest, which routes raw frames to shard workers without decoding
+    records centrally.
     """
 
     def __init__(self, source: str = "<stream>") -> None:
         self.source = source
+        self.reset()
+
+    def reset(self) -> None:
+        """Return to the pristine pre-header state.
+
+        A serve connection that disconnects mid-frame (or sends garbage)
+        leaves partial state behind; resetting lets the owner reuse the
+        parser for a fresh stream without leaking the poisoned buffer or
+        string table into it.
+        """
         self.strings: List[str] = []
         self.metadata: dict = {}
         self.end_time: Optional[int] = None
@@ -289,22 +354,46 @@ class _FrameParser:
     def pending_bytes(self) -> int:
         return len(self._buf)
 
+    @property
+    def truncated(self) -> bool:
+        """True when the stream stopped mid-frame or before its END
+        frame — what a crashed or disconnected writer leaves behind."""
+        return bool(self._buf) or not self.ended
+
+    def feed_frames(self, chunk: bytes) -> List[Tuple[int, bytes]]:
+        """Absorb ``chunk``; return complete raw ``(type, payload)``
+        frames without decoding them. STRING frames still update
+        :attr:`strings` (every downstream consumer needs the table);
+        END frames still set the end-of-stream state."""
+        self._buf += chunk
+        frames: List[Tuple[int, bytes]] = []
+        if not self._header_done and not self._parse_header():
+            return frames
+        while True:
+            frame = self._next_frame()
+            if frame is None:
+                return frames
+            frame_type, payload = frame
+            if frame_type == FRAME_STRING:
+                self.strings.append(payload.decode("utf-8"))
+            elif frame_type == FRAME_END:
+                self.end_time, self.declared_count, self.finalizer_errors = (
+                    decode_end(payload)
+                )
+                self.ended = True
+            elif frame_type not in (FRAME_RECORD, FRAME_SAMPLE):
+                raise ProfileError(
+                    f"{self.source}: unknown v2 frame type 0x{frame_type:02x}"
+                )
+            frames.append((frame_type, payload))
+
     def feed(self, chunk: bytes) -> List[Tuple[str, object]]:
         """Absorb ``chunk``; return the newly completed events as
         ``("record", ObjectRecord)`` / ``("sample", HeapSample)`` /
         ``("end", end_time)`` tuples."""
-        self._buf += chunk
         events: List[Tuple[str, object]] = []
-        if not self._header_done and not self._parse_header():
-            return events
-        while True:
-            frame = self._next_frame()
-            if frame is None:
-                return events
-            frame_type, payload = frame
-            if frame_type == FRAME_STRING:
-                self.strings.append(payload.decode("utf-8"))
-            elif frame_type == FRAME_RECORD:
+        for frame_type, payload in self.feed_frames(chunk):
+            if frame_type == FRAME_RECORD:
                 events.append(("record", _decode_record(payload, self.strings)))
             elif frame_type == FRAME_SAMPLE:
                 from repro.core.profiler import HeapSample
@@ -315,19 +404,8 @@ class _FrameParser:
                 count, pos = _read_uvarint(payload, pos)
                 events.append(("sample", HeapSample(time, reachable, count)))
             elif frame_type == FRAME_END:
-                pos = 0
-                raw_end, pos = _read_uvarint(payload, pos)
-                self.end_time = None if raw_end == 0 else raw_end - 1
-                self.declared_count, pos = _read_uvarint(payload, pos)
-                if pos < len(payload):  # logs predating the field omit it
-                    raw_fe, pos = _read_uvarint(payload, pos)
-                    self.finalizer_errors = None if raw_fe == 0 else raw_fe - 1
-                self.ended = True
                 events.append(("end", self.end_time))
-            else:
-                raise ProfileError(
-                    f"{self.source}: unknown v2 frame type 0x{frame_type:02x}"
-                )
+        return events
 
     def _parse_header(self) -> bool:
         buf = self._buf
@@ -367,6 +445,10 @@ class _FrameParser:
         payload = bytes(buf[pos : pos + length])
         del buf[: pos + length]
         return frame_type, payload
+
+
+#: Public name for per-connection stream ingest (the serve daemon).
+FrameParser = _FrameParser
 
 
 def _iter_v2_events(

@@ -7,6 +7,12 @@ finishes it). Each poll folds the new records into a
 :class:`~repro.stream.aggregate.StreamingDragAnalysis` — memory stays
 O(sites) no matter how large the log grows — and refreshes a top-K
 drag summary, optionally flushing a machine-readable JSON snapshot.
+
+``repro watch --follow HOST:PORT`` (:func:`follow_server`) is the same
+loop pointed at a serve daemon instead of a file: each poll GETs
+/summary and /rankings and renders the merged-across-all-clients view,
+feeding the identical ``repro_live_*`` gauge names so dashboards don't
+care whether they scrape a file tail or the service.
 """
 
 from __future__ import annotations
@@ -235,4 +241,111 @@ def watch_log(
             return analysis
         if max_polls is not None and polls >= max_polls:
             return analysis
+        _time.sleep(poll_interval)
+
+
+def render_follow_summary(
+    hostport: str, summary: dict, rankings: dict, top: int
+) -> str:
+    """One refresh of the ``--follow`` display (server-side state)."""
+    draining = summary.get("draining")
+    active = summary.get("active_clients", 0)
+    state = "draining" if draining else (f"{active} live client(s)" if active else "idle")
+    lines = [f"=== repro watch {hostport} ({state}) ==="]
+    streams = summary.get("streams", [])
+    truncated = sum(1 for s in streams if s.get("truncated"))
+    lines.append(
+        f"records {summary['objects']}"
+        f"   drag-so-far {_mb2(summary['total_drag']):.4f} MB^2"
+        f"   logged bytes {summary['total_bytes']}"
+        f"   streams {len(streams)}"
+        + (f" ({truncated} truncated)" if truncated else "")
+    )
+    shard_counts = [s["records"] for s in summary.get("shards", [])]
+    if shard_counts:
+        lines.append(
+            f"shards {len(shard_counts)}: records/shard "
+            + "/".join(str(c) for c in shard_counts)
+        )
+    sites = rankings.get("sites", [])
+    if sites:
+        lines.append(f"top {len(sites)} sites by drag:")
+        for entry in sites:
+            lines.append(
+                f"  #{entry['rank']} {entry['site']}: "
+                f"drag {_mb2(entry['drag']):.4f} MB^2"
+                f"  objects {entry['objects']}"
+                f"  never-used {entry['never_used']}"
+            )
+    else:
+        lines.append("(no records yet)")
+    return "\n".join(lines)
+
+
+def follow_server(
+    hostport: str,
+    once: bool = False,
+    poll_interval: float = 1.0,
+    top: int = 10,
+    metrics_json: Optional[str] = None,
+    out=None,
+    max_polls: Optional[int] = None,
+    registry=None,
+    metrics_out: Optional[str] = None,
+) -> dict:
+    """Poll a serve daemon's /summary + /rankings until it drains.
+
+    The file-tail twin of :func:`watch_log`: same flags, same rendered
+    shape, same ``repro_live_*`` gauges (via ``registry`` /
+    ``metrics_out``). Returns the last /summary body. Ends on ``once``,
+    ``max_polls``, server drain, or the daemon going away.
+    """
+    from repro.serve.client import fetch_json, fetch_rankings
+    from repro.serve.protocol import parse_hostport
+    from repro.stream.live import LiveMetrics, update_registry, write_metrics_json
+
+    if registry is None and metrics_out is not None:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    addr = parse_hostport(hostport)
+    out = out if out is not None else sys.stdout
+    polls = 0
+    summary: dict = {}
+    while True:
+        polls += 1
+        try:
+            summary = fetch_json(addr, "/summary")
+            rankings = fetch_rankings(addr, top=top)
+        except OSError as exc:
+            if summary:  # daemon went away mid-follow: report what we had
+                print(f"(server {hostport} gone: {exc})", file=out)
+                return summary
+            raise ProfileError(f"cannot reach serve daemon at {hostport}: {exc}")
+        print(render_follow_summary(hostport, summary, rankings, top), file=out)
+        finished = bool(summary.get("draining")) or (
+            bool(summary.get("streams")) and summary.get("active_clients", 0) == 0
+        )
+        if metrics_json or registry is not None:
+            metrics = LiveMetrics(
+                time=summary.get("end_time") or 0,
+                reachable_bytes=0,  # a deep-GC-point notion; not served
+                reachable_objects=0,
+                records_seen=summary["objects"],
+                total_drag=summary["total_drag"],
+                total_bytes=summary["total_bytes"],
+                sample_count=summary.get("samples", 0),
+                top_sites=rankings.get("sites", []),
+                finished=finished,
+            )
+            if metrics_json:
+                write_metrics_json(metrics, metrics_json)
+            if registry is not None:
+                update_registry(registry, metrics)
+                if metrics_out:
+                    registry.write_exposition(metrics_out)
+        if once or summary.get("draining"):
+            return summary
+        if max_polls is not None and polls >= max_polls:
+            return summary
         _time.sleep(poll_interval)

@@ -1,0 +1,109 @@
+"""Serve wire protocol: handshake framing, host:port parsing, sharding."""
+
+import asyncio
+import io
+import zlib
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_PORT,
+    HELLO_MAGIC,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_json_frame,
+    encode_hello,
+    encode_json_frame,
+    parse_hostport,
+    read_hello,
+    read_json_frame_sync,
+)
+from repro.serve.shard import partition_records, site_shard
+from tests.core.test_analyzer import make_record
+
+
+def run_hello(data: bytes) -> dict:
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_hello(reader)
+
+    return asyncio.run(go())
+
+
+def test_json_frame_roundtrip():
+    obj = {"ok": True, "stream_id": 7, "nested": {"a": [1, 2]}}
+    data = encode_json_frame(obj)
+    decoded, pos = decode_json_frame(data)
+    assert decoded == obj
+    assert pos == len(data)
+    # and through the blocking reader used by clients
+    assert read_json_frame_sync(io.BytesIO(data)) == obj
+
+
+def test_json_frame_sync_truncation_raises():
+    data = encode_json_frame({"k": "v" * 100})
+    with pytest.raises(ProtocolError):
+        read_json_frame_sync(io.BytesIO(data[:-5]))
+    with pytest.raises(ProtocolError):
+        read_json_frame_sync(io.BytesIO(b""))
+
+
+def test_hello_roundtrip():
+    data = encode_hello({"program": "Main.mj", "run": "primary"})
+    assert data.startswith(HELLO_MAGIC + bytes([PROTOCOL_VERSION]))
+    metadata = run_hello(data)
+    assert metadata == {"program": "Main.mj", "run": "primary"}
+
+
+def test_hello_without_metadata_is_empty_dict():
+    assert run_hello(encode_hello()) == {}
+
+
+def test_hello_bad_magic_rejected():
+    data = b"NOPE" + bytes([PROTOCOL_VERSION]) + encode_json_frame({})
+    with pytest.raises(ProtocolError):
+        run_hello(data)
+
+
+def test_hello_bad_version_rejected():
+    data = HELLO_MAGIC + bytes([99]) + encode_json_frame({"protocol": 99})
+    with pytest.raises(ProtocolError):
+        run_hello(data)
+
+
+def test_hello_cut_before_frame_rejected():
+    with pytest.raises(ProtocolError):
+        run_hello(HELLO_MAGIC)
+
+
+def test_parse_hostport():
+    assert parse_hostport("example.com:9000") == ("example.com", 9000)
+    assert parse_hostport("example.com") == ("example.com", DEFAULT_PORT)
+    assert parse_hostport(":9000") == ("127.0.0.1", 9000)
+    assert parse_hostport("host", default_port=1234) == ("host", 1234)
+    with pytest.raises(ProtocolError):
+        parse_hostport("host:notaport")
+
+
+def test_site_shard_is_crc32_stable():
+    """The partitioner must agree across processes and runs, so it is
+    pinned to crc32 — not the PYTHONHASHSEED-randomized ``hash()``."""
+    assert site_shard("App.m:1", 8) == 4185199232 % 8
+    assert site_shard("Hot.site:1", 8) == 2634495724 % 8
+    assert site_shard("B.use:9", 8) == 257351711 % 8
+    for label in ("App.m:1", "Hot.site:1", "B.use:9"):
+        assert site_shard(label, 8) == zlib.crc32(label.encode()) % 8
+        assert 0 <= site_shard(label, 3) < 3
+
+
+def test_partition_records_covers_and_groups_by_site():
+    records = [
+        make_record(handle=i, site_label=f"Site.m:{i % 5}") for i in range(50)
+    ]
+    shards = partition_records(records, 4)
+    assert sum(len(s) for s in shards) == len(records)
+    for index, shard in enumerate(shards):
+        for record in shard:
+            assert site_shard(record.site_label, 4) == index

@@ -186,6 +186,83 @@ def test_end_frame_without_finalizer_errors_reads_none(tmp_path):
     assert read_v2_log(path).finalizer_errors is None
 
 
+def test_frame_parser_feed_frames_raw_layer(tmp_path):
+    """The serve daemon's ingest layer: raw frames out, strings and END
+    state tracked, records left undecoded for the shard that owns them."""
+    from repro.stream.codec import (
+        FRAME_END,
+        FRAME_RECORD,
+        FRAME_SAMPLE,
+        FRAME_STRING,
+        FrameParser,
+        _decode_record,
+        peek_site_label,
+    )
+
+    records = [
+        make_record(handle=i, site_label=f"S.m:{i % 3}", use_frame="U.f:1")
+        for i in range(10)
+    ]
+    path = tmp_path / "raw.dlog2"
+    write_v2(path, records, samples=[HeapSample(50, 128, 2)], end_time=42)
+    parser = FrameParser()
+    frames = []
+    data = path.read_bytes()
+    for start in range(0, len(data), 11):  # misaligned chunks
+        frames.extend(parser.feed_frames(data[start : start + 11]))
+    assert parser.ended and parser.end_time == 42
+    assert not parser.truncated
+    kinds = [t for t, _ in frames]
+    assert kinds.count(FRAME_RECORD) == 10
+    assert kinds.count(FRAME_SAMPLE) == 1
+    assert kinds.count(FRAME_END) == 1
+    assert kinds.count(FRAME_STRING) == len(parser.strings) > 0
+    # raw payloads decode to the originals, and the cheap site peek
+    # agrees with the full decode
+    decoded = [
+        _decode_record(p, parser.strings) for t, p in frames if t == FRAME_RECORD
+    ]
+    for original, parsed, payload in zip(
+        records, decoded, (p for t, p in frames if t == FRAME_RECORD)
+    ):
+        assert parsed.to_dict() == original.to_dict()
+        assert peek_site_label(payload, parser.strings) == original.site_label
+
+
+def test_frame_parser_truncated_and_reset(tmp_path):
+    from repro.stream.codec import FrameParser
+
+    records = [make_record(handle=i) for i in range(5)]
+    path = tmp_path / "t.dlog2"
+    write_v2(path, records, end_time=7)
+    data = path.read_bytes()
+
+    parser = FrameParser()
+    parser.feed_frames(data[: len(data) - 6])  # stop mid-frame
+    assert parser.truncated  # pending bytes and no END seen
+    assert parser.strings  # partial state is really there...
+    parser.reset()
+    assert not parser.strings and parser.pending_bytes == 0
+    assert parser.metadata == {} and not parser.ended
+    # ...and a reset parser consumes a fresh stream from scratch
+    events = parser.feed(data)
+    assert [k for k, _ in events].count("record") == 5
+    assert parser.ended and not parser.truncated
+
+
+def test_frame_parser_unknown_frame_type_raises(tmp_path):
+    from repro.stream.codec import FrameParser, _write_uvarint
+
+    path = tmp_path / "u.dlog2"
+    write_v2(path, [make_record(handle=1)], end_time=3)
+    bogus = bytearray([0x7F])
+    _write_uvarint(bogus, 2)
+    bogus += b"xx"
+    parser = FrameParser()
+    with pytest.raises(ProfileError):
+        parser.feed_frames(path.read_bytes() + bytes(bogus))
+
+
 def test_old_end_frame_layout_still_parses(tmp_path):
     """A pre-field END frame (end_time + count only) must still load."""
     from repro.stream.codec import FRAME_END, _write_uvarint
