@@ -53,5 +53,5 @@ def pairs():
 
 @pytest.fixture(scope="session")
 def benchmark_names():
-    # paper's presentation order (Tables 2-5)
-    return ["javac", "jack", "raytrace", "jess", "euler", "mc", "juru", "analyzer", "db"]
+    # paper's presentation order (Tables 2-5), plus our cache probe
+    return ["javac", "jack", "raytrace", "jess", "euler", "mc", "juru", "analyzer", "db", "cache"]

@@ -1,0 +1,241 @@
+"""Bounded access graphs for heap reference analysis.
+
+The liveness of a heap *access path* (``db.index.buckets[].value``)
+cannot be tracked path-by-path: loops build unboundedly long paths.
+Khedker/Sanyal/Karkare's access graphs bound the representation by
+summarizing paths as a rooted graph whose nodes are keyed by
+``(label, allocation_site)`` — every occurrence of a field (or array
+region) at the same allocation site maps to the *same* node, so a
+path that grows around a loop folds into a cycle and the graph stops
+growing. That merge is the widening: the graph over-approximates the
+set of represented paths, which is the safe direction for liveness.
+
+Three lattice operations are provided, matching the paper's algebra:
+
+* :meth:`AccessGraph.union` — join at control-flow merges;
+* :meth:`AccessGraph.extend` — append one field edge to every current
+  frontier (the transfer function of ``x.f``);
+* :meth:`AccessGraph.factorize` — split the graph at every node with a
+  given label into (prefix reaching it, suffix subgraph hanging off
+  it), the "remainder graph" used when a prefix is overwritten.
+
+Graphs are immutable; all operations return new graphs, and equality
+is structural so fixpoint loops can test convergence directly.
+:meth:`paths` enumerates representative root-to-frontier paths with
+cycles cut (marked ``…``) — the human-readable pinning paths that
+``repro lint --explain`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
+
+#: The synthetic root of every access graph (the variable/anchor the
+#: paths hang off); never merged with field nodes.
+ROOT = "<root>"
+
+
+class AGNode(NamedTuple):
+    """One access-graph node: a field/region label qualified by the
+    allocation site of the object it was observed on (``None`` when
+    the site is statically unknown — all unknown occurrences merge)."""
+
+    label: str
+    site: Optional[int] = None
+
+    def pretty(self) -> str:
+        if self.site is None:
+            return self.label
+        return f"{self.label}@{self.site}"
+
+
+Edge = Tuple[object, AGNode]  # src is ROOT or an AGNode
+
+
+class AccessGraph:
+    """An immutable, bounded access graph rooted at ``root``.
+
+    ``frontier`` marks the nodes live paths currently end at (the
+    paper's "final" nodes); ``extend`` grows edges out of them.
+    """
+
+    __slots__ = ("root", "_edges", "_frontier", "_hash")
+
+    def __init__(
+        self,
+        root: str,
+        edges: Iterable[Edge] = (),
+        frontier: Iterable[AGNode] = (),
+    ) -> None:
+        self.root = root
+        self._edges: FrozenSet[Edge] = frozenset(edges)
+        self._frontier: FrozenSet[AGNode] = frozenset(frontier)
+        self._hash = hash((root, self._edges, self._frontier))
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def empty(cls, root: str) -> "AccessGraph":
+        """The graph representing only the root itself (no heap path)."""
+        return cls(root)
+
+    # -- basic views --------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._edges
+
+    @property
+    def edges(self) -> FrozenSet[Edge]:
+        return self._edges
+
+    @property
+    def frontier(self) -> FrozenSet[AGNode]:
+        return self._frontier
+
+    @property
+    def nodes(self) -> FrozenSet[AGNode]:
+        out = set()
+        for src, dst in self._edges:
+            if src is not ROOT:
+                out.add(src)
+            out.add(dst)
+        return frozenset(out)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, AccessGraph)
+            and self.root == other.root
+            and self._edges == other._edges
+            and self._frontier == other._frontier
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"<access-graph {self.root} nodes={len(self)} edges={len(self._edges)}>"
+
+    # -- lattice operations -------------------------------------------------
+
+    def union(self, other: "AccessGraph") -> "AccessGraph":
+        """Join: all paths of either graph (control-flow merge)."""
+        if self.root != other.root:
+            raise ValueError(f"union of different roots {self.root!r}/{other.root!r}")
+        return AccessGraph(
+            self.root,
+            self._edges | other._edges,
+            self._frontier | other._frontier,
+        )
+
+    def extend(self, label: str, site: Optional[int] = None) -> "AccessGraph":
+        """Append ``.label`` to every represented path.
+
+        The new node is keyed ``(label, site)``; if it already exists
+        the edge lands on the existing node — this merge is what keeps
+        repeated extension around a loop bounded.
+        """
+        node = AGNode(label, site)
+        sources: Iterable[object] = self._frontier if self._frontier else (ROOT,)
+        new_edges = {(src, node) for src in sources}
+        return AccessGraph(self.root, self._edges | new_edges, (node,))
+
+    def factorize(self, label: str) -> Tuple["AccessGraph", List["AccessGraph"]]:
+        """Split at every node labeled ``label``: returns the prefix
+        graph (paths not passing beyond such nodes, with those nodes as
+        the new frontier) and one remainder graph per split node
+        (rooted at the node, containing everything reachable from it)."""
+        split = sorted(n for n in self.nodes if n.label == label)
+        prefix_edges = set()
+        reached = set()
+        # Prefix: BFS from the root that stops *at* split nodes.
+        work = [ROOT]
+        seen = {ROOT}
+        while work:
+            src = work.pop()
+            for edge_src, dst in self._edges:
+                if edge_src != src:
+                    continue
+                prefix_edges.add((edge_src, dst))
+                reached.add(dst)
+                if dst.label == label:
+                    continue
+                if dst not in seen:
+                    seen.add(dst)
+                    work.append(dst)
+        prefix = AccessGraph(
+            self.root,
+            prefix_edges,
+            [n for n in reached if n.label == label],
+        )
+        remainders = []
+        for node in split:
+            sub_edges = set()
+            work = [node]
+            seen2 = {node}
+            while work:
+                src = work.pop()
+                for edge_src, dst in self._edges:
+                    if edge_src != src:
+                        continue
+                    # Re-root so the split node becomes the remainder's
+                    # ROOT: the remainder is a well-formed graph whose
+                    # paths hang off ``node.pretty()``.
+                    sub_edges.add((ROOT if edge_src == node else edge_src, dst))
+                    if dst not in seen2:
+                        seen2.add(dst)
+                        work.append(dst)
+            sub_nodes = {dst for _, dst in sub_edges}
+            sub_frontier = self._frontier & sub_nodes
+            if not sub_frontier:
+                has_out = {s for s, _ in sub_edges}
+                sub_frontier = {n for n in sub_nodes if n not in has_out}
+            remainders.append(AccessGraph(node.pretty(), sub_edges, sub_frontier))
+        return prefix, remainders
+
+    # -- path enumeration ---------------------------------------------------
+
+    def paths(self, limit: int = 8, max_len: int = 12) -> List[str]:
+        """Representative root-to-frontier paths, cycles cut with ``…``.
+
+        Deterministic (sorted edge order) and bounded: at most
+        ``limit`` paths of at most ``max_len`` segments each.
+        """
+        succs = {}
+        for src, dst in sorted(self._edges, key=lambda e: (str(e[0]), e[1])):
+            succs.setdefault(src, []).append(dst)
+        out: List[str] = []
+
+        def walk(node, trail, labels):
+            if len(out) >= limit:
+                return
+            at_end = node is not ROOT and (
+                node in self._frontier or not succs.get(node)
+            )
+            if at_end and labels:
+                out.append(self.root + "." + ".".join(labels))
+                if node in self._frontier:
+                    return
+            if len(labels) >= max_len:
+                out.append(self.root + "." + ".".join(labels) + "…")
+                return
+            for nxt in succs.get(node, ()):
+                if nxt in trail:
+                    out.append(self.root + "." + ".".join(labels + [nxt.label, "…"]))
+                    continue
+                walk(nxt, trail | {nxt}, labels + [nxt.label])
+
+        walk(ROOT, frozenset(), [])
+        if not out and self.is_empty:
+            out.append(self.root)
+        # Dedup while preserving order (cycle cuts can repeat).
+        seen = set()
+        deduped = []
+        for p in out:
+            if p not in seen:
+                seen.add(p)
+                deduped.append(p)
+        return deduped[:limit]

@@ -1,0 +1,110 @@
+'''cache — session-cache churn (pattern-4 probe; not in the paper).
+
+A long-lived session table serves a stream of requests whose hot set
+is four-fifths of the admitted sessions; the cold fifth is dead weight
+the moment loading ends, and even the hot sessions die the instant the
+serving phase is over — yet the table pins every one of them through a
+report-generation phase that keeps allocating. This is §3.4's pattern
+4 exactly as db exhibits it ("the exact queries cannot be predicted"),
+but with a twist the paper's per-site toolkit cannot touch: the holder
+(`store`) itself stays live to the last line, so nulling the *local*
+is impossible. Only an analysis that proves deadness *through the
+heap* — every access path `store.sessions.*` is dead after the serving
+phase — licenses the one-line fix `store.sessions = null;`.
+
+Like db, the shipped revised program is the original: the point of
+this benchmark is that `repro optimize` discovers the rewriting itself
+(DRAG007 → assign-null-heap-field), which the differential gate in
+tests/analysis/test_heap_liveness.py verifies end to end.
+'''
+
+from repro.benchmarks.registry import Benchmark
+
+ORIGINAL = """
+class Session {
+    String id;
+    char[] payload;
+    int hits;
+    Session(String id, int width) {
+        this.id = id;
+        this.payload = new char[width];
+        this.hits = 0;
+    }
+    int touch(int q) {
+        hits = hits + 1;
+        return payload[(q * 7) % payload.length] + hits;
+    }
+}
+
+class SessionStore {
+    HashTable sessions;
+    int stored;
+    SessionStore() {
+        sessions = new HashTable(64);
+        stored = 0;
+    }
+    void admit(Session s) {
+        sessions.put(s.id, s);
+        stored = stored + 1;
+    }
+    Session lookup(String id) {
+        return (Session) sessions.get(id);
+    }
+    int size() { return stored; }
+}
+
+class Cache {
+    public static void main(String[] args) {
+        int sessions = Integer.parseInt(args[0]);
+        int requests = Integer.parseInt(args[1]);
+        SessionStore store = new SessionStore();
+        for (int s = 0; s < sessions; s = s + 1) {
+            store.admit(new Session("s" + s, 360));
+        }
+        int result = 0;
+        Random rng = new Random(7);
+        for (int q = 0; q < requests; q = q + 1) {
+            // the hot four-fifths keep being hit at unpredictable
+            // times; the cold fifth below the waterline is never
+            // looked up again after admission (§3.4 pattern 4)
+            int cold = sessions / 5;
+            int pick = cold + rng.nextInt(sessions - cold);
+            Session hit = store.lookup("s" + pick);
+            if (hit != null) {
+                result = result + hit.touch(q);
+            }
+        }
+        // serving phase over: the table is sealed and never consulted
+        // again, but `store` itself must survive for the final report
+        int sealed = store.size();
+        result = result + sealed;
+        for (int r = 0; r < 40; r = r + 1) {
+            // report generation churns fresh buffers; every dead
+            // session drags through this whole phase unless
+            // store.sessions is dropped
+            char[] report = new char[700];
+            report[0] = (char) ('0' + result % 10);
+            result = result + report[0];
+        }
+        System.println("sessions " + store.size() + " requests " + requests);
+        System.printInt(result);
+    }
+}
+"""
+
+# The improvement is the optimizer's to find (DRAG007), not a shipped
+# hand rewriting — the revised program is the original, as for db.
+REVISED = ORIGINAL
+
+BENCHMARK = Benchmark(
+    name="cache",
+    description="session-cache churn",
+    main_class="Cache",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["90", "240"],
+    alternate_args=["60", "400"],
+    rewritings=[],
+    interval_bytes=16 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

@@ -17,6 +17,9 @@ TABLE1 = {
     "euler": {"classes": 5, "stmts": 726, "description": "Euler equations solver"},
     "juru": {"classes": 38, "stmts": 2505, "description": "web indexing"},
     "analyzer": {"classes": 258, "stmts": 35489, "description": "mutability analyzer"},
+    # cache is not in the paper: it is our pattern-4 probe (session
+    # table pinning dead entries), so its published columns are zero.
+    "cache": {"classes": 0, "stmts": 0, "description": "session-cache churn"},
 }
 
 # Table 2: integrals (MByte^2) and savings for the primary inputs.
@@ -70,6 +73,13 @@ TABLE2 = {
         "original_in_use": None, "original_reachable": None,
         "drag_saving_pct": 0.0, "space_saving_pct": 0.0,
     },
+    # cache ships no hand rewriting (the optimizer finds one), so its
+    # published deltas are zero, like db's.
+    "cache": {
+        "reduced_in_use": None, "reduced_reachable": None,
+        "original_in_use": None, "original_reachable": None,
+        "drag_saving_pct": 0.0, "space_saving_pct": 0.0,
+    },
 }
 
 # Table 3: alternate inputs (reduced/original reachable integrals, space saving %).
@@ -83,6 +93,7 @@ TABLE3 = {
     "juru": {"reduced_reachable": 314.9, "original_reachable": 351.76, "space_saving_pct": 10.48},
     "analyzer": {"reduced_reachable": 859.85, "original_reachable": 1051.57, "space_saving_pct": 18.23},
     "db": {"reduced_reachable": None, "original_reachable": None, "space_saving_pct": 0.0},
+    "cache": {"reduced_reachable": None, "original_reachable": None, "space_saving_pct": 0.0},
 }
 
 # Table 4: runtime savings (%) under Sun HotSpot 1.3 Client.
@@ -96,6 +107,7 @@ TABLE4 = {
     "juru": 0.76,
     "analyzer": -0.38,
     "db": 0.0,  # not listed; included at zero in the average
+    "cache": 0.0,  # not in the paper
 }
 
 # Table 5: per-benchmark rewritings (strategy, reference kind,
@@ -122,6 +134,7 @@ TABLE5 = {
         ("assigning null", "local variable + private static", 25.34, "liveness")
     ],
     "db": [],
+    "cache": [],  # the heap-liveness optimizer plans the rewriting itself
 }
 
 # §4.1 headline averages.

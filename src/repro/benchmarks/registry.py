@@ -66,11 +66,13 @@ _REGISTRY: Optional[Dict[str, Benchmark]] = None
 
 
 def all_benchmarks() -> Dict[str, Benchmark]:
-    """Name → Benchmark for all nine programs (import-on-demand)."""
+    """Name → Benchmark for the paper's nine programs plus the cache
+    pattern-4 probe (import-on-demand)."""
     global _REGISTRY
     if _REGISTRY is None:
         from repro.benchmarks import (
             analyzer,
+            cache,
             db,
             euler,
             jack,
@@ -81,7 +83,7 @@ def all_benchmarks() -> Dict[str, Benchmark]:
             raytrace,
         )
 
-        modules = [javac, db, jack, raytrace, jess, mc, euler, juru, analyzer]
+        modules = [javac, db, jack, raytrace, jess, mc, euler, juru, analyzer, cache]
         _REGISTRY = {m.BENCHMARK.name: m.BENCHMARK for m in modules}
     return _REGISTRY
 

@@ -439,6 +439,10 @@ def cmd_lint(args) -> int:
     from repro.lint.rules import RULES_BY_ID
 
     if args.rules:
+        # Each --rule may itself be a comma-separated list.
+        args.rules = [
+            rule for chunk in args.rules for rule in chunk.split(",") if rule
+        ]
         bad = [r for r in args.rules if r not in RULES_BY_ID]
         if bad:
             print(f"error: unknown rule(s) {', '.join(bad)}; "
@@ -457,7 +461,7 @@ def cmd_lint(args) -> int:
 
         loaded = read_log(args.profile)
         result.correlate(DragAnalysis(loaded.records), profile_path=args.profile)
-    print(render(result, args.format))
+    print(render(result, args.format, explain=args.explain))
     _flush_telemetry(args, telemetry)
     if args.fail_on and result.at_least(args.fail_on):
         return 1
@@ -636,7 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--fail-on", choices=["error", "warning", "note"],
                       help="exit 1 if any finding is at least this severe")
     lint.add_argument("--rule", dest="rules", action="append", metavar="RULEID",
-                      help="restrict to specific rule IDs (repeatable)")
+                      help="restrict to specific rule IDs (repeatable; each "
+                      "value may be a comma-separated list)")
+    lint.add_argument("--explain", action="store_true",
+                      help="show each finding's derivation (pinning paths, "
+                      "last-use points) and analysis soundness notes")
     _add_obs_flags(lint)
     lint.set_defaults(fn=cmd_lint)
 

@@ -128,6 +128,10 @@ class LintResult:
         self.diagnostics: List[Diagnostic] = []
         self.profile_path: Optional[str] = None
         self.profile_total_drag: Optional[int] = None
+        # Analysis-level remarks (e.g. the heap-liveness soundness
+        # escape hatch explaining a degradation to TOP); rendered by
+        # ``lint --explain``.
+        self.notes: List[str] = []
         self._seen = set()
 
     # -- collection -------------------------------------------------------

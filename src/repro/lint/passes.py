@@ -30,7 +30,16 @@ from repro.bytecode.program import CompiledMethod, CompiledProgram
 from repro.errors import ReproError
 from repro.lint.diagnostics import Diagnostic, LintResult, SourceSpan
 from repro.lint.interproc import InterproceduralUseAnalysis
-from repro.lint.rules import ALL_RULES, DRAG001, DRAG002, DRAG003, DRAG004, DRAG005
+from repro.lint.rules import (
+    ALL_RULES,
+    DRAG001,
+    DRAG002,
+    DRAG003,
+    DRAG004,
+    DRAG005,
+    DRAG006,
+    DRAG007,
+)
 from repro.mjava import ast
 from repro.mjava.compiler import compile_program
 from repro.mjava.sema import ClassTable
@@ -52,6 +61,7 @@ class AnalysisContext:
         self._hierarchy: Optional[ClassHierarchy] = None
         self._exceptions: Optional[ThrownExceptions] = None
         self._interproc: Optional[InterproceduralUseAnalysis] = None
+        self._heap_liveness = None
         self._cfgs: Dict[int, ControlFlowGraph] = {}
         # Build accounting, so tests can pin "exactly once".
         self.build_counts: Dict[str, int] = {}
@@ -102,6 +112,15 @@ class AnalysisContext:
             self._count("interproc")
             self._interproc = InterproceduralUseAnalysis(self)
         return self._interproc
+
+    @property
+    def heap_liveness(self):
+        if self._heap_liveness is None:
+            from repro.analysis.heap_liveness import HeapLivenessAnalysis
+
+            self._count("heap-liveness")
+            self._heap_liveness = HeapLivenessAnalysis(self.compiled, self.cfg)
+        return self._heap_liveness
 
     def cfg(self, method: CompiledMethod) -> ControlFlowGraph:
         """Per-method CFG, built once per method across all passes."""
@@ -557,6 +576,107 @@ def _assigned_field_name(body: ast.Block, alloc: ast.NewArray):
     return None
 
 
+def _pass_heap_liveness(ctx: AnalysisContext, result: LintResult):
+    """Build the whole-program heap liveness analysis; its soundness
+    notes (escape-hatch degradations, widenings) become result notes."""
+    analysis = ctx.heap_liveness
+    for note in analysis.notes:
+        if note not in result.notes:
+            result.notes.append(note)
+    return analysis
+
+
+def _pass_drag006(ctx: AnalysisContext, result: LintResult):
+    """Dead heap paths: tokens written but never observably read.
+
+    Stores already covered by DRAG001's dead sets are skipped — there
+    the allocation itself is removable, which is strictly better than
+    nulling the store."""
+    hl = ctx.heap_liveness
+    dead = ctx.interproc.dead
+    program = ctx.program_ast
+    covered_fields = {f for _cls, f in dead.dead_fields}
+    covered_statics = {f"{cls}.{f}" for cls, f in dead.dead_statics}
+    covered_lines = {(cls, sig[0]) for cls, sig in dead.array_store_sigs}
+    findings = []
+    for store in hl.dead_heap_stores():
+        if store.token in covered_fields or store.token in covered_statics:
+            continue
+        if (store.class_name, store.line) in covered_lines:
+            continue
+        decl = program.find_class(store.class_name)
+        member = (
+            _member_of_line(decl, store.line) if decl is not None else store.method_name
+        )
+        kind = "array-element region" if store.token.endswith("[]") else "heap path"
+        result.add(
+            Diagnostic(
+                DRAG006,
+                SourceSpan(store.class_name, member, store.line),
+                f"store into {kind} {store.token!r} at "
+                f"{store.class_name}.{member}:{store.line} is never "
+                "observably read through any live access path; the "
+                f"stored {'/'.join(store.value_classes) or 'value'} is "
+                "only pinned, never used",
+                suggestion="rewrite the store to null (keeps all side "
+                "effects and allocations, drops the pin)",
+                subject=("heap-store", store.class_name, store.token, store.line),
+                extra={
+                    "token": store.token,
+                    "value_classes": list(store.value_classes),
+                    "alt_labels": list(store.pinned_labels),
+                    "explain": store.explain,
+                },
+            )
+        )
+        findings.append(store)
+    return findings
+
+
+def _pass_drag007(ctx: AnalysisContext, result: LintResult):
+    """Droppable container entries: pattern-4 pinning fields whose
+    access paths all die before their container does."""
+    hl = ctx.heap_liveness
+    findings = []
+    for entry in hl.droppable_entries():
+        result.add(
+            Diagnostic(
+                DRAG007,
+                SourceSpan(entry.class_name, entry.method_name, entry.lines[0]),
+                f"{entry.var_name}.{entry.field} keeps "
+                f"{entry.owner_class}.{entry.field}'s contents reachable, "
+                "but every heap access path through it is dead after "
+                f"line {entry.lines[0]} (last use {entry.last_use}); "
+                "the container outlives its entries",
+                suggestion=f"insert {entry.var_name}.{entry.field} = null; "
+                f"after line {entry.lines[0]}",
+                subject=(
+                    "heap-field",
+                    entry.owner_class,
+                    entry.field,
+                    entry.class_name,
+                    entry.method_name,
+                    entry.var_name,
+                ),
+                extra={
+                    "insertion": {
+                        "class_name": entry.class_name,
+                        "method_name": entry.method_name,
+                        "var_name": entry.var_name,
+                        "owner_class": entry.owner_class,
+                        "field_name": entry.field,
+                        "lines": list(entry.lines),
+                    },
+                    "last_use": entry.last_use,
+                    "alt_labels": list(entry.pinned_labels),
+                    "explain": entry.explain,
+                },
+            )
+        )
+        findings.append(entry)
+    return findings
+
+
 #: rule id -> pass name
 RULE_PASSES = {
     "DRAG001": "rule-never-used-allocation",
@@ -564,6 +684,8 @@ RULE_PASSES = {
     "DRAG003": "rule-lazy-allocation-candidate",
     "DRAG004": "rule-unreachable-method",
     "DRAG005": "rule-oversized-array",
+    "DRAG006": "rule-dead-heap-path",
+    "DRAG007": "rule-droppable-container-entry",
 }
 
 
@@ -592,5 +714,14 @@ def standard_pass_manager(context: AnalysisContext, telemetry=None) -> PassManag
     manager.register(
         Pass(RULE_PASSES["DRAG005"], _pass_drag005,
              requires=("callgraph",), rule_id="DRAG005")
+    )
+    manager.register(Pass("heap-liveness", _pass_heap_liveness))
+    manager.register(
+        Pass(RULE_PASSES["DRAG006"], _pass_drag006,
+             requires=("heap-liveness", "interproc-use"), rule_id="DRAG006")
+    )
+    manager.register(
+        Pass(RULE_PASSES["DRAG007"], _pass_drag007,
+             requires=("heap-liveness",), rule_id="DRAG007")
     )
     return manager

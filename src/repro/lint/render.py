@@ -28,9 +28,9 @@ SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
-def render(result: LintResult, fmt: str = "text") -> str:
+def render(result: LintResult, fmt: str = "text", explain: bool = False) -> str:
     if fmt == "text":
-        return render_text(result)
+        return render_text(result, explain=explain)
     if fmt == "json":
         return json.dumps(to_json(result), indent=2, sort_keys=True)
     if fmt == "sarif":
@@ -52,7 +52,7 @@ def _drag_suffix(diag: Diagnostic, result: LintResult) -> str:
     return f"  [drag {diag.drag} byte-steps{share}]"
 
 
-def render_text(result: LintResult) -> str:
+def render_text(result: LintResult, explain: bool = False) -> str:
     lines: List[str] = []
     header = f"lint: {result.program_path or '<program>'}"
     if result.main_class:
@@ -67,6 +67,11 @@ def render_text(result: LintResult) -> str:
         )
         if diag.suggestion:
             lines.append(f"        -> suggested transformation: {diag.suggestion}")
+        if explain and diag.extra.get("explain"):
+            lines.append(f"        == {diag.extra['explain']}")
+    if explain:
+        for note in result.notes:
+            lines.append(f"note    analysis: {note}")
     counts = result.counts()
     total = sum(counts.values())
     if total:
@@ -120,6 +125,7 @@ def to_json(result: LintResult) -> Dict:
         "profile": result.profile_path,
         "profile_total_drag": result.profile_total_drag,
         "counts": result.counts(),
+        "notes": list(result.notes),
         "diagnostics": [_diag_json(d) for d in result.sorted()],
     }
 

@@ -104,7 +104,31 @@ DRAG005 = Rule(
     "§5.2 array liveness",
 )
 
-ALL_RULES: List[Rule] = [DRAG001, DRAG002, DRAG003, DRAG004, DRAG005]
+DRAG006 = Rule(
+    "DRAG006",
+    "dead-heap-path",
+    "A heap access path (field, static or array-element region) is "
+    "written but no path through it is ever observably read in any "
+    "reachable method; the stores only pin dragged bytes and can be "
+    "rewritten to store null.",
+    "warning",
+    "null-dead-heap-store",
+    "§3.4 pattern 4; heap reference analysis (access graphs)",
+)
+
+DRAG007 = Rule(
+    "DRAG007",
+    "droppable-container-entry",
+    "A container reachable through a local stays live, but every heap "
+    "access path through one of its reference fields dies before the "
+    "container does; assigning the field null after its last use "
+    "releases what it pins.",
+    "warning",
+    "assign-null-heap-field",
+    "§3.4 pattern 4; heap reference analysis (access graphs)",
+)
+
+ALL_RULES: List[Rule] = [DRAG001, DRAG002, DRAG003, DRAG004, DRAG005, DRAG006, DRAG007]
 
 RULES_BY_ID: Dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}
 

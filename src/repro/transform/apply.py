@@ -11,7 +11,7 @@ a failed outcome and moves on.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import TransformError
 from repro.mjava import ast
@@ -22,7 +22,7 @@ from repro.transform.assign_null import (
 from repro.transform.dead_code import remove_dead_allocations
 from repro.transform.lazy_alloc import lazy_allocate_field
 from repro.transform.patch import Patch
-from repro.transform.rewriter import clone_program, find_class, rewrite_block
+from repro.transform.rewriter import clone_program, find_class, find_method, rewrite_block
 
 Applier = Callable[[ast.Program, Patch], Tuple[ast.Program, str]]
 
@@ -125,6 +125,127 @@ def _insert_null_unchecked(
             f"no statement at line {after_line} in {class_name}.{method_name}"
         )
     return revised
+
+
+def _null_safe_rhs(expr: ast.Expr) -> bool:
+    """May ``expr`` be replaced by ``null`` without observable effect
+    beyond the stored reference? True only for expressions that cannot
+    throw, cannot allocate (the byte clock is untouched, so every other
+    object's drag measurement is preserved), and have no side effects.
+    Deliberately tighter than "side-effect-free": ``x.f`` off a local
+    may NPE and a string literal allocates, so both are excluded."""
+    if isinstance(expr, (ast.Name, ast.This, ast.IntLit, ast.CharLit, ast.BoolLit, ast.NullLit)):
+        return True
+    if isinstance(expr, ast.FieldAccess):
+        return isinstance(expr.target, ast.This)
+    return False
+
+
+def _checked(revised: ast.Program, detail: str) -> Tuple[ast.Program, str]:
+    """Re-run the compiler as the applier's semantic gate."""
+    from repro.errors import ReproError
+    from repro.mjava.compiler import compile_program
+
+    try:
+        compile_program(revised)
+    except ReproError as exc:
+        raise TransformError(f"revision does not compile: {exc}")
+    return revised, detail
+
+
+@register_applier("assign-null-heap-field")
+def _apply_heap_field_null(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    """DRAG007: insert ``var.field = null;`` after the first insertion
+    line that carries a statement — the heap liveness analysis proved
+    every access path through the field dead past each candidate."""
+    cls_name = patch.params["class_name"]
+    method = patch.params["method_name"]
+    var = patch.params["var_name"]
+    field = patch.params["field_name"]
+    lines = list(patch.params["lines"])
+    if not lines:
+        raise TransformError(f"no insertion line for {var}.{field} in {cls_name}.{method}")
+    last_error: Optional[TransformError] = None
+    for line in lines:
+        try:
+            revised = _insert_field_null(program, cls_name, method, var, field, line)
+        except TransformError as exc:
+            last_error = exc
+            continue
+        return _checked(
+            revised, f"{var}.{field} = null inserted after {cls_name}.{method}:{line}"
+        )
+    raise TransformError(str(last_error))
+
+
+def _insert_field_null(
+    program: ast.Program,
+    class_name: str,
+    method_name: str,
+    var: str,
+    field: str,
+    after_line: int,
+) -> ast.Program:
+    revised = clone_program(program)
+    target_method = find_method(revised, class_name, method_name)
+    if target_method.body is None:
+        raise TransformError(f"no body for {class_name}.{method_name}")
+    inserted: List[ast.Stmt] = []
+
+    def insert_after(stmt: ast.Stmt):
+        if (
+            stmt.pos.line == after_line
+            and not isinstance(stmt, ast.Block)
+            and not inserted
+        ):
+            inserted.append(stmt)
+            null_assign = ast.Assign(
+                ast.FieldAccess(ast.Name(var, pos=stmt.pos), field, pos=stmt.pos),
+                ast.NullLit(pos=stmt.pos),
+                pos=stmt.pos,
+            )
+            return [stmt, null_assign]
+        return stmt
+
+    rewrite_block(target_method.body, insert_after)
+    if not inserted:
+        raise TransformError(
+            f"no statement at line {after_line} in {class_name}.{method_name}"
+        )
+    return revised
+
+
+@register_applier("null-dead-heap-store")
+def _apply_null_dead_store(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:
+    """DRAG006: keep each flagged store (and everything it evaluates)
+    but store ``null`` instead of the reference, so the heap path stops
+    pinning objects nothing will read. Only rewrites assignments whose
+    RHS passes :func:`_null_safe_rhs`."""
+    stores = list(patch.params["stores"])
+    revised = clone_program(program)
+    rewritten = 0
+    for cls_name, line in stores:
+        cls = revised.find_class(cls_name)
+        if cls is None:
+            continue
+        bodies = [c.body for c in cls.ctors] + [
+            m.body for m in cls.methods if m.body is not None
+        ]
+        for body in bodies:
+            for node in body.walk():
+                if (
+                    isinstance(node, ast.Assign)
+                    and node.pos.line == line
+                    and not isinstance(node.value, ast.NullLit)
+                    and _null_safe_rhs(node.value)
+                ):
+                    node.value = ast.NullLit(pos=node.value.pos)
+                    rewritten += 1
+    if not rewritten:
+        raise TransformError(
+            f"no rewritable dead heap store at {[f'{c}:{l}' for c, l in stores]}"
+        )
+    return _checked(revised, f"{rewritten} dead heap store(s) now store null")
 
 
 def apply_patch(program: ast.Program, patch: Patch) -> Tuple[ast.Program, str]:

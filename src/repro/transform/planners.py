@@ -42,6 +42,8 @@ class PlanningContext:
         "min_drag_share",
         "lazy_done",
         "arrays_done",
+        "heap_done",
+        "heap_cover",
     )
 
     def __init__(
@@ -67,6 +69,10 @@ class PlanningContext:
         self.min_drag_share = min_drag_share
         self.lazy_done: Set[Tuple[str, str]] = set()
         self.arrays_done: Set[str] = set()
+        self.heap_done: Set[Tuple[str, ...]] = set()
+        # Allocation-site labels the heap planner's patches pin-release;
+        # plan_group uses it to explain pattern-4 coverage.
+        self.heap_cover: Set[str] = set()
 
 
 # -- shared frame/AST helpers (formerly Advisor private methods) ----------
@@ -374,5 +380,224 @@ class AssignNullPlanner(Transformation):
         ]
 
 
+def _field_already_nulled(
+    program_ast: ast.Program, class_name: str, method_name: str, var: str, field: str
+) -> bool:
+    """Does the method already contain ``var.field = null;``? (makes
+    re-planning across pipeline cycles idempotent)."""
+    cls = program_ast.find_class(class_name)
+    if cls is None:
+        return False
+    bodies = (
+        [c.body for c in cls.ctors]
+        if method_name == "<init>"
+        else [m.body for m in cls.methods if m.name == method_name and m.body is not None]
+    )
+    for body in bodies:
+        for node in body.walk():
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.NullLit)
+                and isinstance(node.target, ast.FieldAccess)
+                and node.target.name == field
+                and isinstance(node.target.target, ast.Name)
+                and node.target.target.ident == var
+            ):
+                return True
+    return False
+
+
+def _field_accessible(
+    program_ast: ast.Program, owner_class: str, field: str, from_class: str
+) -> bool:
+    """Can ``from_class`` legally write ``owner.field``? Mirrors the
+    compiler's visibility check: private fields are writable only from
+    their declaring class."""
+    name = owner_class
+    while name:
+        cls = program_ast.find_class(name)
+        if cls is None:
+            return False
+        for decl in cls.fields:
+            if decl.name == field:
+                return decl.mods.visibility != "private" or name == from_class
+        name = cls.superclass
+    return False
+
+
+def _side_effect_free_store(program_ast: ast.Program, class_name: str, line: int) -> bool:
+    """Is there an assignment at (class, line) whose RHS is safe to
+    replace with ``null``: side-effect-free AND non-allocating (so the
+    byte clock — and hence every other object's drag — is untouched)?"""
+    from repro.transform.apply import _null_safe_rhs
+
+    cls = program_ast.find_class(class_name)
+    if cls is None:
+        return False
+    bodies = [c.body for c in cls.ctors] + [
+        m.body for m in cls.methods if m.body is not None
+    ]
+    for body in bodies:
+        for node in body.walk():
+            if (
+                isinstance(node, ast.Assign)
+                and node.pos.line == line
+                and not isinstance(node.value, ast.NullLit)
+                and _null_safe_rhs(node.value)
+            ):
+                return True
+    return False
+
+
+class HeapAssignNullPlanner(Transformation):
+    """§3.4 pattern 4 via heap liveness: null heap fields / container
+    entries whose access paths the access-graph analysis proves dead.
+
+    Unlike the other planners this one is evidence-driven from static
+    findings (DRAG006/DRAG007), not from a profile group: the whole
+    point of pattern 4 is that per-site drag alone cannot justify a
+    rewrite. ``plan_group`` therefore only *explains* HIGH_VARIANCE
+    groups (covered or genuinely untransformable); patches come from
+    ``plan_program``."""
+
+    name = "heap-assign-null"
+    patterns = (LifetimePattern.HIGH_VARIANCE,)
+
+    #: At most this many field-null insertions per program per cycle.
+    MAX_FIELD_PATCHES = 3
+
+    def plan_program(self, pctx: PlanningContext) -> List[PlanEntry]:
+        if pctx.lint is None:
+            return []
+        entries: List[PlanEntry] = []
+        heap = getattr(pctx.context, "heap_liveness", None)
+        if heap is not None and heap.degraded:
+            return []
+        # -- DRAG007: var.field = null after the container's last use --
+        planned = 0
+        for diag in pctx.lint.by_rule("DRAG007"):
+            if planned >= self.MAX_FIELD_PATCHES:
+                break
+            ins = diag.extra.get("insertion") or {}
+            key = (
+                ins.get("class_name"),
+                ins.get("method_name"),
+                ins.get("var_name"),
+                ins.get("field_name"),
+            )
+            if None in key or key in pctx.heap_done or not ins.get("lines"):
+                continue
+            owner = ins.get("owner_class")
+            if owner is None or not _field_accessible(
+                pctx.program_ast, owner, key[3], key[0]
+            ):
+                pctx.heap_done.add(key)
+                continue
+            if _field_already_nulled(pctx.program_ast, *key):
+                pctx.heap_done.add(key)
+                continue
+            pctx.heap_done.add(key)
+            pctx.heap_cover.update(diag.extra.get("alt_labels", ()))
+            cls_name, method_name, var, field = key
+            entries.append(
+                Patch(
+                    strategy=self.name,
+                    kind="assign-null-heap-field",
+                    params={
+                        "class_name": cls_name,
+                        "method_name": method_name,
+                        "var_name": var,
+                        "field_name": field,
+                        "lines": tuple(ins.get("lines", ())),
+                    },
+                    span=diag.span,
+                    site=diag.span.label,
+                    pattern=LifetimePattern.HIGH_VARIANCE,
+                    drag=diag.drag or 0,
+                    rationale=(
+                        f"heap liveness proves every access path through "
+                        f"{var}.{field} dead after line {ins.get('lines', ['?'])[0]} "
+                        f"(last use {diag.extra.get('last_use', '<unknown>')}); "
+                        "nulling the field releases what it pins (DRAG007)"
+                    ),
+                    diagnostics=_refs([diag]),
+                    replacement=f"{var}.{field} = null;",
+                )
+            )
+            planned += 1
+        # -- DRAG006: rewrite dead heap stores to store null -----------
+        stores: List[Tuple[str, int]] = []
+        store_diags = []
+        for diag in pctx.lint.by_rule("DRAG006"):
+            cls_name = diag.span.class_name
+            line = diag.span.line
+            if ("store", cls_name, line) in pctx.heap_done:
+                continue
+            if not _side_effect_free_store(pctx.program_ast, cls_name, line):
+                continue
+            pctx.heap_done.add(("store", cls_name, line))
+            pctx.heap_cover.update(diag.extra.get("alt_labels", ()))
+            stores.append((cls_name, line))
+            store_diags.append(diag)
+        if stores:
+            top = store_diags[0]
+            entries.append(
+                Patch(
+                    strategy=self.name,
+                    kind="null-dead-heap-store",
+                    params={"stores": tuple(stores)},
+                    span=top.span,
+                    site=top.span.label,
+                    pattern=LifetimePattern.HIGH_VARIANCE,
+                    drag=sum(d.drag or 0 for d in store_diags),
+                    rationale=(
+                        f"{len(stores)} store(s) fill heap path(s) "
+                        f"{sorted({d.extra.get('token', '?') for d in store_diags})} "
+                        "that no live access path ever reads; storing null "
+                        "keeps every side effect and allocation (DRAG006)"
+                    ),
+                    diagnostics=_refs(store_diags),
+                    replacement="store null instead of the (still-evaluated) value",
+                )
+            )
+        return entries
+
+    def plan_group(
+        self, pctx: PlanningContext, group, pattern: LifetimePattern
+    ) -> List[PlanEntry]:
+        covered = sorted(
+            {frame for frame in _group_frames(group) if frame in pctx.heap_cover}
+        )
+        if covered:
+            return [
+                PlannedSkip(
+                    group.key, pattern, self.name,
+                    "pattern-4 drag released by heap-level patch(es) "
+                    f"covering {', '.join(covered[:3])}",
+                )
+            ]
+        return [
+            PlannedSkip(
+                group.key, pattern, self.name,
+                "high-variance last uses and no dead heap path through "
+                "the holder (§3.4 pattern 4: the exact queries cannot be "
+                "predicted)",
+            )
+        ]
+
+
+def _group_frames(group) -> Tuple[str, ...]:
+    key = group.key
+    if isinstance(key, tuple):
+        out = []
+        for part in key:
+            if isinstance(part, tuple):
+                out.extend(str(p) for p in part)
+            else:
+                out.append(str(part))
+        return tuple(out)
+    return (str(key),)
+
+
 def default_strategies() -> List[Transformation]:
-    return [DeadCodePlanner(), LazyAllocPlanner(), AssignNullPlanner()]
+    return [DeadCodePlanner(), LazyAllocPlanner(), AssignNullPlanner(), HeapAssignNullPlanner()]

@@ -2,9 +2,9 @@
 
 Pins the two contracts the lint refactor made:
 
-* the AdvisorReport on db and euler is byte-identical to the report
-  the pre-lint advisor produced (golden summaries captured before the
-  refactor) — consulting lint diagnostics changed no decision;
+* the AdvisorReport on db and euler is byte-identical to a golden
+  summary — consulting lint diagnostics changes no decision, and the
+  heap-liveness planner's patches/coverage notes are pinned exactly;
 * everything the advisor acts on (dead-code removals, nulled locals,
   cleared arrays) appears among the lint findings — the static path is
   a superset of the profile-driven one; and the advisor's shared
@@ -19,19 +19,26 @@ from repro.runtime.library import link
 from repro.transform.advisor import Advisor
 from repro.transform.dead_code import remove_dead_allocations
 
-# Captured from the pre-refactor advisor (same profiler, same inputs);
-# the deterministic interpreter makes these stable.
+# Golden summaries for the deterministic interpreter (same profiler,
+# same inputs). The heap-liveness planner cracks db's pattern-4 groups
+# that the pre-heap advisor could only skip: the former "no
+# transformation for this pattern" rows now carry heap patches or
+# name the heap patch that covers them.
 GOLDEN = {
     "db": """\
 APPLIED  dead-code-removal  Locale.<init>:326                        13 allocation(s) removed
-skipped  -                  ('DbRecord.<init>:8', 'Db.main:40')      no transformation for this pattern (§3.4 pattern 4/unclassified)
+APPLIED  heap-assign-null   Db.main:70                               db.index = null inserted after Db.main:70
+APPLIED  heap-assign-null   Db.main:70                               db.records = null inserted after Db.main:70
+APPLIED  heap-assign-null   Vector.add:176                           1 dead heap store(s) now store null
+skipped  heap-assign-null   ('DbRecord.<init>:8', 'Db.main:40')      pattern-4 drag released by heap-level patch(es) covering Db.main:40, DbRecord.<init>:8
 APPLIED  assign-null        ('Db.main:66',)                          resultSet = null inserted after Db.main:68
 skipped  -                  ('Db.main:60',)                          no transformation for this pattern (§3.4 pattern 4/unclassified)
-skipped  -                  ('Db.main:40',)                          no transformation for this pattern (§3.4 pattern 4/unclassified)
-skipped  -                  ('HashTable.put:248', 'Database.insert:26', 'Db.main:40') no transformation for this pattern (§3.4 pattern 4/unclassified)
+skipped  heap-assign-null   ('Db.main:40',)                          pattern-4 drag released by heap-level patch(es) covering Db.main:40
+skipped  heap-assign-null   ('HashTable.put:248', 'Database.insert:26', 'Db.main:40') pattern-4 drag released by heap-level patch(es) covering Db.main:40, HashTable.put:248
 APPLIED  assign-null        ('Vector.ensureCapacity:213', 'Vector.add:175', 'Database.insert:25', 'Db.main:40') array liveness: cleared slots of [('data', 'count')] in Vector""",
     "euler": """\
 APPLIED  dead-code-removal  Locale.<init>:326                        13 allocation(s) removed
+APPLIED  heap-assign-null   Euler.main:79                            solver.grid = null inserted after Euler.main:79
 skipped  assign-null        ('Row.<init>:7', 'Solver.<init>:41', 'Euler.main:70') no local variable assigned at Row.<init>:7
 skipped  assign-null        ('Flux.<init>:21', 'Solver.step:61', 'Euler.main:74') no local variable assigned at Flux.<init>:21""",
 }
@@ -49,7 +56,7 @@ def run_advisor(name):
 
 
 @pytest.mark.parametrize("name", ["db", "euler"])
-def test_advisor_report_identical_to_pre_lint_golden(name):
+def test_advisor_report_identical_to_golden(name):
     _, _, advisor, report = run_advisor(name)
     assert report.summary() == GOLDEN[name]
     # the shared context built each expensive artifact exactly once
