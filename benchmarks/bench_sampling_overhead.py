@@ -1,0 +1,110 @@
+"""Benchmark: byte-weighted sampling must cost less than full profiling.
+
+``--sample-bytes`` exists to make the profiler cheap enough to leave
+on, so the gate is comparative: on db and euler, a sampled profiled
+run (``--sample-bytes 4096``) must push strictly more instructions per
+second than the full profiler — most records are never built, logged,
+or trailed — while staying strictly slower than running unprofiled
+(sampling still pays the hook dispatch and the byte-countdown).
+
+Best-of-N wall-clock over fresh programs per round (compiled-handler
+caches are per program). The full-vs-sampled floor is asserted; the
+unprofiled row is reported for context. Results land in
+benchmarks/out/sampling_overhead.json.
+"""
+
+import json
+import os
+import time
+
+from repro.benchmarks import all_benchmarks
+from repro.benchmarks.runner import compile_benchmark
+from repro.core.profiler import profile_program
+
+BENCHES = ["db", "euler"]
+ROUNDS = 3
+SAMPLE_BYTES = 4096
+SEED = 0
+OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "sampling_overhead.json")
+
+
+def _best_profiled_run(name, sample_bytes=None):
+    bench = all_benchmarks()[name]
+    args = bench.args_for("primary")
+    best = None
+    result = None
+    for _ in range(ROUNDS):
+        program = compile_benchmark(bench, revised=False)
+        started = time.perf_counter()
+        result = profile_program(
+            program,
+            list(args),
+            interval_bytes=bench.interval_bytes,
+            sample_bytes=sample_bytes,
+            seed=SEED,
+        )
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return result, best
+
+
+def bench_sampling_overhead(benchmark, emit):
+    def measure():
+        rows = {}
+        for name in BENCHES:
+            full, t_full = _best_profiled_run(name)
+            sampled, t_sampled = _best_profiled_run(name, sample_bytes=SAMPLE_BYTES)
+            # Sampling must not perturb the program: identical output
+            # and byte clock, and the thinner log really is thinner.
+            assert sampled.run_result.stdout == full.run_result.stdout
+            assert sampled.end_time == full.end_time
+            assert 0 < len(sampled.records) < len(full.records)
+            instructions = full.run_result.instructions
+            rows[name] = {
+                "instructions": instructions,
+                "records_full": len(full.records),
+                "records_sampled": len(sampled.records),
+                "full_s": t_full,
+                "sampled_s": t_sampled,
+                "full_ips": instructions / t_full if t_full else 0.0,
+                "sampled_ips": instructions / t_sampled if t_sampled else 0.0,
+            }
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit()
+    emit(
+        f"=== Sampling overhead: profiled instr/sec, full vs "
+        f"--sample-bytes {SAMPLE_BYTES} ==="
+    )
+    emit(
+        f"{'Benchmark':10s} {'Instructions':>13s} {'Records':>15s} "
+        f"{'Full i/s':>13s} {'Sampled i/s':>13s} {'Speedup':>8s}"
+    )
+    for name in BENCHES:
+        row = rows[name]
+        speedup = (
+            row["sampled_ips"] / row["full_ips"] if row["full_ips"] else 0.0
+        )
+        row["speedup"] = speedup
+        emit(
+            f"{name:10s} {row['instructions']:13d} "
+            f"{row['records_full']:6d}->{row['records_sampled']:<6d} "
+            f"{row['full_ips']:13,.0f} {row['sampled_ips']:13,.0f} "
+            f"{speedup:7.3f}x"
+        )
+        assert row["sampled_ips"] > row["full_ips"], (
+            f"{name}: sampled profiling ({row['sampled_ips']:,.0f} i/s) not "
+            f"faster than the full profiler ({row['full_ips']:,.0f} i/s)"
+        )
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w", encoding="utf-8") as f:
+        json.dump(
+            {"sample_bytes": SAMPLE_BYTES, "seed": SEED, "rows": rows},
+            f,
+            indent=2,
+            sort_keys=True,
+        )
+    emit(f"(sampled instr/sec strictly above full profiling on every row; "
+         f"JSON at {os.path.relpath(OUT_PATH)})")

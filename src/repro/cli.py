@@ -150,6 +150,9 @@ def cmd_profile(args) -> int:
     telemetry = _make_telemetry(args)
     program = compile_program(_load_program(args.file), main_class=args.main)
     metadata = {"main": args.main, "interval": args.interval}
+    if args.sample_bytes is not None and args.sample_bytes > 1:
+        metadata["sample_bytes"] = args.sample_bytes
+        metadata["seed"] = args.seed
 
     log_sink = None
     if streaming and args.log:
@@ -187,6 +190,8 @@ def cmd_profile(args) -> int:
         buffered=True if (serve_sink and args.log and not streaming) else None,
         engine=args.engine,
         telemetry=telemetry,
+        sample_bytes=args.sample_bytes,
+        seed=args.seed,
     )
     for line in result.run_result.stdout:
         print(line)
@@ -200,6 +205,15 @@ def cmd_profile(args) -> int:
         f"[profile] {_gc_summary(result.run_result.heap_stats)}",
         file=sys.stderr,
     )
+    sampler = result.profiler.sampler
+    if sampler is not None:
+        seen = sampler.sampled + sampler.skipped
+        print(
+            f"[profile] byte-sampling 1/{sampler.sample_bytes} "
+            f"(seed {sampler.seed}): kept {sampler.sampled} of "
+            f"{seen} allocations",
+            file=sys.stderr,
+        )
     if result.finalizer_errors:
         print(
             f"[profile] {result.finalizer_errors} finalizer exception(s) "
@@ -322,6 +336,8 @@ def cmd_serve(args) -> int:
         inline=args.inline,
         top_k=args.top,
         drain_timeout=args.drain_timeout,
+        sample_bytes=args.sample_bytes,
+        seed=args.seed,
     )
     return DragServer(config).run()
 
@@ -340,6 +356,11 @@ def cmd_replay(args) -> int:
             results[index] = replay_log(
                 args.log, host, port, mode=args.mode, rate=args.rate,
                 metadata={"replay": args.log, "client": index},
+                sample_bytes=args.sample_bytes,
+                # Offset per client so concurrent replays sample
+                # independent subsets, yet the whole fleet is
+                # reproducible from one --seed.
+                seed=args.seed + index,
             )
         except Exception as exc:  # surfaced collectively below
             errors.append(exc)
@@ -559,6 +580,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stream the profile to a running 'repro serve' "
                          "daemon (combines with --log to also keep a local copy)")
     profile.add_argument("--top", type=int, default=10)
+    profile.add_argument("--sample-bytes", type=int, default=None, metavar="N",
+                         help="byte-weighted sampling: trailer roughly one "
+                         "allocation per N allocated bytes and weight-correct "
+                         "all drag estimates (1 = profile everything, "
+                         "bit-identical to no sampling)")
+    profile.add_argument("--seed", type=int, default=0,
+                         help="sampling RNG seed for reproducible runs "
+                         "(default 0; CI gates pin it)")
     profile.add_argument("--engine", choices=["baseline", "compiled"], default=None,
                          help="dispatch engine (profiles are bit-identical "
                          "either way)")
@@ -667,6 +696,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-timeout", type=float, default=10.0,
                        help="seconds to wait for in-flight streams on "
                        "SIGTERM/SIGINT")
+    serve.add_argument("--sample-bytes", type=int, default=None, metavar="N",
+                       help="server-side byte resampling: keep roughly one "
+                       "record per N allocated bytes per stream, reweighting "
+                       "survivors so aggregates stay unbiased")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="base RNG seed for per-stream samplers (default 0)")
     serve.set_defaults(fn=cmd_serve)
 
     replay = sub.add_parser(
@@ -682,6 +717,13 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--rate", type=float, default=None,
                         help="per-client records/sec pacing (records mode; "
                         "default: full speed)")
+    replay.add_argument("--sample-bytes", type=int, default=None, metavar="N",
+                        help="client-side byte resampling before sending "
+                        "(records mode): survivors carry composed weights so "
+                        "the daemon's estimates still cover the full log")
+    replay.add_argument("--seed", type=int, default=0,
+                        help="sampling RNG seed; client i uses seed+i "
+                        "(default 0; CI gates pin it)")
     replay.set_defaults(fn=cmd_replay)
 
     chart = sub.add_parser("chart", help="render Figure-2-style heap curves from a log")

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional
 
+from repro.core.sampler import WeightedTotal
 from repro.core.trailer import ObjectRecord
 
 
@@ -32,6 +33,11 @@ class SiteGroup:
         "_total_in_use",
         "_never_used_count",
         "_never_used_drag",
+        "_est_count",
+        "_est_bytes",
+        "_est_drag",
+        "_est_in_use",
+        "_est_never_used_drag",
     )
 
     def __init__(self, key) -> None:
@@ -42,6 +48,17 @@ class SiteGroup:
         self._total_in_use = 0
         self._never_used_count = 0
         self._never_used_drag = 0
+        # Weight-corrected (Horvitz-Thompson) estimates. For full-rate
+        # profiles every weight is 1.0 and each weighted_* property
+        # returns the exact int, so these stay equal — as ints — to the
+        # observed sums above. WeightedTotal keeps the float part exact
+        # (order-independent), which is what lets batch, streaming, and
+        # sharded-merge analyses agree bit for bit on sampled data.
+        self._est_count = WeightedTotal()
+        self._est_bytes = WeightedTotal()
+        self._est_drag = WeightedTotal()
+        self._est_in_use = WeightedTotal()
+        self._est_never_used_drag = WeightedTotal()
 
     def add(self, record: ObjectRecord) -> None:
         self.records.append(record)
@@ -49,9 +66,15 @@ class SiteGroup:
         self._total_bytes += record.size
         self._total_drag += drag
         self._total_in_use += record.size * record.in_use_time
+        self._est_count.add(record.weighted_count)
+        self._est_bytes.add(record.weighted_size)
+        est_drag = record.weighted_drag
+        self._est_drag.add(est_drag)
+        self._est_in_use.add(record.weighted_in_use)
         if record.never_used:
             self._never_used_count += 1
             self._never_used_drag += drag
+            self._est_never_used_drag.add(est_drag)
 
     # -- aggregates ---------------------------------------------------------
 
@@ -71,6 +94,30 @@ class SiteGroup:
     @property
     def total_in_use(self) -> int:
         return self._total_in_use
+
+    # Weight-corrected estimates of the population quantities. Exact
+    # ints (== the observed sums) for full-rate groups.
+
+    @property
+    def est_count(self) -> float:
+        return self._est_count.value
+
+    @property
+    def est_bytes(self) -> float:
+        return self._est_bytes.value
+
+    @property
+    def est_drag(self) -> float:
+        """Estimated total drag (bytes²) this group stands for."""
+        return self._est_drag.value
+
+    @property
+    def est_in_use(self) -> float:
+        return self._est_in_use.value
+
+    @property
+    def est_never_used_drag(self) -> float:
+        return self._est_never_used_drag.value
 
     @property
     def never_used_records(self) -> List[ObjectRecord]:
@@ -221,6 +268,7 @@ class DragAnalysis:
 
     @property
     def total_drag(self) -> int:
+        """Observed drag: the sum over *logged* records, uncorrected."""
         return sum(r.drag for r in self.records)
 
     @property
@@ -231,14 +279,54 @@ class DragAnalysis:
     def object_count(self) -> int:
         return len(self.records)
 
+    # Weight-corrected (Horvitz-Thompson) population estimates. On a
+    # full-rate profile every record weight is 1.0 and these are the
+    # observed ints, so consumers (lint correlation, the optimize
+    # verifier, serve payloads) can read the ``est_*`` forms
+    # unconditionally.
+
+    @property
+    def est_total_drag(self) -> float:
+        return self._est_sum("weighted_drag")
+
+    @property
+    def est_total_bytes(self) -> float:
+        return self._est_sum("weighted_size")
+
+    @property
+    def est_object_count(self) -> float:
+        return self._est_sum("weighted_count")
+
+    def _est_sum(self, attr: str):
+        # WeightedTotal, not sum(): its value is order-independent, so
+        # batch totals equal streaming/sharded ones exactly.
+        total = WeightedTotal()
+        for record in self.records:
+            total.add(getattr(record, attr))
+        return total.value
+
+    @property
+    def sampled(self) -> bool:
+        """True when any record carries a non-unit weight."""
+        return any(r.weight != 1.0 for r in self.records)
+
+    @property
+    def effective_sample_rate(self) -> float:
+        """Observed bytes / estimated bytes — 1.0 for full-rate logs."""
+        est = self.est_total_bytes
+        return self.total_bytes / est if est > 0 else 1.0
+
     # -- sorted views (the tool's primary output) -------------------------------
+    #
+    # Rankings order by *estimated* drag, which equals observed drag
+    # (as an int) for full-rate profiles — the pre-weight sort order.
 
     def sorted_sites(self, limit: Optional[int] = None) -> List[SiteGroup]:
-        groups = sorted(self.by_site.values(), key=lambda g: (-g.total_drag, str(g.key)))
+        groups = sorted(self.by_site.values(), key=lambda g: (-g.est_drag, str(g.key)))
         return groups[:limit] if limit else groups
 
     def sorted_nested(self, limit: Optional[int] = None) -> List[SiteGroup]:
-        groups = sorted(self.by_nested.values(), key=lambda g: (-g.total_drag, str(g.key)))
+        groups = sorted(self.by_nested.values(), key=lambda g: (-g.est_drag, str(g.key)))
         return groups[:limit] if limit else groups
 
     def never_used_sites(self, limit: Optional[int] = None) -> List[SiteGroup]:
@@ -249,15 +337,15 @@ class DragAnalysis:
             for g in self.by_site.values()
             if g.count > 0 and g.never_used_count == g.count and g.total_drag > 0
         ]
-        groups.sort(key=lambda g: (-g.total_drag, str(g.key)))
+        groups.sort(key=lambda g: (-g.est_drag, str(g.key)))
         return groups[:limit] if limit else groups
 
     def site(self, label: str) -> Optional[SiteGroup]:
         return self.by_site.get(label)
 
     def drag_share(self, group: SiteGroup) -> float:
-        total = self.total_drag
-        return group.total_drag / total if total > 0 else 0.0
+        total = self.est_total_drag
+        return group.est_drag / total if total > 0 else 0.0
 
 
 class DragDelta:
@@ -273,11 +361,13 @@ class DragDelta:
 
     @property
     def total_before(self) -> int:
-        return self.before.total_drag
+        """Estimated total drag of the original run (the exact observed
+        int when the profile was full-rate)."""
+        return self.before.est_total_drag
 
     @property
     def total_after(self) -> int:
-        return self.after.total_drag
+        return self.after.est_total_drag
 
     @property
     def delta(self) -> int:
@@ -308,7 +398,7 @@ class DragDelta:
         for label in labels:
             b = self.before.by_site.get(label)
             a = self.after.by_site.get(label)
-            rows.append((label, b.total_drag if b else 0, a.total_drag if a else 0))
+            rows.append((label, b.est_drag if b else 0, a.est_drag if a else 0))
         rows.sort(key=lambda row: (-abs(row[2] - row[1]), row[0]))
         return rows[:limit] if limit else rows
 

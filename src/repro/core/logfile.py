@@ -124,7 +124,15 @@ class LoadedLog:
     """A parsed log: records plus header metadata (and, for v2 logs,
     the deep-GC heap samples)."""
 
-    __slots__ = ("records", "end_time", "metadata", "samples", "finalizer_errors")
+    __slots__ = (
+        "records",
+        "end_time",
+        "metadata",
+        "samples",
+        "finalizer_errors",
+        "est_objects",
+        "est_bytes",
+    )
 
     def __init__(
         self,
@@ -133,6 +141,8 @@ class LoadedLog:
         metadata: dict,
         samples: Optional[list] = None,
         finalizer_errors: Optional[int] = None,
+        est_objects: Optional[float] = None,
+        est_bytes: Optional[float] = None,
     ) -> None:
         self.records = records
         self.end_time = end_time
@@ -140,6 +150,10 @@ class LoadedLog:
         self.samples = samples or []
         # None = written before the field existed / run still in flight.
         self.finalizer_errors = finalizer_errors
+        # Weight-estimated totals declared by a byte-sampled v2 log's
+        # END frame; None for full-rate logs (observed == estimate).
+        self.est_objects = est_objects
+        self.est_bytes = est_bytes
 
 
 def _is_v2(path: Union[str, Path]) -> bool:

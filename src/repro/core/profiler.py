@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.core.sampler import ByteSampler
 from repro.core.trailer import ObjectRecord, Trailer
 from repro.runtime.objects import HeapObject
 
@@ -49,6 +50,8 @@ class HeapProfiler:
         include_excluded: bool = False,
         sink=None,
         buffered: Optional[bool] = None,
+        sample_bytes: Optional[int] = None,
+        seed: int = 0,
     ) -> None:
         if interval_bytes <= 0:
             raise ValueError("interval_bytes must be positive")
@@ -72,6 +75,19 @@ class HeapProfiler:
         self.interp = None
         self.program = None
         self._ended = False
+        # Byte-weighted sampling (see repro.core.sampler): with
+        # ``sample_bytes > 1`` the profiler binds the sampled on_alloc
+        # variant as an *instance* attribute, so ProfilerHooks and the
+        # heap pick it up with zero change — and the full-rate path
+        # keeps its original method, untouched.  ``sample_bytes <= 1``
+        # deliberately means "no sampler at all": --sample-bytes 1 runs
+        # the identical code path as an unsampled profile.
+        self.sample_bytes = sample_bytes
+        self.seed = seed
+        self.sampler: Optional[ByteSampler] = None
+        if sample_bytes is not None and sample_bytes > 1:
+            self.sampler = ByteSampler(sample_bytes, seed=seed)
+            self.on_alloc = self._on_alloc_sampled
 
     # -- wiring ----------------------------------------------------------
 
@@ -117,6 +133,24 @@ class HeapProfiler:
             size=obj.size,
             alloc_site=self.interp.alloc_site,
             nested_alloc=self._nested_frames(self.nesting_depth),
+        )
+
+    def _on_alloc_sampled(self, obj: HeapObject) -> None:
+        """Sampling variant of ``on_alloc`` (bound over the method when
+        ``sample_bytes > 1``).  A skipped allocation gets *no trailer*,
+        so every later ``on_use``/``on_free`` for it falls through the
+        existing ``trailer is None`` checks — that structural pairing is
+        the whole onAlloc/onFree matching guarantee."""
+        weight = self.sampler.sample(obj.size)
+        if not weight:
+            return
+        heap = self.interp.heap
+        obj.trailer = Trailer(
+            creation_time=heap.clock,
+            size=obj.size,
+            alloc_site=self.interp.alloc_site,
+            nested_alloc=self._nested_frames(self.nesting_depth),
+            weight=weight,
         )
 
     def on_use(self, obj: HeapObject) -> None:
@@ -227,6 +261,7 @@ class HeapProfiler:
                 ),
                 excluded=obj.excluded,
                 survived_to_end=survived,
+                weight=trailer.weight,
             )
         )
 
@@ -267,6 +302,8 @@ def profile_program(
     buffered: Optional[bool] = None,
     engine: Optional[str] = None,
     telemetry=None,
+    sample_bytes: Optional[int] = None,
+    seed: int = 0,
 ) -> ProfileResult:
     """Run a compiled program under the profiler (phase 1).
 
@@ -276,7 +313,9 @@ def profile_program(
     strategy (see :mod:`repro.runtime.engine`); both engines produce
     bit-identical profiles. ``telemetry`` (a :class:`repro.obs.Telemetry`)
     wraps the run in a span and flushes profiler counters; profiles are
-    bit-identical with it on or off.
+    bit-identical with it on or off. ``sample_bytes``/``seed`` enable
+    deterministic byte-weighted sampling (see :mod:`repro.core.sampler`);
+    ``sample_bytes=1`` is bit-identical to no sampling at all.
     """
     from repro.runtime.engine import create_vm
 
@@ -286,6 +325,8 @@ def profile_program(
         last_use_depth=last_use_depth,
         sink=sink,
         buffered=buffered,
+        sample_bytes=sample_bytes,
+        seed=seed,
     )
     interp = create_vm(
         program, engine=engine, profiler=profiler, max_heap=max_heap,
@@ -314,6 +355,8 @@ def profile_source(
     buffered: Optional[bool] = None,
     engine: Optional[str] = None,
     telemetry=None,
+    sample_bytes: Optional[int] = None,
+    seed: int = 0,
 ) -> ProfileResult:
     """Convenience: link, compile, and profile mini-Java source."""
     from repro.mjava.compiler import compile_program
@@ -332,4 +375,6 @@ def profile_source(
         buffered=buffered,
         engine=engine,
         telemetry=telemetry,
+        sample_bytes=sample_bytes,
+        seed=seed,
     )

@@ -34,7 +34,7 @@ def _format_group(
         f"#{rank} {group.key}",
         f"    allocates: {', '.join(group.type_names)}",
         (
-            f"    drag {_mb2(group.total_drag):10.4f} MB^2"
+            f"    drag {_mb2(group.est_drag):10.4f} MB^2"
             f"  ({100.0 * analysis.drag_share(group):5.1f}% of total)"
             f"  objects {group.count}"
             f"  bytes {group.total_bytes}"
@@ -82,6 +82,12 @@ def drag_report(
         f"objects logged: {analysis.object_count}"
         f"   total drag: {_mb2(analysis.total_drag):.4f} MB^2"
     )
+    if analysis.sampled:
+        lines.append(
+            f"byte-sampled profile: effective rate {analysis.effective_sample_rate:.6f}"
+            f"   est objects {analysis.est_object_count:.1f}"
+            f"   est total drag {_mb2(analysis.est_total_drag):.4f} MB^2"
+        )
     groups = analysis.sorted_nested(top) if nested else analysis.sorted_sites(top)
     lines.append("")
     lines.append(f"--- top {len(groups)} {'nested ' if nested else ''}allocation sites by drag ---")

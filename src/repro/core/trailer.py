@@ -27,6 +27,7 @@ class Trailer:
         "nested_alloc",
         "last_use_frame",
         "last_use_chain",
+        "weight",
     )
 
     def __init__(
@@ -35,6 +36,7 @@ class Trailer:
         size: int,
         alloc_site: Optional[int],
         nested_alloc: Tuple[str, ...],
+        weight: float = 1.0,
     ) -> None:
         self.creation_time = creation_time
         # First-use time extends the paper's measurements to the full
@@ -47,6 +49,11 @@ class Trailer:
         self.nested_alloc = nested_alloc
         self.last_use_frame: Optional[str] = None
         self.last_use_chain: Optional[Tuple[str, ...]] = None
+        # Statistical weight under byte sampling (1.0 == fully
+        # observed).  Trailer *presence* is the sampling marker: an
+        # unsampled allocation never gets a trailer at all, which is
+        # what guarantees exact onAlloc/onFree pairing.
+        self.weight = weight
 
 
 class ObjectRecord:
@@ -70,6 +77,7 @@ class ObjectRecord:
         "last_use_chain",
         "excluded",
         "survived_to_end",
+        "weight",
     )
 
     def __init__(
@@ -90,6 +98,7 @@ class ObjectRecord:
         excluded: bool,
         survived_to_end: bool,
         first_use_time: int = 0,
+        weight: float = 1.0,
     ) -> None:
         self.handle = handle
         self.type_name = type_name
@@ -107,6 +116,7 @@ class ObjectRecord:
         self.last_use_chain = last_use_chain
         self.excluded = excluded
         self.survived_to_end = survived_to_end
+        self.weight = weight
 
     # -- derived quantities (paper definitions) ---------------------------
 
@@ -159,8 +169,58 @@ class ObjectRecord:
     def lifetime(self) -> int:
         return max(0, self.collection_time - self.creation_time)
 
+    # -- weight-corrected (Horvitz-Thompson) estimates ---------------------
+    #
+    # Each returns the *exact* int when the record is fully observed
+    # (weight == 1.0), so unsampled aggregates — and their JSON
+    # serializations — stay bit-identical to the pre-weight pipeline.
+
+    @property
+    def weighted_count(self) -> float:
+        """Estimated number of objects this record stands for."""
+        return 1 if self.weight == 1.0 else self.weight
+
+    @property
+    def weighted_size(self) -> float:
+        """Estimated bytes this record stands for."""
+        return self.size if self.weight == 1.0 else self.weight * self.size
+
+    @property
+    def weighted_drag(self) -> float:
+        """Estimated drag space-time product this record stands for."""
+        return self.drag if self.weight == 1.0 else self.weight * self.drag
+
+    @property
+    def weighted_in_use(self) -> float:
+        """Estimated in-use space-time product this record stands for."""
+        in_use = self.size * self.in_use_time
+        return in_use if self.weight == 1.0 else self.weight * in_use
+
+    def with_weight(self, weight: float) -> "ObjectRecord":
+        """Copy of this record carrying ``weight`` (used by replay-time
+        and serve-time resampling, which compose multiplicatively)."""
+        return ObjectRecord(
+            handle=self.handle,
+            type_name=self.type_name,
+            size=self.size,
+            creation_time=self.creation_time,
+            first_use_time=self.first_use_time,
+            last_use_time=self.last_use_time,
+            collection_time=self.collection_time,
+            alloc_site=self.alloc_site,
+            site_label=self.site_label,
+            site_kind=self.site_kind,
+            site_is_library=self.site_is_library,
+            nested_alloc=self.nested_alloc,
+            last_use_frame=self.last_use_frame,
+            last_use_chain=self.last_use_chain,
+            excluded=self.excluded,
+            survived_to_end=self.survived_to_end,
+            weight=weight,
+        )
+
     def to_dict(self) -> dict:
-        return {
+        data = {
             "handle": self.handle,
             "type": self.type_name,
             "size": self.size,
@@ -178,6 +238,11 @@ class ObjectRecord:
             "excluded": self.excluded,
             "survived": self.survived_to_end,
         }
+        if self.weight != 1.0:
+            # Emitted only when sampled, so full-rate v1 logs stay
+            # byte-identical to logs written before weights existed.
+            data["weight"] = self.weight
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ObjectRecord":
@@ -198,6 +263,7 @@ class ObjectRecord:
             last_use_chain=tuple(data["use_chain"]) if data["use_chain"] else None,
             excluded=data["excluded"],
             survived_to_end=data["survived"],
+            weight=data.get("weight", 1.0),
         )
 
     def __repr__(self) -> str:

@@ -193,7 +193,11 @@ class LintResult:
         ``drag=None`` and sort after measured ones of equal severity.
         """
         self.profile_path = profile_path
-        total = analysis.total_drag
+        # Weight-corrected estimates: for a byte-sampled profile these
+        # are the Horvitz-Thompson drag estimates; for a full-rate
+        # profile they are the exact observed ints, so correlation is
+        # transparent to whether the log was sampled.
+        total = analysis.est_total_drag
         self.profile_total_drag = total
         for diag in self.diagnostics:
             stats = analysis.by_site.get(diag.span.label)
@@ -203,5 +207,5 @@ class LintResult:
                     if stats is not None:
                         break
             if stats is not None:
-                diag.drag = stats.total_drag
-                diag.drag_share = stats.total_drag / total if total > 0 else 0.0
+                diag.drag = stats.est_drag
+                diag.drag_share = stats.est_drag / total if total > 0 else 0.0

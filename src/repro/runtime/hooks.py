@@ -18,6 +18,15 @@ contain no hook call sites at all, and with :class:`ProfilerHooks` they
 bind the profiler's bound methods directly, skipping the per-event
 ``is None`` test. Determinism is unaffected either way — hooks observe
 the byte clock, they never advance it.
+
+Byte-weighted sampling lives *behind* this layer: the per-allocation
+inclusion decision is the profiler's ``on_alloc`` (a sampling profiler
+rebinds it as an instance attribute, so ``ProfilerHooks`` picks up the
+sampled variant automatically at construction).  The pairing contract
+holds at the hook level: ``on_alloc`` either attaches a trailer
+(sampled, weight ``>= 1``) or attaches nothing, and ``on_use``/free
+logging ignore trailer-less objects — so a freed object is logged iff
+its allocation was sampled, with the same weight.
 """
 
 from __future__ import annotations
@@ -64,7 +73,10 @@ class ProfilerHooks(RuntimeHooks):
     def __init__(self, profiler) -> None:
         self.profiler = profiler
         # Bound methods, so the closure compiler (and the heap) can
-        # call them without re-resolving attributes per event.
+        # call them without re-resolving attributes per event.  Reading
+        # the *attribute* (not the class method) is load-bearing: a
+        # sampling profiler shadows ``on_alloc`` with its byte-sampled
+        # variant, and this binding is where that takes effect.
         self.on_alloc = profiler.on_alloc
         self.on_use = profiler.on_use
 

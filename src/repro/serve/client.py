@@ -122,6 +122,8 @@ def replay_log(
     chunk_size: int = 1 << 16,
     timeout: Optional[float] = 60.0,
     rate: Optional[float] = None,
+    sample_bytes: Optional[int] = None,
+    seed: int = 0,
 ) -> dict:
     """Feed a recorded profile log to the daemon; returns the FIN ack.
 
@@ -136,6 +138,12 @@ def replay_log(
     records per second — open-loop load generation, which is how a real
     profiler client behaves: it produces at the profiled program's
     allocation rate, not at socket speed.
+
+    ``sample_bytes``/``seed`` (records mode only) byte-resample the log
+    client-side before sending: each surviving record's weight is
+    multiplied by the new Horvitz-Thompson correction, so the daemon's
+    weighted aggregates still estimate the full log. ``sample_bytes=1``
+    (or None) sends every record unchanged.
     """
     path = Path(path)
     if mode == "raw":
@@ -165,6 +173,21 @@ def replay_log(
     from repro.core.logfile import read_log
 
     loaded = read_log(path, strict=False)
+    records = loaded.records
+    if sample_bytes is not None and sample_bytes > 1:
+        from repro.core.sampler import ByteSampler
+
+        sampler = ByteSampler(sample_bytes, seed=seed)
+        resampled = []
+        for record in records:
+            weight = sampler.sample(record.size)
+            if weight:
+                resampled.append(
+                    record
+                    if weight == 1.0
+                    else record.with_weight(record.weight * weight)
+                )
+        records = resampled
     sink = ServeSink(
         host, port, metadata=metadata or {"replay": str(path)}, timeout=timeout
     )
@@ -172,14 +195,14 @@ def replay_log(
         import time as _time
 
         started = _time.perf_counter()
-        for index, record in enumerate(loaded.records):
+        for index, record in enumerate(records):
             sink.on_record(record)
             if index % 64 == 63:
                 ahead = (index + 1) / rate - (_time.perf_counter() - started)
                 if ahead > 0:
                     _time.sleep(ahead)
     else:
-        for record in loaded.records:
+        for record in records:
             sink.on_record(record)
     for sample in loaded.samples:
         sink.on_sample(sample)

@@ -61,16 +61,23 @@ def rankings_payload(
     else:
         raise ValueError(f"unknown rankings table {table!r}")
     total_drag = analysis.total_drag
+    est_total_drag = analysis.est_total_drag
     sites = [
         {
             "rank": rank,
             "site": _key_json(group.key),
             "drag": group.total_drag,
+            # Weight-corrected estimate; == "drag" (same int) for
+            # full-rate streams, so pre-sampling payloads are unchanged
+            # except for the added est_*/effective_sample_rate keys.
+            "est_drag": group.est_drag,
             "drag_share": (
-                group.total_drag / total_drag if total_drag > 0 else 0.0
+                group.est_drag / est_total_drag if est_total_drag > 0 else 0.0
             ),
             "objects": group.count,
+            "est_objects": group.est_count,
             "bytes": group.total_bytes,
+            "est_bytes": group.est_bytes,
             "in_use": group.total_in_use,
             "never_used": group.never_used_count,
             "never_used_drag": group.never_used_drag,
@@ -80,11 +87,18 @@ def rankings_payload(
         }
         for rank, group in enumerate(groups, start=1)
     ]
+    est_bytes = analysis.est_total_bytes
     return {
         "table": table,
         "objects": analysis.object_count,
+        "est_objects": analysis.est_object_count,
         "total_bytes": analysis.total_bytes,
+        "est_total_bytes": est_bytes,
         "total_drag": total_drag,
+        "est_total_drag": est_total_drag,
+        "effective_sample_rate": (
+            analysis.total_bytes / est_bytes if est_bytes > 0 else 1.0
+        ),
         "sites": sites,
     }
 
@@ -98,6 +112,13 @@ def render_rankings_text(rankings: dict, summary: Optional[dict] = None) -> str:
         f"objects logged: {rankings['objects']}"
         f"   total drag: {rankings['total_drag'] / mb2:.4f} MB^2"
     )
+    rate = rankings.get("effective_sample_rate", 1.0)
+    if rate != 1.0 or rankings.get("est_total_drag", 0) != rankings["total_drag"]:
+        lines.append(
+            f"byte-sampled: effective rate {rate:.6f}"
+            f"   est objects: {rankings['est_objects']:.1f}"
+            f"   est total drag: {rankings['est_total_drag'] / mb2:.4f} MB^2"
+        )
     if summary:
         streams = summary.get("streams", [])
         truncated = sum(1 for s in streams if s.get("truncated"))
@@ -120,7 +141,7 @@ def render_rankings_text(rankings: dict, summary: Optional[dict] = None) -> str:
             f"#{entry['rank']} {name}"
         )
         lines.append(
-            f"    drag {entry['drag'] / mb2:.4f} MB^2"
+            f"    drag {entry.get('est_drag', entry['drag']) / mb2:.4f} MB^2"
             f" ({100.0 * entry['drag_share']:.1f}% of total)"
             f"   objects {entry['objects']}"
             f"   bytes {entry['bytes']}"

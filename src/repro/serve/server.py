@@ -30,6 +30,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.core.sampler import ByteSampler
 from repro.errors import ProfileError
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.merge import merge_snapshots, rankings_payload
@@ -44,7 +45,10 @@ from repro.stream.codec import (
     FRAME_RECORD,
     FRAME_SAMPLE,
     FrameParser,
+    peek_record_size,
     peek_site_label,
+    record_weight,
+    reweight_record,
 )
 
 _MERGE_BUCKETS = (
@@ -66,6 +70,8 @@ class ServeConfig:
         top_k: int = 10,
         drain_timeout: float = 10.0,
         quiet: bool = False,
+        sample_bytes: Optional[int] = None,
+        seed: int = 0,
     ) -> None:
         self.host = host
         self.port = port
@@ -78,6 +84,11 @@ class ServeConfig:
         self.top_k = top_k
         self.drain_timeout = drain_timeout
         self.quiet = quiet
+        # Server-side byte resampling: each ingest stream gets its own
+        # deterministic ByteSampler (seeded off ``seed`` + stream id).
+        # Already-weighted records compose multiplicatively.
+        self.sample_bytes = sample_bytes
+        self.seed = seed
 
 
 class StreamInfo:
@@ -85,7 +96,7 @@ class StreamInfo:
 
     __slots__ = (
         "stream_id", "peer", "metadata", "frames", "records", "samples",
-        "bytes", "ended", "truncated", "end_time",
+        "bytes", "ended", "truncated", "end_time", "sampler", "sampled_out",
     )
 
     def __init__(self, stream_id: int, peer: str, metadata: dict) -> None:
@@ -99,6 +110,9 @@ class StreamInfo:
         self.ended = False
         self.truncated = False
         self.end_time: Optional[int] = None
+        # Server-side resampling state (None == route every record).
+        self.sampler: Optional[ByteSampler] = None
+        self.sampled_out = 0
 
     def to_dict(self) -> dict:
         return {
@@ -112,6 +126,7 @@ class StreamInfo:
             "ended": self.ended,
             "truncated": self.truncated,
             "end_time": self.end_time,
+            "sampled_out": self.sampled_out,
         }
 
 
@@ -172,6 +187,27 @@ class DragServer:
         self._m_http = reg.counter(
             "repro_serve_http_requests_total", "HTTP requests served",
             labelnames=("path",))
+        # Weight-accounting series: observed vs weight-estimated totals
+        # over every record routed to a shard, plus the resulting
+        # effective sampling rate (1 == full-rate ingest).
+        self._m_weighted_records = reg.counter(
+            "repro_serve_weighted_records_total",
+            "Weight-estimated object records represented by routed records")
+        self._m_weighted_bytes = reg.counter(
+            "repro_serve_weighted_bytes_total",
+            "Weight-estimated allocation bytes represented by routed records")
+        self._m_record_bytes = reg.counter(
+            "repro_serve_record_bytes_total",
+            "Observed allocation bytes carried by routed records")
+        self._m_sampled_out = reg.counter(
+            "repro_serve_sampled_out_records_total",
+            "Records dropped by server-side byte resampling")
+        self._m_rate = reg.gauge(
+            "repro_serve_effective_sample_rate",
+            "Observed record bytes / weight-estimated bytes (1 = full rate)")
+        self._m_rate.set(1.0)
+        self._observed_record_bytes = 0
+        self._weighted_record_bytes = 0
         # Pre-create one series per shard so /metrics shows zeros early.
         for i in range(len(self.shards)):
             self._m_shard_records.labels(shard=str(i))
@@ -213,8 +249,35 @@ class DragServer:
         nshards = len(self.shards)
         buckets: List[List[bytes]] = [[] for _ in range(nshards)]
         records = 0
+        observed_bytes = 0
+        weighted_records = 0
+        weighted_bytes = 0
+        sampler = info.sampler
         for frame_type, payload in frames:
             if frame_type == FRAME_RECORD:
+                size = peek_record_size(payload)
+                if sampler is not None:
+                    # Server-side resampling never decodes the record:
+                    # peek the size, roll the stream's sampler, and
+                    # either drop the frame or splice the composed
+                    # weight into its trailing weight field.
+                    extra = sampler.sample(size)
+                    if not extra:
+                        info.sampled_out += 1
+                        self._m_sampled_out.inc()
+                        continue
+                    if extra != 1.0:
+                        payload = reweight_record(
+                            payload, record_weight(payload) * extra
+                        )
+                weight = record_weight(payload)
+                observed_bytes += size
+                if weight == 1.0:
+                    weighted_records += 1
+                    weighted_bytes += size
+                else:
+                    weighted_records += weight
+                    weighted_bytes += weight * size
                 label = peek_site_label(payload, parser.strings)
                 buckets[site_shard(label, nshards)].append(payload)
                 records += 1
@@ -226,6 +289,15 @@ class DragServer:
         self._m_frames.inc(len(frames))
         if records:
             self._m_records.inc(records)
+            self._m_record_bytes.inc(observed_bytes)
+            self._m_weighted_records.inc(weighted_records)
+            self._m_weighted_bytes.inc(weighted_bytes)
+            self._observed_record_bytes += observed_bytes
+            self._weighted_record_bytes += weighted_bytes
+            if self._weighted_record_bytes > 0:
+                self._m_rate.set(
+                    self._observed_record_bytes / self._weighted_record_bytes
+                )
         new_strings = parser.strings[sent_strings:]
         sends = []
         if new_strings:
@@ -262,6 +334,14 @@ class DragServer:
             return
         self._next_stream_id += 1
         info = StreamInfo(self._next_stream_id, peer, metadata)
+        cfg = self.config
+        if cfg.sample_bytes is not None and cfg.sample_bytes > 1:
+            # Deterministic per stream: the config seed offset by the
+            # stream id, so concurrent streams sample independently but
+            # a rerun of the same arrival order reproduces exactly.
+            info.sampler = ByteSampler(
+                cfg.sample_bytes, seed=cfg.seed + info.stream_id
+            )
         self.streams[info.stream_id] = info
         self._m_streams.inc()
         self._active += 1
@@ -387,8 +467,13 @@ class DragServer:
                 analysis, shard_counts = await self.merged()
                 body = json.dumps({
                     "objects": analysis.object_count,
+                    "est_objects": analysis.est_object_count,
                     "total_bytes": analysis.total_bytes,
+                    "est_total_bytes": analysis.est_total_bytes,
                     "total_drag": analysis.total_drag,
+                    "est_total_drag": analysis.est_total_drag,
+                    "effective_sample_rate": analysis.effective_sample_rate,
+                    "sample_bytes": self.config.sample_bytes,
                     "end_time": analysis.end_time,
                     "sites": len(analysis.by_site),
                     "samples": sum(

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.core.sampler import WeightedTotal
 from repro.core.trailer import ObjectRecord
 
 
@@ -31,6 +32,11 @@ class SiteStats:
         "total_in_use",
         "never_used_count",
         "never_used_drag",
+        "_est_count",
+        "_est_bytes",
+        "_est_drag",
+        "_est_in_use",
+        "_est_never_used_drag",
         "type_names",
     )
 
@@ -42,6 +48,16 @@ class SiteStats:
         self.total_in_use = 0
         self.never_used_count = 0
         self.never_used_drag = 0
+        # Weight-corrected estimates, mirroring SiteGroup.est_*: exact
+        # ints equal to the observed sums while every weight is 1.0,
+        # order-independent exact floats (WeightedTotal) once weighted
+        # records appear — so a sharded merge lands on the same bits as
+        # a single-stream fold.
+        self._est_count = WeightedTotal()
+        self._est_bytes = WeightedTotal()
+        self._est_drag = WeightedTotal()
+        self._est_in_use = WeightedTotal()
+        self._est_never_used_drag = WeightedTotal()
         self.type_names: List[str] = []  # insertion-ordered, deduplicated
 
     def add(self, record: ObjectRecord) -> None:
@@ -50,11 +66,37 @@ class SiteStats:
         self.total_bytes += record.size
         self.total_drag += drag
         self.total_in_use += record.size * record.in_use_time
+        self._est_count.add(record.weighted_count)
+        self._est_bytes.add(record.weighted_size)
+        est_drag = record.weighted_drag
+        self._est_drag.add(est_drag)
+        self._est_in_use.add(record.weighted_in_use)
         if record.never_used:
             self.never_used_count += 1
             self.never_used_drag += drag
+            self._est_never_used_drag.add(est_drag)
         if record.type_name not in self.type_names:
             self.type_names.append(record.type_name)
+
+    @property
+    def est_count(self) -> float:
+        return self._est_count.value
+
+    @property
+    def est_bytes(self) -> float:
+        return self._est_bytes.value
+
+    @property
+    def est_drag(self) -> float:
+        return self._est_drag.value
+
+    @property
+    def est_in_use(self) -> float:
+        return self._est_in_use.value
+
+    @property
+    def est_never_used_drag(self) -> float:
+        return self._est_never_used_drag.value
 
     @property
     def never_used_fraction(self) -> float:
@@ -75,6 +117,11 @@ class SiteStats:
         self.total_in_use += other.total_in_use
         self.never_used_count += other.never_used_count
         self.never_used_drag += other.never_used_drag
+        self._est_count.merge(other._est_count)
+        self._est_bytes.merge(other._est_bytes)
+        self._est_drag.merge(other._est_drag)
+        self._est_in_use.merge(other._est_in_use)
+        self._est_never_used_drag.merge(other._est_never_used_drag)
         for name in other.type_names:
             if name not in self.type_names:
                 self.type_names.append(name)
@@ -102,6 +149,11 @@ class StreamingDragAnalysis:
         self.object_count = 0
         self.total_bytes = 0
         self.total_drag = 0
+        # Weight-corrected totals (== the observed ints at full rate).
+        self._est_object_count = WeightedTotal()
+        self._est_total_bytes = WeightedTotal()
+        self._est_total_drag = WeightedTotal()
+        self.sampled = False
         self.end_time: Optional[int] = None
 
     # -- ingestion --------------------------------------------------------
@@ -116,6 +168,11 @@ class StreamingDragAnalysis:
         self.object_count += 1
         self.total_bytes += record.size
         self.total_drag += record.drag
+        self._est_object_count.add(record.weighted_count)
+        self._est_total_bytes.add(record.weighted_size)
+        self._est_total_drag.add(record.weighted_drag)
+        if record.weight != 1.0:
+            self.sampled = True
         self._bump(self.by_site, record.site_label, record)
         self._bump(
             self.by_nested, record.nested_alloc or (record.site_label,), record
@@ -142,13 +199,13 @@ class StreamingDragAnalysis:
 
     def sorted_sites(self, limit: Optional[int] = None) -> List[SiteStats]:
         groups = sorted(
-            self.by_site.values(), key=lambda g: (-g.total_drag, str(g.key))
+            self.by_site.values(), key=lambda g: (-g.est_drag, str(g.key))
         )
         return groups[:limit] if limit else groups
 
     def sorted_nested(self, limit: Optional[int] = None) -> List[SiteStats]:
         groups = sorted(
-            self.by_nested.values(), key=lambda g: (-g.total_drag, str(g.key))
+            self.by_nested.values(), key=lambda g: (-g.est_drag, str(g.key))
         )
         return groups[:limit] if limit else groups
 
@@ -156,14 +213,33 @@ class StreamingDragAnalysis:
         groups = [
             g for g in self.by_site.values() if g.all_never_used and g.total_drag > 0
         ]
-        groups.sort(key=lambda g: (-g.total_drag, str(g.key)))
+        groups.sort(key=lambda g: (-g.est_drag, str(g.key)))
         return groups[:limit] if limit else groups
 
     def site(self, label: str) -> Optional[SiteStats]:
         return self.by_site.get(label)
 
+    @property
+    def est_object_count(self):
+        return self._est_object_count.value
+
+    @property
+    def est_total_bytes(self):
+        return self._est_total_bytes.value
+
+    @property
+    def est_total_drag(self):
+        return self._est_total_drag.value
+
+    @property
+    def effective_sample_rate(self) -> float:
+        """Observed bytes / estimated bytes — 1.0 for full-rate streams."""
+        est = self.est_total_bytes
+        return self.total_bytes / est if est > 0 else 1.0
+
     def drag_share(self, stats: SiteStats) -> float:
-        return stats.total_drag / self.total_drag if self.total_drag > 0 else 0.0
+        total = self.est_total_drag
+        return stats.est_drag / total if total > 0 else 0.0
 
     # -- merge ------------------------------------------------------------
 
@@ -174,6 +250,10 @@ class StreamingDragAnalysis:
         self.object_count += other.object_count
         self.total_bytes += other.total_bytes
         self.total_drag += other.total_drag
+        self._est_object_count.merge(other._est_object_count)
+        self._est_total_bytes.merge(other._est_total_bytes)
+        self._est_total_drag.merge(other._est_total_drag)
+        self.sampled = self.sampled or other.sampled
         for table_name in ("by_site", "by_nested", "by_site_and_use"):
             mine: Dict[object, SiteStats] = getattr(self, table_name)
             theirs: Dict[object, SiteStats] = getattr(other, table_name)

@@ -28,6 +28,7 @@ and call chains.
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
 from typing import IO, Dict, Iterator, List, Optional, Tuple, Union
 
@@ -49,6 +50,11 @@ _F_SURVIVED = 0x04
 _F_HAS_SITE = 0x08
 _F_HAS_USE_FRAME = 0x10
 _F_HAS_USE_CHAIN = 0x20
+# Byte-sampled record: an IEEE-754 double (little-endian) statistical
+# weight trails the payload. Set only when weight != 1.0, so full-rate
+# logs are byte-identical to logs written before the field existed, and
+# readers predating the bit parse weighted-era full-rate logs unchanged.
+_F_HAS_WEIGHT = 0x40
 
 
 def _write_uvarint(buf: bytearray, value: int) -> None:
@@ -92,6 +98,11 @@ class V2FrameEncoder:
         self.metadata = metadata
         self.count = 0
         self.sample_count = 0
+        # Weight-estimated totals (Horvitz-Thompson): ints until the
+        # first weighted record, so full-rate streams never emit them.
+        self.weighted_count = 0
+        self.weighted_bytes = 0
+        self._weighted = False
         self._strings: Dict[str, int] = {}
         self._out = out
         header = {"format": "repro-drag-log", "version": VERSION}
@@ -135,6 +146,9 @@ class V2FrameEncoder:
             flags |= _F_HAS_USE_FRAME
         if record.last_use_chain is not None:
             flags |= _F_HAS_USE_CHAIN
+        weight = record.weight
+        if weight != 1.0:
+            flags |= _F_HAS_WEIGHT
         # Interning may emit STRING frames; they must precede the record.
         type_id = self._intern(record.type_name)
         label_id = self._intern(record.site_label)
@@ -175,6 +189,17 @@ class V2FrameEncoder:
             _write_uvarint(buf, len(chain_ids))
             for sid in chain_ids:
                 _write_uvarint(buf, sid)
+        if weight != 1.0:
+            # Trailing position is load-bearing: serve-side resampling
+            # rewrites the weight by splicing the tail without reparsing
+            # the varint body (see reweight_record).
+            buf += struct.pack("<d", weight)
+            self._weighted = True
+            self.weighted_count += weight
+            self.weighted_bytes += weight * record.size
+        else:
+            self.weighted_count += 1
+            self.weighted_bytes += record.size
         self._frame(FRAME_RECORD, bytes(buf))
         self.count += 1
 
@@ -200,6 +225,14 @@ class V2FrameEncoder:
         _write_uvarint(
             buf, 0 if finalizer_errors is None else finalizer_errors + 1
         )
+        if self._weighted:
+            # Weight-estimated totals alongside the observed count:
+            # emitted only for sampled streams (so full-rate logs stay
+            # byte-identical), and strictly trailing (so readers that
+            # predate them parse the frame unchanged).
+            buf += struct.pack(
+                "<dd", float(self.weighted_count), float(self.weighted_bytes)
+            )
         self._frame(FRAME_END, bytes(buf))
 
 
@@ -267,6 +300,9 @@ def _decode_record(payload: bytes, strings: List[str]) -> ObjectRecord:
             sid, pos = _read_uvarint(payload, pos)
             chain.append(strings[sid])
         use_chain = tuple(chain)
+    weight = 1.0
+    if flags & _F_HAS_WEIGHT:
+        weight = struct.unpack_from("<d", payload, pos)[0]
     return ObjectRecord(
         handle=handle,
         type_name=strings[type_id],
@@ -284,6 +320,48 @@ def _decode_record(payload: bytes, strings: List[str]) -> ObjectRecord:
         last_use_chain=use_chain,
         excluded=bool(flags & _F_EXCLUDED),
         survived_to_end=bool(flags & _F_SURVIVED),
+        weight=weight,
+    )
+
+
+def record_weight(payload: bytes) -> float:
+    """A RECORD payload's statistical weight without a full decode.
+
+    The weight double trails the payload, so this is one flag test plus
+    (for sampled records) one fixed-offset unpack.
+    """
+    if payload[0] & _F_HAS_WEIGHT:
+        return struct.unpack_from("<d", payload, len(payload) - 8)[0]
+    return 1.0
+
+
+def peek_record_size(payload: bytes) -> int:
+    """A RECORD payload's object size (bytes) without a full decode:
+    skip the flags byte and the handle varint, read the size varint.
+    Serve-side resampling feeds this to its per-stream byte sampler."""
+    _, pos = _read_uvarint(payload, 1)  # handle
+    size, _ = _read_uvarint(payload, pos)
+    return size
+
+
+def reweight_record(payload: bytes, weight: float) -> bytes:
+    """A copy of a RECORD payload carrying ``weight``.
+
+    Because the weight field is strictly trailing, this flips one flag
+    bit and splices the 8-byte tail — no varint reparsing. Passing
+    ``1.0`` strips the field entirely, restoring the weightless (and
+    full-rate byte-identical) encoding.
+    """
+    flags = payload[0]
+    body_end = len(payload) - 8 if flags & _F_HAS_WEIGHT else len(payload)
+    if weight == 1.0:
+        if not flags & _F_HAS_WEIGHT:
+            return payload
+        return bytes((flags & ~_F_HAS_WEIGHT,)) + payload[1:body_end]
+    return (
+        bytes((flags | _F_HAS_WEIGHT,))
+        + payload[1:body_end]
+        + struct.pack("<d", weight)
     )
 
 
@@ -318,6 +396,21 @@ def decode_end(payload: bytes) -> Tuple[Optional[int], int, Optional[int]]:
     return end_time, declared_count, finalizer_errors
 
 
+def decode_end_totals(payload: bytes) -> Tuple[Optional[float], Optional[float]]:
+    """The weight-estimated ``(objects, bytes)`` totals a sampled
+    stream's END frame carries after its varint fields, or
+    ``(None, None)`` for full-rate and pre-weight logs (which omit
+    them — the observed count already *is* the estimate)."""
+    pos = 0
+    _, pos = _read_uvarint(payload, pos)  # end_time
+    _, pos = _read_uvarint(payload, pos)  # declared_count
+    if pos < len(payload) - 16:  # optional finalizer_errors varint
+        _, pos = _read_uvarint(payload, pos)
+    if pos + 16 <= len(payload):
+        return struct.unpack_from("<dd", payload, pos)
+    return None, None
+
+
 class _FrameParser:
     """Incremental frame decoder over an append-only byte stream.
 
@@ -346,6 +439,10 @@ class _FrameParser:
         self.end_time: Optional[int] = None
         self.declared_count: Optional[int] = None
         self.finalizer_errors: Optional[int] = None
+        # Weight-estimated totals from a sampled stream's END frame
+        # (None for full-rate / pre-weight logs).
+        self.est_objects: Optional[float] = None
+        self.est_bytes: Optional[float] = None
         self.ended = False
         self._buf = bytearray()
         self._header_done = False
@@ -380,6 +477,7 @@ class _FrameParser:
                 self.end_time, self.declared_count, self.finalizer_errors = (
                     decode_end(payload)
                 )
+                self.est_objects, self.est_bytes = decode_end_totals(payload)
                 self.ended = True
             elif frame_type not in (FRAME_RECORD, FRAME_SAMPLE):
                 raise ProfileError(
@@ -506,6 +604,8 @@ def read_v2_log(path: Union[str, Path], strict: bool = True):
         parser.metadata,
         samples=samples,
         finalizer_errors=parser.finalizer_errors,
+        est_objects=parser.est_objects,
+        est_bytes=parser.est_bytes,
     )
 
 

@@ -128,6 +128,12 @@ def render_summary(
         f"   drag-so-far {_mb2(analysis.total_drag):.4f} MB^2"
         f"   logged bytes {analysis.total_bytes}"
     )
+    if analysis.sampled:
+        lines.append(
+            f"byte-sampled: effective rate {analysis.effective_sample_rate:.6f}"
+            f"   est records {analysis.est_object_count:.1f}"
+            f"   est drag {_mb2(analysis.est_total_drag):.4f} MB^2"
+        )
     if finalizer_errors:
         lines.append(f"finalizer errors: {finalizer_errors} (swallowed)")
     if last_sample is not None:
@@ -261,6 +267,13 @@ def render_follow_summary(
         f"   streams {len(streams)}"
         + (f" ({truncated} truncated)" if truncated else "")
     )
+    rate = summary.get("effective_sample_rate", 1.0)
+    if rate != 1.0:
+        lines.append(
+            f"byte-sampled: effective rate {rate:.6f}"
+            f"   est records {summary.get('est_objects', 0):.1f}"
+            f"   est drag {_mb2(summary.get('est_total_drag', 0)):.4f} MB^2"
+        )
     shard_counts = [s["records"] for s in summary.get("shards", [])]
     if shard_counts:
         lines.append(
@@ -273,7 +286,7 @@ def render_follow_summary(
         for entry in sites:
             lines.append(
                 f"  #{entry['rank']} {entry['site']}: "
-                f"drag {_mb2(entry['drag']):.4f} MB^2"
+                f"drag {_mb2(entry.get('est_drag', entry['drag'])):.4f} MB^2"
                 f"  objects {entry['objects']}"
                 f"  never-used {entry['never_used']}"
             )

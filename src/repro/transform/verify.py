@@ -33,7 +33,10 @@ class ReferenceRun:
         self.stdout = stdout
         self.records = records
         self.analysis = analysis
-        self.total_drag = analysis.total_drag
+        # Weight-corrected total: the exact observed int for full-rate
+        # profiles (the pipeline's own runs), the unbiased estimate when
+        # a caller verifies against a byte-sampled reference.
+        self.total_drag = analysis.est_total_drag
         self.profile = profile
 
     @classmethod

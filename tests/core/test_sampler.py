@@ -1,0 +1,123 @@
+"""Unit tests for the byte-threshold allocation sampler.
+
+The sampler is the statistical core of ``--sample-bytes``: every
+downstream weight-corrected estimate is only as sound as the
+inclusion-probability math and the determinism guarantees here.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.sampler import ByteSampler, inclusion_probability
+
+
+def test_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        ByteSampler(0)
+    with pytest.raises(ValueError):
+        ByteSampler(-5)
+
+
+def test_full_rate_always_samples_with_weight_one():
+    """N <= 1 keeps every allocation at weight exactly 1.0 — the
+    bit-identity guarantee for ``--sample-bytes 1``."""
+    sampler = ByteSampler(1, seed=123)
+    for size in (0, 1, 7, 4096, 10**9):
+        assert sampler.sample(size) == 1.0
+    assert sampler.sampled == 5
+    assert sampler.skipped == 0
+
+
+def test_full_rate_never_consults_rng():
+    """Two full-rate samplers with different seeds behave identically,
+    because N=1 never draws — the RNG cannot perturb a full-rate run."""
+    a, b = ByteSampler(1, seed=0), ByteSampler(1, seed=999)
+    sizes = [random.Random(4).randrange(1, 5000) for _ in range(200)]
+    assert [a.sample(s) for s in sizes] == [b.sample(s) for s in sizes]
+
+
+def test_deterministic_per_seed():
+    sizes = [random.Random(7).randrange(1, 2000) for _ in range(5000)]
+    a = [ByteSampler(1000, seed=42).sample(s) for s in sizes]
+    b = [ByteSampler(1000, seed=42).sample(s) for s in sizes]
+    c = [ByteSampler(1000, seed=43).sample(s) for s in sizes]
+    assert a == b
+    assert a != c  # a different seed picks a different subset
+
+
+def test_inclusion_probability_math():
+    """p(s) = 1 - (1 - 1/N)^s, exactly; monotone in s; 1.0 at N=1."""
+    assert inclusion_probability(100, 1) == 1.0
+    assert inclusion_probability(0, 1000) == 0.0
+    n = 1000
+    for size in (1, 10, 100, 1000, 100000):
+        expected = 1.0 - (1.0 - 1.0 / n) ** size
+        assert inclusion_probability(size, n) == pytest.approx(expected, rel=1e-12)
+    probs = [inclusion_probability(s, n) for s in (1, 10, 100, 1000, 10000)]
+    assert probs == sorted(probs)
+    # huge objects are near-certain to be sampled
+    assert inclusion_probability(10 * n, n) > 0.9999
+
+
+def test_weight_is_inverse_inclusion_probability():
+    sampler = ByteSampler(500, seed=1)
+    for _ in range(20000):
+        size = 64
+        w = sampler.sample(size)
+        if w:
+            assert w == pytest.approx(1.0 / inclusion_probability(size, 500))
+
+
+def test_unbiased_byte_estimate():
+    """The Horvitz-Thompson estimate sum(w_i * s_i) over sampled
+    allocations converges to the true allocated bytes."""
+    rng = random.Random(11)
+    sizes = [rng.randrange(8, 1024) for _ in range(60000)]
+    truth = sum(sizes)
+    sampler = ByteSampler(2000, seed=3)
+    est = 0.0
+    for s in sizes:
+        w = sampler.sample(s)
+        if w:
+            est += w * s
+    assert sampler.sampled < len(sizes) * 0.3  # it really is sampling
+    assert est == pytest.approx(truth, rel=0.05)
+
+
+def test_unbiased_count_estimate():
+    """sum(w_i) estimates the allocation count, size-stratified."""
+    rng = random.Random(12)
+    sizes = [rng.choice((16, 16, 16, 4096)) for _ in range(40000)]
+    sampler = ByteSampler(1500, seed=9)
+    est = sum(w for w in (sampler.sample(s) for s in sizes) if w)
+    assert est == pytest.approx(len(sizes), rel=0.08)
+
+
+def test_sampling_rate_tracks_bytes_not_objects():
+    """Large objects are kept near-certainly; tiny ones rarely — the
+    defining property of byte-weighted (vs uniform) sampling."""
+    sampler = ByteSampler(1000, seed=5)
+    big_kept = sum(1 for _ in range(500) if sampler.sample(20000))
+    assert big_kept == 500  # p > 0.999999 each
+    sampler = ByteSampler(1000, seed=5)
+    tiny_kept = sum(1 for _ in range(500) if sampler.sample(1))
+    assert tiny_kept < 50
+
+
+def test_gap_distribution_mean():
+    """Skip gaps are Geometric(1/N) with mean N bytes: over many
+    samples the sampled fraction of the byte stream approaches 1/N
+    for unit-size allocations."""
+    n = 200
+    sampler = ByteSampler(n, seed=21)
+    total = 100000
+    kept = sum(1 for _ in range(total) if sampler.sample(1))
+    assert kept == pytest.approx(total / n, rel=0.2)
+
+
+def test_zero_size_allocation_is_skipped():
+    sampler = ByteSampler(100, seed=0)
+    assert sampler.sample(0) == 0.0
+    assert sampler.skipped == 1
