@@ -23,7 +23,7 @@ from repro.benchmarks.runner import (
     run_runtime_pair,
 )
 
-ORDER = ["javac", "jack", "raytrace", "jess", "euler", "mc", "juru", "analyzer", "db", "cache"]
+ORDER = ["javac", "jack", "raytrace", "jess", "euler", "mc", "juru", "analyzer", "db", "cache", "strings"]
 
 
 def generate() -> str:

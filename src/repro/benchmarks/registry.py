@@ -1,4 +1,5 @@
-"""Benchmark descriptors and the registry of all nine programs."""
+"""Benchmark descriptors and the registry of the paper's nine programs
+plus our probes."""
 
 from __future__ import annotations
 
@@ -66,8 +67,9 @@ _REGISTRY: Optional[Dict[str, Benchmark]] = None
 
 
 def all_benchmarks() -> Dict[str, Benchmark]:
-    """Name → Benchmark for the paper's nine programs plus the cache
-    pattern-4 probe (import-on-demand)."""
+    """Name → Benchmark for the paper's nine programs plus our two
+    pattern-4 probes: cache (import-on-demand) and strings (snapshot
+    retained-size prey)."""
     global _REGISTRY
     if _REGISTRY is None:
         from repro.benchmarks import (
@@ -81,9 +83,13 @@ def all_benchmarks() -> Dict[str, Benchmark]:
             juru,
             mc,
             raytrace,
+            strings,
         )
 
-        modules = [javac, db, jack, raytrace, jess, mc, euler, juru, analyzer, cache]
+        modules = [
+            javac, db, jack, raytrace, jess, mc, euler, juru, analyzer, cache,
+            strings,
+        ]
         _REGISTRY = {m.BENCHMARK.name: m.BENCHMARK for m in modules}
     return _REGISTRY
 

@@ -1,0 +1,114 @@
+'''strings — interned-string duplication / session-cache retention
+(server-shaped pattern-4 probe; not in the paper).
+
+A session registry models a server's connection table: every session
+carries its own copy of one of a handful of user-agent strings (the
+duplication an interning cache would fold) plus a working buffer, and
+the registry holds the sessions in a Vector while a HashTable maps each
+user to their latest agent string. After the serving phase the registry
+is sealed — its size is reported and it is never consulted again — but
+both containers pin their contents through a long export phase that
+keeps allocating fresh buffers.
+
+The heap shape is deliberately snapshot-friendly: sessions are
+reachable *only* through ``registry.sessions`` and the agent-string
+copies only through ``registry.byUser``, so the dominator tree shows a
+single cuttable edge over each subtree — unlike db, where the
+double-reachable records defeat any single cut. ``repro snapshot
+report`` names both containers with their retained sizes, DRAG008
+proposes the cuts, and the RetainerCutPlanner verifies them
+differentially. As for db/cache, the shipped revised program is the
+original: the rewriting is the optimizer's to find.
+'''
+
+from repro.benchmarks.registry import Benchmark
+
+ORIGINAL = """
+class StringSession {
+    String user;
+    String agent;
+    char[] buffer;
+    int hits;
+    StringSession(String user, String agent, int width) {
+        this.user = user;
+        this.agent = agent;
+        this.buffer = new char[width];
+        this.hits = 0;
+    }
+    int touch(int q) {
+        hits = hits + 1;
+        return buffer[(q * 5) % buffer.length] + hits;
+    }
+}
+
+class SessionRegistry {
+    Vector sessions;
+    HashTable byUser;
+    SessionRegistry() {
+        sessions = new Vector(64);
+        byUser = new HashTable(64);
+    }
+    void open(StringSession s) {
+        sessions.add(s);
+        byUser.put(s.user, s.agent);
+    }
+    StringSession at(int index) {
+        return (StringSession) sessions.get(index);
+    }
+    int size() { return sessions.size(); }
+}
+
+class Strings {
+    public static void main(String[] args) {
+        int sessions = Integer.parseInt(args[0]);
+        int exports = Integer.parseInt(args[1]);
+        SessionRegistry registry = new SessionRegistry();
+        for (int s = 0; s < sessions; s = s + 1) {
+            // each session gets a fresh copy of one of three agent
+            // strings — duplicated character data an interning cache
+            // would share, held alive by the registry either way
+            registry.open(new StringSession("user" + s,
+                                            "agent/" + (s % 3), 240));
+        }
+        int result = 0;
+        Random rng = new Random(5);
+        for (int q = 0; q < exports; q = q + 1) {
+            // serving phase: the hot three-quarters keep being hit at
+            // unpredictable times (§3.4 pattern 4)
+            int cold = sessions / 4;
+            int pick = cold + rng.nextInt(sessions - cold);
+            StringSession hit = registry.at(pick);
+            if (hit != null) {
+                result = result + hit.touch(q);
+            }
+        }
+        // serving over: seal and report the registry — its last use —
+        // then export. Every session and agent string drags through
+        // the whole export phase unless the containers are cut.
+        System.println("sessions " + registry.size() + " exports " + exports);
+        for (int e = 0; e < exports; e = e + 1) {
+            char[] page = new char[600];
+            page[0] = (char) ('0' + result % 10);
+            result = result + page[0];
+        }
+        System.printInt(result);
+    }
+}
+"""
+
+# The improvement is the optimizer's to find (DRAG008 via snapshot
+# retained sizes), not a shipped hand rewriting — as for db and cache.
+REVISED = ORIGINAL
+
+BENCHMARK = Benchmark(
+    name="strings",
+    description="interned-string duplication / session-cache retention",
+    main_class="Strings",
+    original=ORIGINAL,
+    revised=REVISED,
+    primary_args=["90", "220"],
+    alternate_args=["60", "360"],
+    rewritings=[],
+    interval_bytes=16 * 1024,
+    max_heap=2 * 1024 * 1024,
+)

@@ -33,6 +33,7 @@ its HTTP port.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -178,6 +179,14 @@ def cmd_profile(args) -> int:
         from repro.stream import TeeSink
 
         sink = TeeSink(*sinks)
+    snapshotter = None
+    if args.snapshot:
+        from repro.snapshot import SnapshotRecorder
+
+        snapshotter = SnapshotRecorder(
+            out=args.snapshot, metadata=dict(metadata, program=args.file),
+            telemetry=telemetry,
+        )
     result = profile_program(
         program,
         args.args,
@@ -192,6 +201,7 @@ def cmd_profile(args) -> int:
         telemetry=telemetry,
         sample_bytes=args.sample_bytes,
         seed=args.seed,
+        snapshotter=snapshotter,
     )
     for line in result.run_result.stdout:
         print(line)
@@ -218,6 +228,14 @@ def cmd_profile(args) -> int:
         print(
             f"[profile] {result.finalizer_errors} finalizer exception(s) "
             "swallowed during the run",
+            file=sys.stderr,
+        )
+    if snapshotter is not None:
+        snapshotter.close()
+        print(
+            f"[profile] wrote {snapshotter.capture_count} heap snapshot(s) "
+            f"({snapshotter.node_count} nodes, {snapshotter.edge_count} edges) "
+            f"to {args.snapshot}",
             file=sys.stderr,
         )
     if serve_sink is not None:
@@ -338,6 +356,7 @@ def cmd_serve(args) -> int:
         drain_timeout=args.drain_timeout,
         sample_bytes=args.sample_bytes,
         seed=args.seed,
+        snapshot_file=args.snapshot_file,
     )
     return DragServer(config).run()
 
@@ -399,6 +418,7 @@ def cmd_optimize(args) -> int:
         verify=args.verify,
         engine=args.engine,
         telemetry=telemetry,
+        snapshot=args.snapshot,
     )
 
     if args.dry_run:
@@ -472,20 +492,97 @@ def cmd_lint(args) -> int:
     telemetry = _make_telemetry(args)
     program = _load_program(args.file)
     main_class = args.main or detect_main_class(program)
+    drag_analysis = None
+    if args.profile:
+        drag_analysis = _load_drag_analysis(args.profile)
+    snapshot_analysis = None
+    if args.snapshot:
+        from repro.snapshot import analyze_snapshot, read_snapshots
+
+        loaded = read_snapshots(args.snapshot, strict=False)
+        if loaded.snapshots:
+            peak = max(loaded.snapshots, key=lambda s: s.total_bytes)
+            snapshot_analysis = analyze_snapshot(peak)
     result = lint_program(
         program, main_class, program_path=args.file, rules=args.rules or None,
-        telemetry=telemetry,
+        telemetry=telemetry, snapshot=snapshot_analysis, drag=drag_analysis,
     )
-    if args.profile:
-        from repro.core.analyzer import DragAnalysis
-        from repro.core.logfile import read_log
-
-        loaded = read_log(args.profile)
-        result.correlate(DragAnalysis(loaded.records), profile_path=args.profile)
-    print(render(result, args.format, explain=args.explain))
+    if drag_analysis is not None:
+        result.correlate(drag_analysis, profile_path=args.profile)
+    print(render(result, args.format, explain=args.explain, top=args.top))
     _flush_telemetry(args, telemetry)
     if args.fail_on and result.at_least(args.fail_on):
         return 1
+    return 0
+
+
+def _load_drag_analysis(path: str):
+    from repro.core.analyzer import DragAnalysis
+    from repro.core.logfile import read_log
+
+    return DragAnalysis(read_log(path).records)
+
+
+def cmd_snapshot(args) -> int:
+    from repro.snapshot import (
+        SnapshotRecorder,
+        read_snapshots,
+        snapshot_diff_report,
+        snapshot_report,
+    )
+
+    if args.action == "capture":
+        from repro.core.profiler import profile_program
+        from repro.mjava.compiler import compile_program
+
+        telemetry = _make_telemetry(args)
+        program = compile_program(_load_program(args.file), main_class=args.main)
+        recorder = SnapshotRecorder(
+            out=args.out,
+            metadata={"main": args.main, "interval": args.interval,
+                      "program": args.file},
+            telemetry=telemetry,
+        )
+        result = profile_program(
+            program, args.args, interval_bytes=args.interval,
+            engine=args.engine, telemetry=telemetry, snapshotter=recorder,
+        )
+        recorder.close()
+        for line in result.run_result.stdout:
+            print(line)
+        print(
+            f"[snapshot] wrote {recorder.capture_count} snapshot(s) "
+            f"({recorder.node_count} nodes, {recorder.edge_count} edges) "
+            f"to {args.out}",
+            file=sys.stderr,
+        )
+        _flush_telemetry(args, telemetry)
+        return 0
+
+    if args.action == "report":
+        loaded = read_snapshots(args.snapshot_file, strict=not args.lenient)
+        if not loaded.snapshots:
+            print("error: no complete snapshots in file", file=sys.stderr)
+            return 2
+        drag = _load_drag_analysis(args.profile) if args.profile else None
+        which = args.which
+        if which is None:
+            # Default to the heap at its fattest — retention is most
+            # visible at peak, not in the (mostly-collected) end state.
+            which = max(
+                range(len(loaded.snapshots)),
+                key=lambda i: loaded.snapshots[i].total_bytes,
+            )
+        print(snapshot_report(loaded, drag_analysis=drag, top=args.top, which=which))
+        return 0
+
+    # diff
+    before = read_snapshots(args.snapshot_file, strict=not args.lenient)
+    after = read_snapshots(args.other, strict=not args.lenient)
+    if not before.snapshots or not after.snapshots:
+        print("error: no complete snapshots to diff", file=sys.stderr)
+        return 2
+    print(snapshot_diff_report(before, after, top=args.top))
     return 0
 
 
@@ -591,6 +688,10 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--engine", choices=["baseline", "compiled"], default=None,
                          help="dispatch engine (profiles are bit-identical "
                          "either way)")
+    profile.add_argument("--snapshot", metavar="FILE",
+                         help="also capture a heap snapshot at every deep-GC "
+                         "safepoint into this file (analyze with "
+                         "'repro snapshot report')")
     _add_obs_flags(profile)
     profile.set_defaults(fn=cmd_profile)
 
@@ -656,6 +757,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", choices=["baseline", "compiled"], default=None,
         help="VM engine for profiling and verification runs",
     )
+    optimize.add_argument(
+        "--snapshot", action="store_true",
+        help="capture heap snapshots during the reference profile and "
+        "plan dominating-reference cuts from dominator-tree retained "
+        "sizes (DRAG008/RetainerCutPlanner; differentially verified)",
+    )
     _add_obs_flags(optimize)
     optimize.set_defaults(fn=cmd_optimize)
 
@@ -674,6 +781,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--explain", action="store_true",
                       help="show each finding's derivation (pinning paths, "
                       "last-use points) and analysis soundness notes")
+    lint.add_argument("--snapshot", metavar="FILE",
+                      help="a heap snapshot file (from profile --snapshot); "
+                      "enables DRAG008 high-retained-container findings from "
+                      "dominator-tree retained sizes")
+    lint.add_argument("--top", type=int, default=None,
+                      help="show only the N highest-ranked findings "
+                      "(applies to text, json, and sarif alike)")
     _add_obs_flags(lint)
     lint.set_defaults(fn=cmd_lint)
 
@@ -702,6 +816,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "survivors so aggregates stay unbiased")
     serve.add_argument("--seed", type=int, default=0,
                        help="base RNG seed for per-stream samplers (default 0)")
+    serve.add_argument("--snapshot-file", metavar="FILE",
+                       help="a heap snapshot file (from profile --snapshot); "
+                       "GET /snapshot serves its retained-size summary, "
+                       "re-parsed whenever the file grows")
     serve.set_defaults(fn=cmd_serve)
 
     replay = sub.add_parser(
@@ -725,6 +843,42 @@ def build_parser() -> argparse.ArgumentParser:
                         help="sampling RNG seed; client i uses seed+i "
                         "(default 0; CI gates pin it)")
     replay.set_defaults(fn=cmd_replay)
+
+    snapshot = sub.add_parser(
+        "snapshot", help="heap snapshots: capture, retained-size report, diff")
+    snap_sub = snapshot.add_subparsers(dest="action", required=True)
+    snap_capture = snap_sub.add_parser(
+        "capture", help="run a program, capturing a snapshot at every deep GC")
+    snap_capture.add_argument("file")
+    snap_capture.add_argument("--main", required=True)
+    snap_capture.add_argument("--out", required=True, metavar="FILE",
+                              help="snapshot file to write")
+    snap_capture.add_argument("--interval", type=int, default=100 * 1024,
+                              help="deep-GC interval in bytes (default 100K)")
+    snap_capture.add_argument("--engine", choices=["baseline", "compiled"],
+                              default=None)
+    _add_obs_flags(snap_capture)
+    snap_capture.set_defaults(fn=cmd_snapshot)
+    snap_report = snap_sub.add_parser(
+        "report", help="dominator-tree retained sizes and retainer chains")
+    snap_report.add_argument("snapshot_file")
+    snap_report.add_argument("--top", type=int, default=10)
+    snap_report.add_argument("--which", type=int, default=None,
+                             help="snapshot index within the file (default: "
+                             "the one with the most reachable bytes)")
+    snap_report.add_argument("--profile", metavar="LOG",
+                             help="a phase-1 drag log; retainers are "
+                             "annotated with the dragged sites they pin")
+    snap_report.add_argument("--lenient", action="store_true",
+                             help="tolerate a truncated snapshot file")
+    snap_report.set_defaults(fn=cmd_snapshot)
+    snap_diff = snap_sub.add_parser(
+        "diff", help="per-site retained deltas between two snapshot files")
+    snap_diff.add_argument("snapshot_file")
+    snap_diff.add_argument("other")
+    snap_diff.add_argument("--top", type=int, default=10)
+    snap_diff.add_argument("--lenient", action="store_true")
+    snap_diff.set_defaults(fn=cmd_snapshot)
 
     chart = sub.add_parser("chart", help="render Figure-2-style heap curves from a log")
     chart.add_argument("log")
@@ -766,6 +920,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream (head, grep -q) closed our stdout: the Unix
+        # convention is to exit quietly. Point stdout at /dev/null so
+        # the interpreter's shutdown flush doesn't raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

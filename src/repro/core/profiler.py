@@ -52,6 +52,7 @@ class HeapProfiler:
         buffered: Optional[bool] = None,
         sample_bytes: Optional[int] = None,
         seed: int = 0,
+        snapshotter=None,
     ) -> None:
         if interval_bytes <= 0:
             raise ValueError("interval_bytes must be positive")
@@ -67,6 +68,11 @@ class HeapProfiler:
         # ``buffered=True`` to get both behaviours at once.
         self.sink = sink
         self.buffered = buffered if buffered is not None else (sink is None)
+        # Optional repro.snapshot.SnapshotRecorder: captures a heap
+        # snapshot right after each deep GC (the only moments the heap
+        # is exactly its reachable set). Capture only reads the heap —
+        # profiles are bit-identical with it on or off.
+        self.snapshotter = snapshotter
         self.records: List[ObjectRecord] = []
         self.samples: List[HeapSample] = []
         self.record_count = 0
@@ -181,6 +187,8 @@ class HeapProfiler:
         while self.next_sample_at <= heap.clock:
             self.next_sample_at += self.interval_bytes
         interp.deep_gc()
+        if self.snapshotter is not None:
+            self.snapshotter.capture(interp, reason="interval")
         self._emit_sample(
             HeapSample(heap.clock, heap.live_bytes, heap.object_count())
         )
@@ -195,6 +203,8 @@ class HeapProfiler:
             return
         self._ended = True
         interp.deep_gc()
+        if self.snapshotter is not None:
+            self.snapshotter.capture(interp, reason="end")
         end_time = interp.heap.clock
         self._emit_sample(
             HeapSample(end_time, interp.heap.live_bytes, interp.heap.object_count())
@@ -304,6 +314,7 @@ def profile_program(
     telemetry=None,
     sample_bytes: Optional[int] = None,
     seed: int = 0,
+    snapshotter=None,
 ) -> ProfileResult:
     """Run a compiled program under the profiler (phase 1).
 
@@ -327,6 +338,7 @@ def profile_program(
         buffered=buffered,
         sample_bytes=sample_bytes,
         seed=seed,
+        snapshotter=snapshotter,
     )
     interp = create_vm(
         program, engine=engine, profiler=profiler, max_heap=max_heap,
@@ -357,6 +369,7 @@ def profile_source(
     telemetry=None,
     sample_bytes: Optional[int] = None,
     seed: int = 0,
+    snapshotter=None,
 ) -> ProfileResult:
     """Convenience: link, compile, and profile mini-Java source."""
     from repro.mjava.compiler import compile_program
@@ -377,4 +390,5 @@ def profile_source(
         telemetry=telemetry,
         sample_bytes=sample_bytes,
         seed=seed,
+        snapshotter=snapshotter,
     )

@@ -74,13 +74,23 @@ def lint_program(
     rules: Optional[Sequence[str]] = None,
     context: Optional[AnalysisContext] = None,
     telemetry=None,
+    snapshot=None,
+    drag=None,
 ) -> LintResult:
     """Run the standard lint pipeline over a linked program AST.
 
     ``telemetry`` (a :class:`repro.obs.Telemetry`, or None) records
     per-pass spans/durations and per-rule diagnostic counts.
+    ``snapshot`` (a :class:`repro.snapshot.SnapshotAnalysis`) and
+    ``drag`` (a :class:`repro.core.analyzer.DragAnalysis`) attach
+    dynamic evidence for DRAG008; without a snapshot that rule is
+    silent.
     """
     context = context or AnalysisContext(program, main_class)
+    if snapshot is not None:
+        context.snapshot = snapshot
+    if drag is not None:
+        context.drag = drag
     manager = standard_pass_manager(context, telemetry=telemetry)
     result = LintResult(program_path=program_path, main_class=main_class)
     if telemetry is None:
@@ -97,6 +107,8 @@ def lint_file(
     main_class: Optional[str] = None,
     rules: Optional[Sequence[str]] = None,
     telemetry=None,
+    snapshot=None,
+    drag=None,
 ) -> LintResult:
     """Load, link, and lint a ``.mj`` source file."""
     from repro.runtime.library import link
@@ -107,5 +119,6 @@ def lint_file(
     if main_class is None:
         main_class = detect_main_class(program)
     return lint_program(
-        program, main_class, program_path=path, rules=rules, telemetry=telemetry
+        program, main_class, program_path=path, rules=rules, telemetry=telemetry,
+        snapshot=snapshot, drag=drag,
     )

@@ -39,6 +39,7 @@ from repro.lint.rules import (
     DRAG005,
     DRAG006,
     DRAG007,
+    DRAG008,
 )
 from repro.mjava import ast
 from repro.mjava.compiler import compile_program
@@ -63,6 +64,13 @@ class AnalysisContext:
         self._interproc: Optional[InterproceduralUseAnalysis] = None
         self._heap_liveness = None
         self._cfgs: Dict[int, ControlFlowGraph] = {}
+        # Dynamic evidence, attached by the caller rather than lazily
+        # built: a repro.snapshot.SnapshotAnalysis of a captured heap
+        # and the run's DragAnalysis. DRAG008 is the only consumer and
+        # stays silent when no snapshot is attached, so purely static
+        # lint runs are unchanged.
+        self.snapshot = None
+        self.drag = None
         # Build accounting, so tests can pin "exactly once".
         self.build_counts: Dict[str, int] = {}
 
@@ -677,6 +685,162 @@ def _pass_drag007(ctx: AnalysisContext, result: LintResult):
     return findings
 
 
+#: DRAG008 fires only on containers retaining at least this share of
+#: the reachable heap (dominator-tree retained size / total reachable).
+DRAG008_MIN_SHARE = 0.02
+
+#: At most this many retained-container diagnostics per run.
+DRAG008_MAX_FINDINGS = 5
+
+
+def _holder_locals(program: ast.Program, owner_class: str):
+    """``(class_name, method_name, var_name, last_mention_line)`` for
+    every non-library method local declared with type ``owner_class`` —
+    the program points where a dominating reference can be cut."""
+    out = []
+    for cls in program.classes:
+        if cls.is_library:
+            continue
+        for method in cls.methods:
+            if method.body is None:
+                continue
+            for node in method.body.walk():
+                if (
+                    isinstance(node, ast.VarDecl)
+                    and isinstance(node.type, ast.ClassType)
+                    and node.type.name == owner_class
+                ):
+                    var = node.name
+                    last = node.pos.line if node.pos is not None else 0
+                    for use in method.body.walk():
+                        if (
+                            isinstance(use, ast.Name)
+                            and use.ident == var
+                            and use.pos is not None
+                        ):
+                            last = max(last, use.pos.line)
+                    out.append((cls.name, method.name, var, last))
+    return out
+
+
+def _pass_drag008(ctx: AnalysisContext, result: LintResult):
+    """High-retained containers: dominator-tree retained sizes from a
+    heap snapshot, correlated with profile drag.
+
+    Evidence-driven like DRAG007, but from *dynamic* evidence: the
+    caller attaches a ``repro.snapshot.SnapshotAnalysis`` (and
+    optionally a ``DragAnalysis``) to the context; without one this
+    pass is silent, so static-only lint runs are unchanged. Each
+    finding names the dominating reference ``owner.field`` whose cut
+    releases the retained subtree and carries the same ``insertion``
+    payload as DRAG007, so the assign-null-heap-field applier (and the
+    RetainerCutPlanner) can act on it directly.
+    """
+    analysis = ctx.snapshot
+    if analysis is None:
+        return []
+    drag = ctx.drag
+    total = analysis.total_reachable_bytes
+    if total <= 0:
+        return []
+    # Candidate cuts: (owner_class, field) -> (retained, subject node).
+    # A top retainer dominated by a heap object contributes its own
+    # dominating reference; one held directly by a root local (no heap
+    # owner) contributes each field edge to a dominator-tree child —
+    # cutting `holder.field` after the holder's last use frees that
+    # child's subtree.
+    candidates: Dict[tuple, tuple] = {}
+
+    def consider(owner_class: str, field: str, subject: int) -> None:
+        retained = analysis.retained[subject]
+        if retained / total < DRAG008_MIN_SHARE:
+            return
+        key = (owner_class, field)
+        if key not in candidates or candidates[key][0] < retained:
+            candidates[key] = (retained, subject)
+
+    for node_index in analysis.top_retained(limit=2 * DRAG008_MAX_FINDINGS):
+        node = analysis.nodes[node_index]
+        domref = analysis.dominating_reference(node_index)
+        if domref is not None and domref[0] != 0:
+            consider(analysis.nodes[domref[0]].type_name, domref[1], node_index)
+        elif domref is not None:
+            for dst, label in node.edges:
+                if (
+                    label is not None
+                    and label != "[]"
+                    and analysis.tree.idom[dst] == node_index
+                ):
+                    consider(node.type_name, label, dst)
+
+    findings = []
+    ranked = sorted(
+        candidates.items(), key=lambda item: (-item[1][0], item[0])
+    )
+    for (owner_class, field), (retained, subject) in ranked:
+        if len(findings) >= DRAG008_MAX_FINDINGS:
+            break
+        pinned = (
+            analysis.pinned_drag_sites(subject, drag) if drag is not None else []
+        )
+        if drag is not None and not pinned:
+            continue
+        holders = _holder_locals(ctx.program_ast, owner_class)
+        if not holders:
+            continue
+        class_name, method_name, var_name, last_line = holders[0]
+        subject_node = analysis.nodes[subject]
+        share = retained / total
+        message = (
+            f"{owner_class}.{field} dominates {subject_node.type_name}"
+            + (f" @ {subject_node.site_label}" if subject_node.site_label else "")
+            + f", retaining {retained} bytes ({100.0 * share:.1f}% of the "
+            f"reachable heap)"
+        )
+        if pinned:
+            top_site, top_drag, top_bytes = pinned[0]
+            message += (
+                f"; it pins dragged site {top_site} "
+                f"({top_bytes} bytes retained, drag {top_drag:.0f})"
+            )
+        result.add(
+            Diagnostic(
+                DRAG008,
+                SourceSpan(class_name, method_name, last_line),
+                message,
+                suggestion=f"insert {var_name}.{field} = null; after line "
+                f"{last_line} (the holder's last use) and verify",
+                subject=(
+                    "retained-container",
+                    owner_class,
+                    field,
+                    class_name,
+                    method_name,
+                    var_name,
+                ),
+                extra={
+                    "insertion": {
+                        "class_name": class_name,
+                        "method_name": method_name,
+                        "var_name": var_name,
+                        "owner_class": owner_class,
+                        "field_name": field,
+                        "lines": [last_line],
+                    },
+                    "retained_bytes": retained,
+                    "retained_share": share,
+                    "chain": analysis.retainer_chain(subject),
+                    "pinned_sites": [
+                        {"site": s, "est_drag": d, "retained_bytes": b}
+                        for s, d, b in pinned[:3]
+                    ],
+                },
+            )
+        )
+        findings.append((owner_class, field, retained))
+    return findings
+
+
 #: rule id -> pass name
 RULE_PASSES = {
     "DRAG001": "rule-never-used-allocation",
@@ -686,6 +850,7 @@ RULE_PASSES = {
     "DRAG005": "rule-oversized-array",
     "DRAG006": "rule-dead-heap-path",
     "DRAG007": "rule-droppable-container-entry",
+    "DRAG008": "rule-high-retained-container",
 }
 
 
@@ -723,5 +888,8 @@ def standard_pass_manager(context: AnalysisContext, telemetry=None) -> PassManag
     manager.register(
         Pass(RULE_PASSES["DRAG007"], _pass_drag007,
              requires=("heap-liveness",), rule_id="DRAG007")
+    )
+    manager.register(
+        Pass(RULE_PASSES["DRAG008"], _pass_drag008, rule_id="DRAG008")
     )
     return manager

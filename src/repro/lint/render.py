@@ -28,14 +28,29 @@ SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
-def render(result: LintResult, fmt: str = "text", explain: bool = False) -> str:
+def render(
+    result: LintResult,
+    fmt: str = "text",
+    explain: bool = False,
+    top: Optional[int] = None,
+) -> str:
+    """``top`` limits every format to the N highest-ranked findings
+    (the shared ``--top`` semantics of report/lint); None shows all."""
     if fmt == "text":
-        return render_text(result, explain=explain)
+        return render_text(result, explain=explain, top=top)
     if fmt == "json":
-        return json.dumps(to_json(result), indent=2, sort_keys=True)
+        return json.dumps(to_json(result, top=top), indent=2, sort_keys=True)
     if fmt == "sarif":
-        return json.dumps(to_sarif(result), indent=2, sort_keys=True)
+        return json.dumps(to_sarif(result, top=top), indent=2, sort_keys=True)
     raise ValueError(f"unknown format {fmt!r}; have {FORMATS}")
+
+
+def _ranked(result: LintResult, top: Optional[int]) -> List[Diagnostic]:
+    """The findings every renderer shows: sorted, optionally capped."""
+    diags = result.sorted()
+    if top is not None and top >= 0:
+        return diags[:top]
+    return diags
 
 
 # ---------------------------------------------------------------------------
@@ -52,7 +67,9 @@ def _drag_suffix(diag: Diagnostic, result: LintResult) -> str:
     return f"  [drag {diag.drag} byte-steps{share}]"
 
 
-def render_text(result: LintResult, explain: bool = False) -> str:
+def render_text(
+    result: LintResult, explain: bool = False, top: Optional[int] = None
+) -> str:
     lines: List[str] = []
     header = f"lint: {result.program_path or '<program>'}"
     if result.main_class:
@@ -60,7 +77,8 @@ def render_text(result: LintResult, explain: bool = False) -> str:
     if result.profile_path:
         header += f" + profile {result.profile_path}"
     lines.append(header)
-    for diag in result.sorted():
+    shown = _ranked(result, top)
+    for diag in shown:
         lines.append(
             f"{diag.severity:7s} {diag.rule_id} {diag.span.label}: "
             f"{diag.message}{_drag_suffix(diag, result)}"
@@ -76,7 +94,8 @@ def render_text(result: LintResult, explain: bool = False) -> str:
     total = sum(counts.values())
     if total:
         summary = ", ".join(f"{rid} x{n}" for rid, n in sorted(counts.items()))
-        lines.append(f"{total} finding(s): {summary}")
+        suffix = f" (showing top {len(shown)})" if len(shown) < total else ""
+        lines.append(f"{total} finding(s): {summary}{suffix}")
     else:
         lines.append("no findings")
     return "\n".join(lines)
@@ -118,7 +137,7 @@ def _json_safe(value) -> bool:
         return False
 
 
-def to_json(result: LintResult) -> Dict:
+def to_json(result: LintResult, top: Optional[int] = None) -> Dict:
     return {
         "program": result.program_path,
         "main_class": result.main_class,
@@ -126,7 +145,7 @@ def to_json(result: LintResult) -> Dict:
         "profile_total_drag": result.profile_total_drag,
         "counts": result.counts(),
         "notes": list(result.notes),
-        "diagnostics": [_diag_json(d) for d in result.sorted()],
+        "diagnostics": [_diag_json(d) for d in _ranked(result, top)],
     }
 
 
@@ -185,7 +204,11 @@ def _sarif_result(diag: Diagnostic, result: LintResult, rule_index: Dict[str, in
     return out
 
 
-def to_sarif(result: LintResult, tool_version: Optional[str] = None) -> Dict:
+def to_sarif(
+    result: LintResult,
+    tool_version: Optional[str] = None,
+    top: Optional[int] = None,
+) -> Dict:
     rule_index = {rule.rule_id: i for i, rule in enumerate(ALL_RULES)}
     driver: Dict = {
         "name": "repro-lint",
@@ -196,7 +219,9 @@ def to_sarif(result: LintResult, tool_version: Optional[str] = None) -> Dict:
         driver["version"] = tool_version
     run: Dict = {
         "tool": {"driver": driver},
-        "results": [_sarif_result(d, result, rule_index) for d in result.sorted()],
+        "results": [
+            _sarif_result(d, result, rule_index) for d in _ranked(result, top)
+        ],
         "columnKind": "utf16CodeUnits",
     }
     if result.profile_path:

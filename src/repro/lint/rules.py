@@ -128,7 +128,21 @@ DRAG007 = Rule(
     "§3.4 pattern 4; heap reference analysis (access graphs)",
 )
 
-ALL_RULES: List[Rule] = [DRAG001, DRAG002, DRAG003, DRAG004, DRAG005, DRAG006, DRAG007]
+DRAG008 = Rule(
+    "DRAG008",
+    "high-retained-container",
+    "A container's dominator-tree retained size says it single-handedly "
+    "keeps a large share of the reachable heap alive — including objects "
+    "the profile measured drag at; cutting the dominating reference "
+    "after the holder's last use releases the whole retained subtree.",
+    "warning",
+    "assign-null-heap-field",
+    "§3.4 pattern 4; dominator-tree retained size (DESIGN.md §15)",
+)
+
+ALL_RULES: List[Rule] = [
+    DRAG001, DRAG002, DRAG003, DRAG004, DRAG005, DRAG006, DRAG007, DRAG008,
+]
 
 RULES_BY_ID: Dict[str, Rule] = {r.rule_id: r for r in ALL_RULES}
 

@@ -178,6 +178,26 @@ class Telemetry:
             "repro_profiler_samples_total", "Deep-GC sample batches taken"
         ).inc(profiler.sample_count)
 
+    # -- snapshot ----------------------------------------------------------
+
+    def record_snapshot(self, nodes: int, edges: int, seconds: float) -> None:
+        """One heap snapshot captured at a deep-GC safepoint."""
+        registry = self.registry
+        registry.counter(
+            "repro_snapshot_captures_total", "Heap snapshots captured"
+        ).inc()
+        registry.counter(
+            "repro_snapshot_nodes_total", "Snapshot nodes recorded"
+        ).inc(nodes)
+        registry.counter(
+            "repro_snapshot_edges_total", "Snapshot edges recorded"
+        ).inc(edges)
+        registry.histogram(
+            "repro_snapshot_capture_seconds",
+            "Wall time per snapshot capture",
+            buckets=PAUSE_BUCKETS,
+        ).observe(seconds)
+
     # -- lint --------------------------------------------------------------
 
     def record_lint_pass(self, name: str, seconds: float) -> None:

@@ -72,6 +72,7 @@ class ServeConfig:
         quiet: bool = False,
         sample_bytes: Optional[int] = None,
         seed: int = 0,
+        snapshot_file: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -89,6 +90,11 @@ class ServeConfig:
         # Already-weighted records compose multiplicatively.
         self.sample_bytes = sample_bytes
         self.seed = seed
+        # Optional heap snapshot file (from `profile --snapshot`): when
+        # set, GET /snapshot serves its dominator-tree retained-size
+        # summary. The file is parsed lazily and re-read when it grows,
+        # so a profiler can stream snapshots into it mid-run.
+        self.snapshot_file = snapshot_file
 
 
 class StreamInfo:
@@ -152,6 +158,8 @@ class DragServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._ingest_server = None
         self._http_server = None
+        # /snapshot cache: (file size at parse time, summary payload).
+        self._snapshot_cache: Optional[Tuple[int, dict]] = None
         # Dedicated pool for blocking shard-pipe calls: sized so every
         # shard can have an in-flight feed plus a snapshot round.
         self._pool = ThreadPoolExecutor(
@@ -495,6 +503,13 @@ class DragServer:
                 body = self.registry.exposition().encode("utf-8")
                 writer.write(self._http_response(
                     "200 OK", body, "text/plain; version=0.0.4"))
+            elif path == "/snapshot":
+                payload = await self._loop.run_in_executor(
+                    self._pool, self._snapshot_payload
+                )
+                body = json.dumps(payload).encode("utf-8")
+                status = "200 OK" if "error" not in payload else "404 Not Found"
+                writer.write(self._http_response(status, body, "application/json"))
             else:
                 writer.write(self._http_response(
                     "404 Not Found", b"unknown path\n", "text/plain"))
@@ -505,6 +520,32 @@ class DragServer:
                 writer.close()
             except OSError:
                 pass
+
+    def _snapshot_payload(self) -> dict:
+        """The /snapshot body: the configured snapshot file's
+        dominator-tree summary, cached by file size so repeated polls
+        only re-parse after a profiler appends new captures."""
+        import os
+
+        path = self.config.snapshot_file
+        if not path:
+            return {"error": "no snapshot file configured (--snapshot-file)"}
+        try:
+            size = os.path.getsize(path)
+        except OSError as exc:
+            return {"error": f"snapshot file unreadable: {exc}"}
+        cached = self._snapshot_cache
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        from repro.snapshot import SnapshotError, read_snapshots, snapshot_summary
+
+        try:
+            loaded = read_snapshots(path, strict=False)
+        except SnapshotError as exc:
+            return {"error": f"snapshot file unreadable: {exc}"}
+        payload = dict(snapshot_summary(loaded), file=path)
+        self._snapshot_cache = (size, payload)
+        return payload
 
     # -- lifecycle --------------------------------------------------------
 

@@ -1,0 +1,47 @@
+"""Heap snapshots: capture at deep-GC safepoints, dominator-tree
+retained sizes, retainer chains, and drag correlation (DESIGN.md §15)."""
+
+from repro.snapshot.analyze import (
+    SnapshotAnalysis,
+    analyze_snapshot,
+    snapshot_diff_report,
+    snapshot_report,
+    snapshot_summary,
+)
+from repro.snapshot.capture import SnapshotRecorder, capture_snapshot
+from repro.snapshot.codec import (
+    HeapSnapshot,
+    SnapshotError,
+    SnapshotFile,
+    SnapshotNode,
+    SnapshotWriter,
+    read_snapshots,
+    write_snapshots,
+)
+from repro.snapshot.dominators import (
+    DominatorTree,
+    immediate_dominators,
+    retained_sizes,
+    reverse_postorder,
+)
+
+__all__ = [
+    "DominatorTree",
+    "HeapSnapshot",
+    "SnapshotAnalysis",
+    "SnapshotError",
+    "SnapshotFile",
+    "SnapshotNode",
+    "SnapshotRecorder",
+    "SnapshotWriter",
+    "analyze_snapshot",
+    "capture_snapshot",
+    "immediate_dominators",
+    "read_snapshots",
+    "retained_sizes",
+    "reverse_postorder",
+    "snapshot_diff_report",
+    "snapshot_report",
+    "snapshot_summary",
+    "write_snapshots",
+]

@@ -1,0 +1,309 @@
+"""Snapshot analysis: who keeps dragged objects alive, and at what cost.
+
+Built on the dominator tree of one :class:`HeapSnapshot`:
+
+* **retained size** per node — the bytes released if that one
+  reference chain were cut (dominator-subtree sum);
+* **per-site retained** — object-centric attribution (DJXPerf-style):
+  each allocation site's objects summed by what they *retain*, not
+  just what they weigh;
+* **retainer chains** — the shortest root-to-node reference path,
+  naming each field/root that pins the node;
+* **dominating reference** — the single edge ``owner.field -> node``
+  (when one exists from the immediate dominator) whose cut provably
+  releases the whole retained subtree: the evidence DRAG008 and the
+  RetainerCutPlanner act on.
+
+Joining a :class:`~repro.core.analyzer.DragAnalysis` against the
+subtree site sets answers the paper's pattern-4 question directly:
+*this* container retains *those* dragged allocation sites.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.snapshot.codec import HeapSnapshot, SnapshotFile, SnapshotNode
+from repro.snapshot.dominators import DominatorTree
+
+
+class SnapshotAnalysis:
+    """Dominator-tree view of one snapshot."""
+
+    def __init__(self, snapshot: HeapSnapshot) -> None:
+        self.snapshot = snapshot
+        nodes = snapshot.nodes
+        succ: List[List[int]] = [[dst for dst, _label in n.edges] for n in nodes]
+        sizes = [n.size for n in nodes]
+        self.tree = DominatorTree(succ, sizes)
+        self.retained = self.tree.retained
+
+    # -- basic queries -----------------------------------------------------
+
+    @property
+    def nodes(self) -> List[SnapshotNode]:
+        return self.snapshot.nodes
+
+    @property
+    def total_reachable_bytes(self) -> int:
+        """Everything the root retains == reachable heap bytes."""
+        return self.retained[0]
+
+    def retained_share(self, node: int) -> float:
+        total = self.total_reachable_bytes
+        return self.retained[node] / total if total > 0 else 0.0
+
+    def top_retained(self, limit: int = 10, min_edges: int = 0) -> List[int]:
+        """Node indices by retained size, heaviest first (root and
+        excluded nodes skipped; ``min_edges`` filters for containers)."""
+        candidates = [
+            i
+            for i, node in enumerate(self.nodes)
+            if i != 0 and not node.excluded and len(node.edges) >= min_edges
+        ]
+        candidates.sort(key=lambda i: (-self.retained[i], i))
+        return candidates[:limit]
+
+    def retained_by_site(self) -> Dict[str, int]:
+        """Per-allocation-site retained bytes (sum over the site's
+        objects; nested objects of the same site count toward their
+        outermost dominator, like any per-class retained report)."""
+        out: Dict[str, int] = {}
+        for i, node in enumerate(self.nodes):
+            if i == 0 or node.site_label is None:
+                continue
+            dom = self.tree.idom[i]
+            if dom is None:
+                continue
+            # Skip nodes dominated by a same-site node: the parent's
+            # retained size already includes this subtree.
+            if self.nodes[dom].site_label == node.site_label:
+                continue
+            out[node.site_label] = out.get(node.site_label, 0) + self.retained[i]
+        return out
+
+    def dominated_site_bytes(self, node: int) -> Dict[str, int]:
+        """Bytes per allocation site over ``node``'s *strict*
+        dominator subtree: the sites whose objects this node pins."""
+        out: Dict[str, int] = {}
+        for v in self.tree.subtree(node):
+            if v == node:
+                continue
+            label = self.nodes[v].site_label
+            if label is not None:
+                out[label] = out.get(label, 0) + self.nodes[v].size
+        return out
+
+    # -- retainer chains ---------------------------------------------------
+
+    def path_from_root(self, node: int) -> List[Tuple[int, Optional[str]]]:
+        """Shortest reference path root→node as ``(node_index, label
+        of the edge entering it)`` pairs, excluding the root itself."""
+        if node == 0:
+            return []
+        prev: Dict[int, Tuple[int, Optional[str]]] = {0: (-1, None)}
+        queue = [0]
+        head = 0
+        while head < len(queue):
+            src = queue[head]
+            head += 1
+            for dst, label in self.nodes[src].edges:
+                if dst not in prev:
+                    prev[dst] = (src, label)
+                    if dst == node:
+                        queue = []
+                        break
+                    queue.append(dst)
+            else:
+                continue
+            break
+        if node not in prev:
+            return []
+        path: List[Tuple[int, Optional[str]]] = []
+        at = node
+        while at != 0:
+            src, label = prev[at]
+            path.append((at, label))
+            at = src
+        path.reverse()
+        return path
+
+    def retainer_chain(self, node: int) -> str:
+        """Human-readable chain: ``<root> --local Db.main--> Database
+        --records--> Vector``."""
+        parts = ["<root>"]
+        for at, label in self.path_from_root(node):
+            parts.append(f"--{label or '?'}--> {self.nodes[at].type_name}")
+        return " ".join(parts)
+
+    def dominating_reference(self, node: int) -> Optional[Tuple[int, str]]:
+        """``(owner_index, edge_label)`` when the immediate dominator
+        holds a *direct labeled* reference to ``node`` — the one
+        reference whose cut releases the whole retained subtree."""
+        dom = self.tree.idom[node]
+        if dom is None or dom == node:
+            return None
+        for dst, label in self.nodes[dom].edges:
+            if dst == node and label is not None:
+                return dom, label
+        return None
+
+    # -- drag correlation --------------------------------------------------
+
+    def pinned_drag_sites(self, node: int, drag_analysis) -> List[Tuple[str, float, int]]:
+        """Sites this node retains that the profile measured drag at:
+        ``(site_label, est_drag, retained_bytes_here)``, heaviest drag
+        first. ``drag_analysis`` is a
+        :class:`~repro.core.analyzer.DragAnalysis`."""
+        own = self.nodes[node].site_label
+        out: List[Tuple[str, float, int]] = []
+        for label, pinned_bytes in self.dominated_site_bytes(node).items():
+            if label == own:
+                continue
+            group = drag_analysis.by_site.get(label)
+            if group is not None and group.est_drag > 0:
+                out.append((label, group.est_drag, pinned_bytes))
+        out.sort(key=lambda row: (-row[1], row[0]))
+        return out
+
+
+def analyze_snapshot(snapshot: HeapSnapshot) -> SnapshotAnalysis:
+    return SnapshotAnalysis(snapshot)
+
+
+# ---------------------------------------------------------------------------
+# reports
+# ---------------------------------------------------------------------------
+
+
+def _kb(n: int) -> str:
+    return f"{n / 1024:.1f}KB"
+
+
+def snapshot_report(
+    source, drag_analysis=None, top: int = 10, which: int = -1
+) -> str:
+    """Text report over one snapshot of a parsed file (or a bare
+    :class:`HeapSnapshot`): top retainers by dominator-tree retained
+    size, their chains, and (with a drag analysis) the dragged sites
+    each one pins."""
+    if isinstance(source, SnapshotFile):
+        if not source.snapshots:
+            return "(no complete snapshots)"
+        snapshot = source.snapshots[which]
+        suffix = f" [{len(source.snapshots)} snapshot(s) in file" + (
+            ", truncated tail]" if source.truncated else "]"
+        )
+    else:
+        snapshot = source
+        suffix = ""
+    analysis = SnapshotAnalysis(snapshot)
+    lines = [
+        "=== Heap snapshot ===",
+        (
+            f"t={snapshot.clock}B reason={snapshot.reason} "
+            f"nodes={snapshot.node_count} edges={snapshot.edge_count} "
+            f"reachable={_kb(analysis.total_reachable_bytes)}{suffix}"
+        ),
+        "",
+        f"--- top {top} retainers by retained size ---",
+    ]
+    for rank, node_index in enumerate(analysis.top_retained(top), start=1):
+        node = analysis.nodes[node_index]
+        retained = analysis.retained[node_index]
+        lines.append(
+            f"#{rank} {node.type_name}"
+            + (f" @ {node.site_label}" if node.site_label else "")
+        )
+        lines.append(
+            f"    retained {_kb(retained)} ({100.0 * analysis.retained_share(node_index):5.1f}%"
+            f" of reachable)  own size {node.size}B  out-edges {len(node.edges)}"
+        )
+        domref = analysis.dominating_reference(node_index)
+        if domref is not None:
+            owner, label = domref
+            lines.append(
+                f"    dominating reference: {analysis.nodes[owner].type_name}"
+                f".{label}"
+            )
+        chain = analysis.retainer_chain(node_index)
+        if chain:
+            lines.append(f"    chain: {chain}")
+        if drag_analysis is not None:
+            pinned = analysis.pinned_drag_sites(node_index, drag_analysis)
+            for label, est_drag, pinned_bytes in pinned[:3]:
+                lines.append(
+                    f"    pins dragged site {label}: "
+                    f"{_kb(pinned_bytes)} retained, drag {est_drag:.0f} B^2"
+                )
+    return "\n".join(lines)
+
+
+def snapshot_summary(source) -> dict:
+    """JSON-shaped summary (the serve ``/snapshot`` payload)."""
+    if isinstance(source, SnapshotFile):
+        snapshots = source.snapshots
+        truncated = source.truncated
+    else:
+        snapshots = [source]
+        truncated = False
+    out = {"snapshots": len(snapshots), "truncated": truncated}
+    if not snapshots:
+        return out
+    latest = snapshots[-1]
+    analysis = SnapshotAnalysis(latest)
+    out["latest"] = {
+        "clock": latest.clock,
+        "reason": latest.reason,
+        "nodes": latest.node_count,
+        "edges": latest.edge_count,
+        "reachable_bytes": analysis.total_reachable_bytes,
+        "top_retainers": [
+            {
+                "type": analysis.nodes[i].type_name,
+                "site": analysis.nodes[i].site_label,
+                "retained_bytes": analysis.retained[i],
+                "share": round(analysis.retained_share(i), 6),
+                "chain": analysis.retainer_chain(i),
+            }
+            for i in analysis.top_retained(5)
+        ],
+    }
+    return out
+
+
+def snapshot_diff_report(before, after, top: int = 10) -> str:
+    """Per-site retained deltas between two snapshots (each a
+    :class:`HeapSnapshot` or parsed :class:`SnapshotFile`, in which
+    case the latest snapshot of each is compared)."""
+
+    def latest(source) -> HeapSnapshot:
+        return source.snapshots[-1] if isinstance(source, SnapshotFile) else source
+
+    a, b = latest(before), latest(after)
+    an, bn = SnapshotAnalysis(a), SnapshotAnalysis(b)
+    before_sites = an.retained_by_site()
+    after_sites = bn.retained_by_site()
+    rows = []
+    for label in set(before_sites) | set(after_sites):
+        was, now = before_sites.get(label, 0), after_sites.get(label, 0)
+        if was != now:
+            rows.append((label, was, now))
+    rows.sort(key=lambda row: (-abs(row[2] - row[1]), row[0]))
+    lines = [
+        "=== Snapshot diff ===",
+        (
+            f"t={a.clock}B -> t={b.clock}B  nodes {a.node_count} -> {b.node_count}  "
+            f"reachable {_kb(an.total_reachable_bytes)} -> {_kb(bn.total_reachable_bytes)}"
+        ),
+        "",
+        f"--- top {top} per-site retained changes ---",
+    ]
+    if not rows:
+        lines.append("(no per-site retained changes)")
+    for label, was, now in rows[:top]:
+        sign = "+" if now >= was else "-"
+        lines.append(
+            f"  {label}: {_kb(was)} -> {_kb(now)} ({sign}{_kb(abs(now - was))})"
+        )
+    return "\n".join(lines)

@@ -182,6 +182,7 @@ class OptimizationPipeline:
         strategies: Optional[Sequence[Transformation]] = None,
         extra_patches: Sequence[Patch] = (),
         telemetry=None,
+        snapshot: bool = False,
     ) -> None:
         self.program_ast = program_ast
         self.main_class = main_class
@@ -197,6 +198,17 @@ class OptimizationPipeline:
         # spans plus patch-outcome and drag counters.
         self.telemetry = telemetry
         self.strategies = list(strategies) if strategies is not None else default_strategies()
+        # Opt-in snapshot mode: capture heap snapshots during the
+        # reference profile, attach the dominator analysis to the lint
+        # context (enabling DRAG008), and plan dominating-reference
+        # cuts. Off by default so the static-only plan stays
+        # byte-identical to the Advisor's.
+        self.snapshot = snapshot
+        if snapshot:
+            from repro.transform.planners import RetainerCutPlanner
+
+            if not any(isinstance(s, RetainerCutPlanner) for s in self.strategies):
+                self.strategies.append(RetainerCutPlanner())
         # Extra pre-planned patches injected into the first cycle —
         # the rollback tests use this to feed the verifier an unsound
         # rewrite; they are scheduled after the planned patches.
@@ -241,6 +253,29 @@ class OptimizationPipeline:
             from repro.lint.passes import AnalysisContext
 
             context = AnalysisContext(program_ast, self.main_class)
+        # Snapshot mode profiles *first*: the reference run doubles as
+        # the capture run, and its dominator analysis plus drag ranking
+        # become lint evidence (DRAG008) before the linter plans.
+        if self.snapshot and lint is None and reference is None:
+            from repro.snapshot import SnapshotRecorder, analyze_snapshot
+
+            recorder = SnapshotRecorder(telemetry=telemetry)
+            with span("optimize.profile"):
+                profile = profile_program(
+                    context.compiled,
+                    self.args,
+                    interval_bytes=self.interval_bytes,
+                    engine=self.engine,
+                    telemetry=telemetry,
+                    snapshotter=recorder,
+                )
+                reference = ReferenceRun.from_profile(profile)
+            if recorder.snapshots:
+                # Analyze the heap at its fattest: the capture with the
+                # most reachable bytes shows retention at its worst.
+                peak = max(recorder.snapshots, key=lambda s: s.total_bytes)
+                context.snapshot = analyze_snapshot(peak)
+                context.drag = reference.analysis
         if lint is None:
             from repro.lint import lint_program
 

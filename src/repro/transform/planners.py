@@ -586,6 +586,88 @@ class HeapAssignNullPlanner(Transformation):
         ]
 
 
+class RetainerCutPlanner(Transformation):
+    """Snapshot-driven pattern 4: cut the dominating reference.
+
+    Consumes DRAG008 (high-retained-container) findings, which carry
+    the same ``insertion`` payload as DRAG007 — so the proven
+    ``assign-null-heap-field`` applier does the edit. The evidence is
+    *dynamic* (a dominator tree over a captured heap says exactly what
+    the cut releases) rather than a static liveness proof, so these
+    patches lean entirely on differential verification: stdout must be
+    identical and drag non-increasing, or the pipeline rolls back.
+
+    Not part of :func:`default_strategies` — the pipeline appends it
+    only when snapshot capture is enabled (``snapshot=True``), keeping
+    the static-only plan byte-identical to the Advisor's.
+    """
+
+    name = "retainer-cut"
+    patterns = (LifetimePattern.HIGH_VARIANCE,)
+
+    #: At most this many dominating-reference cuts per program per cycle.
+    MAX_CUT_PATCHES = 3
+
+    def plan_program(self, pctx: PlanningContext) -> List[PlanEntry]:
+        if pctx.lint is None:
+            return []
+        entries: List[PlanEntry] = []
+        planned = 0
+        for diag in pctx.lint.by_rule("DRAG008"):
+            if planned >= self.MAX_CUT_PATCHES:
+                break
+            ins = diag.extra.get("insertion") or {}
+            key = (
+                ins.get("class_name"),
+                ins.get("method_name"),
+                ins.get("var_name"),
+                ins.get("field_name"),
+            )
+            if None in key or key in pctx.heap_done or not ins.get("lines"):
+                continue
+            owner = ins.get("owner_class")
+            if owner is None or not _field_accessible(
+                pctx.program_ast, owner, key[3], key[0]
+            ):
+                pctx.heap_done.add(key)
+                continue
+            if _field_already_nulled(pctx.program_ast, *key):
+                pctx.heap_done.add(key)
+                continue
+            pctx.heap_done.add(key)
+            cls_name, method_name, var, field = key
+            retained = diag.extra.get("retained_bytes", 0)
+            share = diag.extra.get("retained_share", 0.0)
+            entries.append(
+                Patch(
+                    strategy=self.name,
+                    kind="assign-null-heap-field",
+                    params={
+                        "class_name": cls_name,
+                        "method_name": method_name,
+                        "var_name": var,
+                        "field_name": field,
+                        "lines": tuple(ins.get("lines", ())),
+                    },
+                    span=diag.span,
+                    site=diag.span.label,
+                    pattern=LifetimePattern.HIGH_VARIANCE,
+                    drag=diag.drag or 0,
+                    rationale=(
+                        f"snapshot dominator tree: {owner}.{field} retains "
+                        f"{retained} bytes ({100.0 * share:.1f}% of the "
+                        f"reachable heap) past {var}'s last use; cutting the "
+                        "dominating reference releases the subtree (DRAG008, "
+                        "differentially verified)"
+                    ),
+                    diagnostics=_refs([diag]),
+                    replacement=f"{var}.{field} = null;",
+                )
+            )
+            planned += 1
+        return entries
+
+
 def _group_frames(group) -> Tuple[str, ...]:
     key = group.key
     if isinstance(key, tuple):

@@ -8,7 +8,7 @@ from repro.benchmarks.paper import TABLE1, TABLE2, TABLE3, TABLE4, TABLE5
 from repro.benchmarks.runner import benchmark_metrics, compile_benchmark
 from repro.runtime.interpreter import Interpreter
 
-NAMES = ["javac", "db", "jack", "raytrace", "jess", "mc", "euler", "juru", "analyzer", "cache"]
+NAMES = ["javac", "db", "jack", "raytrace", "jess", "mc", "euler", "juru", "analyzer", "cache", "strings"]
 
 
 def test_all_nine_benchmarks_registered():

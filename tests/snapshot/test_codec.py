@@ -1,0 +1,134 @@
+"""Snapshot codec: round-trip bit-identity and truncation tolerance."""
+
+import io
+
+import pytest
+
+from repro.snapshot import (
+    HeapSnapshot,
+    SnapshotError,
+    SnapshotNode,
+    SnapshotWriter,
+    read_snapshots,
+    write_snapshots,
+)
+from repro.snapshot.codec import FLAG_EXCLUDED, FLAG_SYNTHETIC, MAGIC
+
+
+def _sample_snapshots():
+    """Two snapshots exercising every field: shared strings, absent
+    site labels, flags, array edges, multi-edges."""
+    first = HeapSnapshot(4096, "interval")
+    first.nodes.append(SnapshotNode("<root>", None, 0, FLAG_SYNTHETIC))
+    first.nodes.append(SnapshotNode("Database", "Db.main:38", 16))
+    first.nodes.append(SnapshotNode("Vector", "Database.<init>:12", 16))
+    first.nodes.append(SnapshotNode("Object[]", "Vector.ensureCapacity:213", 88))
+    first.nodes.append(SnapshotNode("String", None, 24, FLAG_EXCLUDED))
+    first.root.edges.append((1, "local Db.main"))
+    first.root.edges.append((4, "interned"))
+    first.nodes[1].edges.append((2, "records"))
+    first.nodes[2].edges.append((3, "data"))
+    first.nodes[3].edges.append((4, "[]"))
+
+    second = HeapSnapshot(8192, "end")
+    second.nodes.append(SnapshotNode("<root>", None, 0, FLAG_SYNTHETIC))
+    second.nodes.append(SnapshotNode("Database", "Db.main:38", 16))
+    second.root.edges.append((1, "local Db.main"))
+    return [first, second]
+
+
+def _serialize(snapshots, metadata=None):
+    buf = io.BytesIO()
+    with SnapshotWriter(buf, metadata=metadata) as writer:
+        for snapshot in snapshots:
+            writer.write(snapshot)
+    return buf.getvalue()
+
+
+def test_round_trip_structure(tmp_path):
+    path = tmp_path / "heap.rhs"
+    write_snapshots(path, _sample_snapshots(), metadata={"program": "db.mj"})
+    loaded = read_snapshots(path, strict=True)
+    assert loaded.complete and not loaded.truncated
+    assert loaded.metadata == {"program": "db.mj"}
+    originals = _sample_snapshots()
+    assert len(loaded.snapshots) == len(originals)
+    for got, want in zip(loaded.snapshots, originals):
+        assert got.clock == want.clock
+        assert got.reason == want.reason
+        assert got.node_count == want.node_count
+        assert got.edge_count == want.edge_count
+        assert got.total_bytes == want.total_bytes
+        for g, w in zip(got.nodes, want.nodes):
+            assert g.type_name == w.type_name
+            assert g.site_label == w.site_label
+            assert g.size == w.size
+            assert g.flags == w.flags
+            assert g.edges == w.edges
+    assert loaded.snapshots[0].root.synthetic
+    assert loaded.snapshots[0].nodes[4].excluded
+
+
+def test_round_trip_bit_identity(tmp_path):
+    """parse(serialize(x)) re-serializes to the identical bytes: the
+    lazily-built string table reproduces ids in order of appearance."""
+    original = _serialize(_sample_snapshots(), metadata={"run": 1})
+    path = tmp_path / "heap.rhs"
+    path.write_bytes(original)
+    loaded = read_snapshots(path, strict=True)
+    again = _serialize(loaded.snapshots, metadata=loaded.metadata)
+    assert again == original
+
+
+def test_truncated_tail_keeps_complete_snapshots(tmp_path):
+    full = _serialize(_sample_snapshots())
+    path = tmp_path / "torn.rhs"
+    # Chop into the middle of the second snapshot's frames: well past
+    # the first ENDSNAP, well before END.
+    path.write_bytes(full[: len(full) - 6])
+    loaded = read_snapshots(path)
+    assert loaded.truncated and not loaded.complete
+    assert len(loaded.snapshots) == 1
+    assert loaded.snapshots[0].clock == 4096
+    with pytest.raises(SnapshotError):
+        read_snapshots(path, strict=True)
+
+
+def test_missing_end_frame_is_truncated(tmp_path):
+    """Truncation at an exact frame boundary (no torn frame) must still
+    be flagged: the END frame never arrived."""
+    buf = io.BytesIO()
+    writer = SnapshotWriter(buf)
+    for snapshot in _sample_snapshots():
+        writer.write(snapshot)
+    # No writer.close(): both snapshots are complete but END is absent.
+    path = tmp_path / "crashed.rhs"
+    path.write_bytes(buf.getvalue())
+    loaded = read_snapshots(path)
+    assert len(loaded.snapshots) == 2
+    assert loaded.truncated and not loaded.complete
+    with pytest.raises(SnapshotError):
+        read_snapshots(path, strict=True)
+
+
+def test_every_truncation_point_is_tolerated(tmp_path):
+    """Non-strict reads never raise, whatever byte the file dies at,
+    and never hallucinate a snapshot whose ENDSNAP was cut off."""
+    full = _serialize(_sample_snapshots())
+    header_end = full.index(b'}') + 1  # end of the JSON header
+    path = tmp_path / "cut.rhs"
+    for cut in range(header_end, len(full)):
+        path.write_bytes(full[:cut])
+        loaded = read_snapshots(path)
+        assert len(loaded.snapshots) <= 2
+        assert loaded.truncated
+        for snapshot in loaded.snapshots:
+            assert snapshot.reason in ("interval", "end")
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "junk.rhs"
+    path.write_bytes(b"NOPE" + b"\x00" * 16)
+    with pytest.raises(SnapshotError):
+        read_snapshots(path)
+    assert MAGIC == b"RHS1"

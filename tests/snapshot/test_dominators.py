@@ -1,0 +1,138 @@
+"""Dominators and retained sizes vs. the definition itself.
+
+The oracle is MAT's: the retained size of ``v`` is the number of bytes
+that become unreachable when ``v`` is deleted from the graph — no
+dominator machinery, just two reachability sweeps. The fast path
+(Cooper–Harvey–Kennedy idoms + one reverse-RPO sweep) must agree on
+every node of every randomized graph.
+"""
+
+import random
+
+from repro.snapshot.dominators import (
+    DominatorTree,
+    immediate_dominators,
+    retained_sizes,
+    reverse_postorder,
+)
+
+
+def _reachable_bytes(succ, sizes, root=0, removed=None):
+    """Total size over nodes reachable from ``root``, optionally with
+    one node deleted (its edges die with it)."""
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node in seen or node == removed:
+            continue
+        seen.add(node)
+        stack.extend(succ[node])
+    return sum(sizes[v] for v in seen)
+
+
+def _oracle_retained(succ, sizes, node, root=0):
+    return _reachable_bytes(succ, sizes, root) - _reachable_bytes(
+        succ, sizes, root, removed=node
+    )
+
+
+def _random_graph(rng, n):
+    """A connected-ish digraph: a random tree spine (every node
+    reachable) plus extra cross/back/forward edges creating shared and
+    cyclic structure."""
+    succ = [[] for _ in range(n)]
+    for v in range(1, n):
+        succ[rng.randrange(v)].append(v)
+    for _ in range(n):
+        src, dst = rng.randrange(n), rng.randrange(n)
+        if src != dst:
+            succ[src].append(dst)
+    sizes = [0] + [rng.choice([8, 16, 24, 64, 128]) for _ in range(n - 1)]
+    return succ, sizes
+
+
+def test_diamond_shared_node_dominated_by_fork():
+    # 0 -> 1 -> 3, 0 -> 2 -> 3: node 3 is doubly reachable, so neither
+    # branch retains it — only the fork (the root) does.
+    succ = [[1, 2], [3], [3], []]
+    sizes = [0, 10, 20, 40]
+    tree = DominatorTree(succ, sizes)
+    assert tree.idom[3] == 0
+    assert tree.retained[1] == 10
+    assert tree.retained[2] == 20
+    assert tree.retained[0] == 70
+
+
+def test_chain_retains_suffix():
+    succ = [[1], [2], [3], []]
+    sizes = [0, 8, 16, 32]
+    tree = DominatorTree(succ, sizes)
+    assert tree.retained == [56, 56, 48, 32]
+    assert tree.dominator_chain(3) == [3, 2, 1, 0]
+    assert tree.subtree(1) == [1, 2, 3]
+
+
+def test_cycle_is_handled():
+    # 0 -> 1 <-> 2; the cycle hangs off 1, so 1 retains both.
+    succ = [[1], [2], [1]]
+    sizes = [0, 8, 16]
+    tree = DominatorTree(succ, sizes)
+    assert tree.idom[1] == 0 and tree.idom[2] == 1
+    assert tree.retained[1] == 24
+
+
+def test_unreachable_nodes_get_no_idom():
+    succ = [[1], [], [1]]  # node 2 is unreachable from 0
+    sizes = [0, 8, 16]
+    tree = DominatorTree(succ, sizes)
+    assert tree.idom[2] is None
+    assert not tree.reachable(2)
+    assert tree.retained[0] == 8
+
+
+def test_reverse_postorder_parents_precede_children():
+    rng = random.Random(7)
+    succ, _sizes = _random_graph(rng, 60)
+    order = reverse_postorder(succ)
+    position = {node: i for i, node in enumerate(order)}
+    idom = immediate_dominators(succ)
+    for node in order:
+        if node == 0:
+            continue
+        assert position[idom[node]] < position[node]
+
+
+def test_deep_chain_no_recursion_limit():
+    n = 50_000
+    succ = [[v + 1] for v in range(n - 1)] + [[]]
+    sizes = [1] * n
+    tree = DominatorTree(succ, sizes)
+    assert tree.retained[0] == n
+    assert tree.retained[n - 1] == 1
+
+
+def test_retained_matches_remove_and_recount_oracle():
+    """The acceptance property: on randomized heaps, dominator-subtree
+    retained sizes equal the naive delete-``v``-and-recount answer for
+    every reachable node."""
+    rng = random.Random(20010617)  # PLDI 2001
+    for trial in range(25):
+        n = rng.randrange(5, 40)
+        succ, sizes = _random_graph(rng, n)
+        tree = DominatorTree(succ, sizes)
+        for node in range(1, n):
+            if not tree.reachable(node):
+                continue
+            assert tree.retained[node] == _oracle_retained(succ, sizes, node), (
+                f"trial {trial}: node {node} of graph {succ} sizes {sizes}"
+            )
+
+
+def test_retained_sizes_standalone_api():
+    succ = [[1, 2], [3], [3], []]
+    sizes = [0, 10, 20, 40]
+    order = reverse_postorder(succ)
+    idom = immediate_dominators(succ)
+    retained = retained_sizes(sizes, idom, order)
+    assert retained[0] == 70

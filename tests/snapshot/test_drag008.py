@@ -1,0 +1,81 @@
+"""DRAG008 high-retained-container: fires only with snapshot evidence,
+names the dominating reference, and hands the applier a usable
+insertion payload."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.core.analyzer import DragAnalysis
+from repro.core.profiler import profile_program
+from repro.lint import lint_program
+from repro.lint.render import render, to_json, to_sarif
+from repro.runtime.library import link
+from repro.mjava.compiler import compile_program
+from repro.snapshot import SnapshotRecorder, analyze_snapshot
+
+
+@pytest.fixture(scope="module")
+def strings_evidence():
+    bench = get_benchmark("strings")
+    program = link(bench.original)
+    compiled = compile_program(program, main_class=bench.main_class)
+    recorder = SnapshotRecorder()
+    profile = profile_program(
+        compiled,
+        bench.primary_args,
+        interval_bytes=bench.interval_bytes,
+        max_heap=bench.max_heap,
+        snapshotter=recorder,
+    )
+    peak = max(recorder.snapshots, key=lambda s: s.total_bytes)
+    return program, bench, analyze_snapshot(peak), DragAnalysis(profile.records)
+
+
+def test_silent_without_snapshot(strings_evidence):
+    program, bench, _snapshot, _drag = strings_evidence
+    result = lint_program(program, bench.main_class)
+    assert not result.by_rule("DRAG008")
+
+
+def test_fires_with_snapshot_on_strings(strings_evidence):
+    program, bench, snapshot, drag = strings_evidence
+    result = lint_program(program, bench.main_class, snapshot=snapshot, drag=drag)
+    findings = result.by_rule("DRAG008")
+    assert findings
+    fields = {d.extra["insertion"]["field_name"] for d in findings}
+    assert "sessions" in fields
+    top = result.by_rule("DRAG008")[0]
+    assert top.span.class_name == "Strings"
+    assert top.span.member == "main"
+    insertion = top.extra["insertion"]
+    assert insertion["owner_class"] == "SessionRegistry"
+    assert insertion["var_name"] == "registry"
+    assert insertion["lines"], "needs an insertion line for the applier"
+    assert top.extra["retained_bytes"] > 0
+    assert 0 < top.extra["retained_share"] <= 1
+    assert top.extra["chain"].startswith("<root>")
+    assert top.extra["pinned_sites"], "drag evidence should name pinned sites"
+    assert "= null" in top.suggestion
+
+
+def test_insertion_line_is_last_mention(strings_evidence):
+    """The cut goes after the holder's last use — the seal/report line,
+    not the declaration."""
+    program, bench, snapshot, drag = strings_evidence
+    result = lint_program(program, bench.main_class, snapshot=snapshot, drag=drag)
+    line = result.by_rule("DRAG008")[0].extra["insertion"]["lines"][0]
+    source_lines = bench.original.splitlines()
+    assert "registry.size()" in source_lines[line - 1]
+
+
+def test_top_cap_applies_across_formats(strings_evidence):
+    program, bench, snapshot, drag = strings_evidence
+    result = lint_program(program, bench.main_class, snapshot=snapshot, drag=drag)
+    total = len(result.sorted())
+    assert total >= 2
+    assert len(to_json(result, top=1)["diagnostics"]) == 1
+    assert len(to_sarif(result, top=1)["runs"][0]["results"]) == 1
+    text = render(result, "text", top=1)
+    assert f"(showing top 1)" in text
+    # top=None shows everything.
+    assert len(to_json(result)["diagnostics"]) == total
