@@ -1,5 +1,10 @@
-"""Figure 2 as ASCII charts: reachable vs in-use heap curves, original
+"""Figure 2 as text charts: reachable vs in-use heap curves, original
 vs revised, for any benchmark.
+
+Rendering is shared with ``repro timeline``: both go through
+``repro.obs.timeline`` (``TimelineBuilder`` for the series,
+``render_timeline_text`` for the sparkline rows and axis caption), so
+this example no longer carries its own copy of the chart code.
 
 Run:  python examples/heap_profile_charts.py [benchmark ...]
       (default: juru euler analyzer)
@@ -8,30 +13,17 @@ Run:  python examples/heap_profile_charts.py [benchmark ...]
 import sys
 
 from repro.benchmarks import get_benchmark, run_pair
-from repro.benchmarks.runner import figure2_series
-from repro.core.report import heap_profile_chart
+from repro.benchmarks.runner import heap_timeline
+from repro.obs.timeline import render_timeline_text
 
 
 def chart(name: str) -> None:
     bench = get_benchmark(name)
     run = run_pair(bench, "primary")
-    curves = figure2_series(run)
-    print(f"\n=== {name}: original run ===")
-    print(
-        heap_profile_chart(
-            {"#": curves["original_reachable"], ".": curves["original_in_use"]},
-            end_time=run.original.end_time,
-        )
-    )
-    print("legend: # reachable   . in-use")
-    print(f"\n=== {name}: revised run ===")
-    print(
-        heap_profile_chart(
-            {"#": curves["revised_reachable"], ".": curves["revised_in_use"]},
-            end_time=run.revised.end_time,
-        )
-    )
-    print("legend: # reachable   . in-use")
+    for label, result in (("original", run.original), ("revised", run.revised)):
+        print(f"\n=== {name}: {label} run ===")
+        payload = heap_timeline(result).payload(top=3)
+        print(render_timeline_text(payload, histogram=False))
     s = run.savings
     print(f"drag saving {s.drag_saving_pct:.1f}%   space saving {s.space_saving_pct:.1f}%")
 

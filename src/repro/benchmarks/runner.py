@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from repro.core.integrals import HeapCurve, SavingsRow, curve_from_records, savings
+from repro.core.integrals import HeapCurve, SavingsRow, savings
 from repro.core.profiler import ProfileResult, profile_program
 from repro.mjava.compiler import compile_program
 from repro.mjava.metrics import count_classes, count_statements
@@ -77,14 +77,32 @@ def run_pair(
 # ---------------------------------------------------------------------------
 
 
+def heap_timeline(result: ProfileResult, bin_bytes: Optional[int] = None):
+    """Fold one profile result into a
+    :class:`~repro.obs.timeline.TimelineBuilder` (records, deep-GC
+    samples, and end time)."""
+    from repro.obs.timeline import DEFAULT_BIN_BYTES, TimelineBuilder
+
+    builder = TimelineBuilder(bin_bytes=bin_bytes or DEFAULT_BIN_BYTES)
+    builder.consume(result.records)
+    for sample in result.samples:
+        builder.add_sample(sample)
+    builder.note_end(result.end_time)
+    return builder
+
+
 def figure2_series(run: BenchmarkRun) -> Dict[str, HeapCurve]:
     """The four curves of one Figure-2 panel: original and revised,
-    reachable and in-use heap size over allocation time."""
+    reachable and in-use heap size over allocation time.  Served off
+    the streaming timeline builder, whose event maps reproduce the old
+    batch ``curve_from_records`` curves exactly."""
+    original = heap_timeline(run.original)
+    revised = heap_timeline(run.revised)
     return {
-        "original_reachable": curve_from_records(run.original.records, "reachable"),
-        "original_in_use": curve_from_records(run.original.records, "in_use"),
-        "revised_reachable": curve_from_records(run.revised.records, "reachable"),
-        "revised_in_use": curve_from_records(run.revised.records, "in_use"),
+        "original_reachable": original.curve("reachable"),
+        "original_in_use": original.curve("in_use"),
+        "revised_reachable": revised.curve("reachable"),
+        "revised_in_use": revised.curve("in_use"),
     }
 
 

@@ -171,7 +171,14 @@ def cmd_profile(args) -> int:
             host, port,
             metadata=dict(metadata, program=args.file),
         )
-    sinks = [s for s in (log_sink, serve_sink) if s is not None]
+    timeline_sink = None
+    if args.timeline or args.html:
+        from repro.obs.timeline import DEFAULT_BIN_BYTES, TimelineSink
+
+        timeline_sink = TimelineSink(
+            bin_bytes=args.timeline_bin_bytes or DEFAULT_BIN_BYTES
+        )
+    sinks = [s for s in (log_sink, serve_sink, timeline_sink) if s is not None]
     sink = None
     if len(sinks) == 1:
         sink = sinks[0]
@@ -187,6 +194,12 @@ def cmd_profile(args) -> int:
             out=args.snapshot, metadata=dict(metadata, program=args.file),
             telemetry=telemetry,
         )
+    # Records must stay buffered when a non-streaming --log or the
+    # final drag report will read them; a timeline sink alone is
+    # incremental and needs nothing retained.
+    needs_records = bool(
+        (args.log and not streaming) or (not args.log and serve_sink is None)
+    )
     result = profile_program(
         program,
         args.args,
@@ -194,9 +207,7 @@ def cmd_profile(args) -> int:
         nesting_depth=args.nesting,
         last_use_depth=args.last_use_depth,
         sink=sink,
-        # --serve plus a buffered --log still needs the records in
-        # memory for write_log below.
-        buffered=True if (serve_sink and args.log and not streaming) else None,
+        buffered=True if (sink is not None and needs_records) else None,
         engine=args.engine,
         telemetry=telemetry,
         sample_bytes=args.sample_bytes,
@@ -274,6 +285,24 @@ def cmd_profile(args) -> int:
                 program=result.program,
             )
         )
+    if timeline_sink is not None:
+        from repro.obs.timeline import render_timeline_text
+
+        payload = timeline_sink.builder.payload(top=args.top)
+        print(render_timeline_text(payload))
+        if args.html:
+            from repro.obs.htmlreport import write_html
+
+            markers = _snapshot_markers(args.snapshot) if args.snapshot else None
+            write_html(
+                args.html, payload,
+                title=f"repro heap timeline: {args.file}",
+                snapshots=markers,
+            )
+            print(
+                f"[timeline] wrote HTML dashboard to {args.html}",
+                file=sys.stderr,
+            )
     _flush_telemetry(args, telemetry)
     return 0
 
@@ -357,6 +386,7 @@ def cmd_serve(args) -> int:
         sample_bytes=args.sample_bytes,
         seed=args.seed,
         snapshot_file=args.snapshot_file,
+        timeline_bin_bytes=args.timeline_bin_bytes,
     )
     return DragServer(config).run()
 
@@ -604,6 +634,88 @@ def cmd_chart(args) -> int:
     return 0
 
 
+def _snapshot_markers(path: str) -> list:
+    """Join deep-GC snapshot markers with PR 9 retained sizes: one dict
+    per snapshot, keyed by byte-clock, carrying the single biggest
+    dominator-tree retained size at that instant."""
+    from repro.snapshot import SnapshotAnalysis, read_snapshots
+
+    markers = []
+    for snap in read_snapshots(path, strict=False).snapshots:
+        analysis = SnapshotAnalysis(snap)
+        top = analysis.top_retained(1)
+        markers.append({
+            "time": snap.clock,
+            "retained_bytes": analysis.retained[top[0]] if top else 0,
+        })
+    return markers
+
+
+def cmd_timeline(args) -> int:
+    import json
+
+    from repro.obs.timeline import (
+        DEFAULT_BIN_BYTES,
+        TimelineBuilder,
+        render_timeline_text,
+    )
+
+    if args.serve and args.log:
+        print("error: pass a log file or --serve, not both", file=sys.stderr)
+        return 2
+    if args.serve:
+        from urllib.error import HTTPError
+
+        from repro.serve import fetch_json, parse_hostport
+
+        addr = parse_hostport(args.serve)
+        try:
+            payload = fetch_json(addr, f"/timeline?top={args.top}")
+        except HTTPError as exc:
+            print(f"error: /timeline returned {exc.code} "
+                  "(serve started with --timeline-bin-bytes 0?)",
+                  file=sys.stderr)
+            return 2
+    elif args.log:
+        from repro.core.logfile import read_log
+
+        loaded = read_log(args.log, strict=not args.lenient)
+        builder = TimelineBuilder(
+            bin_bytes=args.bin_bytes or DEFAULT_BIN_BYTES
+        ).consume(loaded.records)
+        for sample in loaded.samples:
+            builder.add_sample(sample)
+        builder.note_end(loaded.end_time)
+        payload = builder.payload(top=args.top or None)
+    else:
+        print("error: timeline needs a log file (or --serve HOST:HTTP_PORT)",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        body = json.dumps(payload, indent=2, sort_keys=True)
+        if args.json == "-":
+            print(body)
+        else:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(body + "\n")
+            print(f"[timeline] wrote JSON payload to {args.json}",
+                  file=sys.stderr)
+    if args.html:
+        from repro.obs.htmlreport import write_html
+
+        markers = _snapshot_markers(args.snapshot) if args.snapshot else None
+        write_html(
+            args.html, payload,
+            title=f"repro heap timeline: {args.serve or args.log}",
+            snapshots=markers,
+        )
+        print(f"[timeline] wrote HTML dashboard to {args.html}",
+              file=sys.stderr)
+    if args.json != "-":
+        print(render_timeline_text(payload, width=args.width))
+    return 0
+
+
 def cmd_trace(args) -> int:
     from repro.obs import read_chrome_trace, render_span_tree
 
@@ -692,6 +804,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also capture a heap snapshot at every deep-GC "
                          "safepoint into this file (analyze with "
                          "'repro snapshot report')")
+    profile.add_argument("--timeline", action="store_true",
+                         help="maintain a streaming heap timeline during the "
+                         "run and print it (sparklines) after the report")
+    profile.add_argument("--html", metavar="FILE",
+                         help="write the timeline as a self-contained HTML "
+                         "dashboard (implies --timeline)")
+    profile.add_argument("--timeline-bin-bytes", type=int, default=None,
+                         metavar="N",
+                         help="timeline bin width on the byte-allocation "
+                         "clock (default 64K)")
     _add_obs_flags(profile)
     profile.set_defaults(fn=cmd_profile)
 
@@ -820,6 +942,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="a heap snapshot file (from profile --snapshot); "
                        "GET /snapshot serves its retained-size summary, "
                        "re-parsed whenever the file grows")
+    serve.add_argument("--timeline-bin-bytes", type=int, default=None,
+                       metavar="N",
+                       help="byte-clock bin width for the shard timelines "
+                       "behind GET /timeline (default 64K; 0 disables)")
     serve.set_defaults(fn=cmd_serve)
 
     replay = sub.add_parser(
@@ -885,6 +1011,35 @@ def build_parser() -> argparse.ArgumentParser:
     chart.add_argument("--width", type=int, default=72)
     chart.add_argument("--height", type=int, default=16)
     chart.set_defaults(fn=cmd_chart)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="binned heap timeline: sparklines, JSON, HTML dashboard")
+    timeline.add_argument("log", nargs="?",
+                          help="an object log file (omit with --serve)")
+    timeline.add_argument("--serve", metavar="HOST:HTTP_PORT",
+                          help="fetch the live merged /timeline from a serve "
+                          "daemon instead of reading a log")
+    timeline.add_argument("--bin-bytes", type=int, default=None, metavar="N",
+                          help="bin width on the byte-allocation clock "
+                          "(default 64K; log mode only — the daemon binned "
+                          "at ingest)")
+    timeline.add_argument("--top", type=int, default=5,
+                          help="per-site drag strips to show (0 = all)")
+    timeline.add_argument("--width", type=int, default=60,
+                          help="sparkline width in columns")
+    timeline.add_argument("--json", metavar="FILE",
+                          help="write the timeline payload as JSON "
+                          "('-' for stdout, suppressing the text render)")
+    timeline.add_argument("--html", metavar="FILE",
+                          help="write a self-contained HTML dashboard")
+    timeline.add_argument("--snapshot", metavar="FILE",
+                          help="a heap snapshot file (from profile "
+                          "--snapshot); HTML markers are joined with "
+                          "dominator-tree retained sizes")
+    timeline.add_argument("--lenient", action="store_true",
+                          help="tolerate a truncated log (crashed run)")
+    timeline.set_defaults(fn=cmd_timeline)
 
     trace = sub.add_parser("trace", help="render a --trace file as a span tree")
     trace.add_argument("trace_file", help="a Chrome trace JSON file from --trace")

@@ -132,7 +132,9 @@ def heap_profile_chart(
             v = curve.value_at(t)
             row = height - 1 - min(height - 1, v * (height - 1) // v_max)
             grid[row][col] = key
+    from repro.obs.timeline import format_axis
+
     lines = ["".join(row) for row in grid]
     lines.append("-" * width)
-    lines.append(f"0 .. {t_max / MB:.1f} MB allocated   (y max {v_max / MB:.2f} MB)")
+    lines.append(format_axis(t_max, v_max))
     return "\n".join(lines)

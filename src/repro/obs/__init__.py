@@ -50,6 +50,7 @@ from repro.obs.trace import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_BIN_BYTES",
     "DispatchStats",
     "Gauge",
     "Histogram",
@@ -57,11 +58,39 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Telemetry",
+    "TimelineBuilder",
+    "TimelineSink",
     "TraceError",
     "Tracer",
     "read_chrome_trace",
+    "render_html",
     "render_span_tree",
+    "render_timeline_text",
+    "sparkline",
+    "write_html",
 ]
+
+# Timeline names resolve lazily (PEP 562): repro.obs.timeline imports the
+# stream package for the sink protocol, and loading that on every
+# `import repro.obs` would be both wasteful and a latent cycle hazard.
+_TIMELINE_EXPORTS = {
+    "DEFAULT_BIN_BYTES": "repro.obs.timeline",
+    "TimelineBuilder": "repro.obs.timeline",
+    "TimelineSink": "repro.obs.timeline",
+    "render_timeline_text": "repro.obs.timeline",
+    "sparkline": "repro.obs.timeline",
+    "render_html": "repro.obs.htmlreport",
+    "write_html": "repro.obs.htmlreport",
+}
+
+
+def __getattr__(name: str):
+    module_name = _TIMELINE_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
 
 # Histogram buckets for GC pauses and lint passes: sub-millisecond to
 # tens of seconds, in seconds.

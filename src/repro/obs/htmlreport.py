@@ -1,0 +1,242 @@
+"""Self-contained HTML timeline dashboard (zero dependencies).
+
+Renders a :meth:`TimelineBuilder.payload` dict as a single HTML file
+with inline SVG — no JavaScript frameworks, no external assets, so the
+report opens anywhere and can be archived next to the log it came
+from.  Panels:
+
+* a Figure-2-style stacked area chart (in-use bytes at the bottom,
+  the drag band stacked on top — their sum is the reachable curve),
+  with vertical snapshot markers at the deep-GC safepoints, optionally
+  joined with PR 9 retained sizes;
+* one drag-timeline strip per top site;
+* the global lifetime histogram (log2 byte-clock buckets).
+
+Element ids are stable (``series-reachable``, ``series-in_use``,
+``series-drag``, ``site-strip-<i>``, ``lifetime-hist``,
+``snapshot-markers``) so tests and scrapers can address the panels.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import List, Optional
+
+from repro.obs.timeline import MB, format_bytes, payload_series
+
+__all__ = ["render_html", "write_html"]
+
+_CHART_W = 720
+_CHART_H = 240
+_STRIP_H = 48
+_HIST_H = 160
+_PAD = 8
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif;
+       margin: 2em auto; max-width: 820px; color: #1a1a2e; }
+h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.6em; }
+table.stats { border-collapse: collapse; font-size: 0.85em; }
+table.stats td { padding: 2px 14px 2px 0; }
+.muted { color: #666; font-size: 0.8em; }
+svg { background: #fafafa; border: 1px solid #ddd; }
+.site-label { font-size: 0.8em; margin: 0.6em 0 0.1em; font-family: monospace; }
+"""
+
+
+def _scale(series: List, vmax: float, width: int, height: int) -> List[str]:
+    """Map a series to ``x,y`` SVG points across the plot area."""
+    n = len(series)
+    plot_w = width - 2 * _PAD
+    plot_h = height - 2 * _PAD
+    step = plot_w / max(1, n - 1)
+    points = []
+    for i, v in enumerate(series):
+        x = _PAD + i * step
+        y = _PAD + plot_h - (plot_h * v / vmax if vmax > 0 else 0)
+        points.append(f"{x:.1f},{y:.1f}")
+    return points
+
+
+def _area(series: List, vmax: float, width: int, height: int) -> str:
+    """Closed polygon points for an area from the x-axis up to ``series``."""
+    points = _scale(series, vmax, width, height)
+    baseline = height - _PAD
+    return " ".join(points + [f"{width - _PAD}.0,{baseline}.0", f"{_PAD}.0,{baseline}.0"])
+
+
+def _band(lower: List, upper: List, vmax: float, width: int, height: int) -> str:
+    """Closed polygon for the band between two stacked series."""
+    top = _scale(upper, vmax, width, height)
+    bottom = _scale(lower, vmax, width, height)
+    return " ".join(top + list(reversed(bottom)))
+
+
+def _marker_lines(payload: dict, vmax: float, snapshots) -> str:
+    """Vertical snapshot-marker lines (deep-GC safepoints), each with a
+    tooltip; joined with retained sizes when snapshot data is given."""
+    samples = payload.get("samples") or []
+    span = payload["end_time"] if payload["end_time"] is not None else payload["last_time"]
+    if not samples or not span:
+        return '<g id="snapshot-markers"></g>'
+    retained = {}
+    for snap in snapshots or []:
+        time = snap.get("time")
+        if time is not None:
+            retained[time] = snap.get("retained_bytes")
+    plot_w = _CHART_W - 2 * _PAD
+    parts = ['<g id="snapshot-markers" stroke="#8888aa" stroke-dasharray="2,3">']
+    for time, reachable, count in samples:
+        x = _PAD + plot_w * min(time, span) / span
+        tip = f"deep GC @ {format_bytes(time)}: {format_bytes(reachable)} reachable, {count} objects"
+        joined = retained.get(time)
+        if joined is not None:
+            tip += f", {format_bytes(joined)} retained"
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{_PAD}" x2="{x:.1f}" y2="{_CHART_H - _PAD}">'
+            f"<title>{_html.escape(tip)}</title></line>"
+        )
+    parts.append("</g>")
+    return "".join(parts)
+
+
+def _figure2_svg(payload: dict, snapshots) -> str:
+    bin_bytes = payload["bin_bytes"]
+    reachable = [v / bin_bytes for v in payload_series(payload, "reachable")]
+    in_use = [v / bin_bytes for v in payload_series(payload, "in_use")]
+    vmax = max(reachable) if reachable else 0.0
+    parts = [
+        f'<svg id="figure2" width="{_CHART_W}" height="{_CHART_H}" '
+        f'viewBox="0 0 {_CHART_W} {_CHART_H}">'
+    ]
+    if reachable:
+        parts.append(
+            f'<polygon id="series-in_use" fill="#4c72b0" fill-opacity="0.55" '
+            f'points="{_area(in_use, vmax, _CHART_W, _CHART_H)}"/>'
+        )
+        parts.append(
+            f'<polygon id="series-drag" fill="#c44e52" fill-opacity="0.55" '
+            f'points="{_band(in_use, reachable, vmax, _CHART_W, _CHART_H)}"/>'
+        )
+        parts.append(
+            f'<polyline id="series-reachable" fill="none" stroke="#1a1a2e" '
+            f'stroke-width="1.2" points="{" ".join(_scale(reachable, vmax, _CHART_W, _CHART_H))}"/>'
+        )
+    else:
+        # Keep the series ids addressable even for an empty profile.
+        parts.append('<polygon id="series-in_use" points=""/>')
+        parts.append('<polygon id="series-drag" points=""/>')
+        parts.append('<polyline id="series-reachable" points=""/>')
+    parts.append(_marker_lines(payload, vmax, snapshots))
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _site_strip_svg(payload: dict, site: dict, index: int) -> str:
+    bin_bytes = payload["bin_bytes"]
+    key = "est_values" if payload.get("sampled") else "values"
+    series = [v / bin_bytes for v in site[key]]
+    vmax = max(series) if series else 0.0
+    points = _area(series, vmax, _CHART_W, _STRIP_H) if series else ""
+    return (
+        f'<svg id="site-strip-{index}" width="{_CHART_W}" height="{_STRIP_H}" '
+        f'viewBox="0 0 {_CHART_W} {_STRIP_H}">'
+        f'<polygon fill="#c44e52" fill-opacity="0.6" points="{points}"/>'
+        "</svg>"
+    )
+
+
+def _histogram_svg(hist: dict) -> str:
+    buckets = hist.get("buckets") or []
+    counts = hist.get("est_counts") or []
+    parts = [
+        f'<svg id="lifetime-hist" width="{_CHART_W}" height="{_HIST_H}" '
+        f'viewBox="0 0 {_CHART_W} {_HIST_H}">'
+    ]
+    if buckets:
+        top = max(counts)
+        plot_w = _CHART_W - 2 * _PAD
+        plot_h = _HIST_H - 2 * _PAD - 14  # leave room for bucket labels
+        slot = plot_w / len(buckets)
+        bar_w = max(2.0, slot * 0.7)
+        for i, (bucket, count) in enumerate(zip(buckets, counts)):
+            h = plot_h * count / top if top > 0 else 0
+            x = _PAD + i * slot + (slot - bar_w) / 2
+            y = _PAD + plot_h - h
+            label = "0" if bucket == 0 else format_bytes(1 << bucket)
+            shown = int(count) if count == int(count) else round(count, 1)
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" height="{h:.1f}" '
+                f'fill="#55a868"><title>&lt; {_html.escape(label)}: {shown} objects</title></rect>'
+            )
+            parts.append(
+                f'<text x="{x + bar_w / 2:.1f}" y="{_HIST_H - _PAD:.1f}" '
+                f'text-anchor="middle" font-size="8">{_html.escape(label)}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _stats_table(payload: dict) -> str:
+    rate = payload.get("effective_sample_rate", 1.0)
+    rows = [
+        ("objects", f"{payload['objects']}"),
+        ("allocated", format_bytes(payload["total_bytes"])),
+        ("drag", f"{payload['est_total_drag'] / (MB * MB):.4f} MB&#178;"),
+        ("bins", f"{payload['bins']} x {format_bytes(payload['bin_bytes'])}"),
+        ("sites", f"{payload['site_count']}"),
+    ]
+    if payload.get("sampled"):
+        rows.append(("effective sample rate", f"{rate:.6f}"))
+    cells = "".join(f"<tr><td>{name}</td><td>{value}</td></tr>" for name, value in rows)
+    return f'<table class="stats">{cells}</table>'
+
+
+def render_html(
+    payload: dict,
+    title: str = "repro heap timeline",
+    snapshots: Optional[list] = None,
+) -> str:
+    """Render a timeline payload as a standalone HTML document."""
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+        _stats_table(payload),
+        "<h2>Heap profile (Figure 2): in-use + drag = reachable</h2>",
+        _figure2_svg(payload, snapshots),
+        '<p class="muted">blue: in-use bytes; red band: drag; dashed verticals: '
+        "deep-GC snapshot markers (hover for retained sizes when joined). "
+        "x: bytes allocated; y: average bytes per bin.</p>",
+    ]
+    sites = payload.get("sites") or []
+    if sites:
+        parts.append("<h2>Per-site drag timelines</h2>")
+        for i, site in enumerate(sites, 1):
+            share = 100.0 * site["drag_share"]
+            parts.append(
+                f'<p class="site-label">#{site["rank"]} {_html.escape(site["site"])} '
+                f"— drag {site['est_drag'] / (MB * MB):.4f} MB&#178; ({share:.1f}%), "
+                f"{site['objects']} objects</p>"
+            )
+            parts.append(_site_strip_svg(payload, site, i))
+    parts.append("<h2>Lifetime histogram</h2>")
+    parts.append(_histogram_svg(payload.get("lifetime_hist") or {}))
+    parts.append(
+        '<p class="muted">object lifetimes over the byte-allocation clock, '
+        "log2 buckets; weight-corrected counts under sampling.</p>"
+    )
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_html(
+    path,
+    payload: dict,
+    title: str = "repro heap timeline",
+    snapshots: Optional[list] = None,
+) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_html(payload, title=title, snapshots=snapshots))

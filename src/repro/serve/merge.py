@@ -159,6 +159,9 @@ def prove_merge_equals_batch(
     shard_counts: Sequence[int] = (1, 2, 4, 8),
     seed: int = 0,
     by_site_hash: bool = True,
+    timelines: bool = False,
+    timeline_bin_bytes: Optional[int] = None,
+    end_time: Optional[int] = None,
 ) -> dict:
     """Verify merge-equals-batch on ``records``; returns the proof.
 
@@ -170,6 +173,13 @@ def prove_merge_equals_batch(
     *full* rankings payloads (site, nested, and never-used tables) are
     required to equal the batch analyzer's. Raises AssertionError on
     the first mismatch.
+
+    With ``timelines=True``, each per-shard analysis also carries a
+    :class:`~repro.obs.timeline.TimelineBuilder` (as the serve shards
+    do) and the merged untruncated ``/timeline`` payload must equal a
+    batch builder's over the same records — every bin of every series,
+    site strip, and histogram bucket. ``end_time`` pins the declared
+    stream end on both sides, mirroring the END frame.
     """
     from repro.core.analyzer import DragAnalysis
 
@@ -180,6 +190,15 @@ def prove_merge_equals_batch(
         table: rankings_payload(batch, table=table)
         for table in ("site", "nested", "never_used")
     }
+    expected_timeline = None
+    bin_bytes = None
+    if timelines:
+        from repro.obs.timeline import DEFAULT_BIN_BYTES, TimelineBuilder
+
+        bin_bytes = timeline_bin_bytes or DEFAULT_BIN_BYTES
+        batch_timeline = TimelineBuilder(bin_bytes=bin_bytes).consume(records)
+        batch_timeline.note_end(end_time)
+        expected_timeline = batch_timeline.payload(top=None, include_samples=False)
     rng = random.Random(seed)
     checked = 0
     for k in shard_counts:
@@ -191,19 +210,39 @@ def prove_merge_equals_batch(
             random_split[rng.randrange(k)].append(record)
         splits.append(random_split)
         for split in splits:
-            merged = merge_snapshots(
-                StreamingDragAnalysis().consume(shard) for shard in split
-            )
+            analyses = []
+            for shard in split:
+                analysis = StreamingDragAnalysis()
+                if timelines:
+                    from repro.obs.timeline import TimelineBuilder
+
+                    analysis.timeline = TimelineBuilder(bin_bytes=bin_bytes)
+                analysis.consume(shard)
+                if timelines:
+                    analysis.timeline.note_end(end_time)
+                analyses.append(analysis)
+            merged = merge_snapshots(analyses)
             for table, want in expected.items():
                 got = rankings_payload(merged, table=table)
                 assert got == want, (
                     f"merge != batch for K={k} shards, table={table!r}"
                 )
+            if timelines:
+                got_timeline = merged.timeline.payload(
+                    top=None, include_samples=False
+                )
+                assert got_timeline == expected_timeline, (
+                    f"timeline merge != batch for K={k} shards"
+                )
             checked += 1
-    return {
+    proof = {
         "records": len(records),
         "shard_counts": list(shard_counts),
         "splits_checked": checked,
         "sites": len(expected["site"]["sites"]),
         "total_drag": expected["site"]["total_drag"],
     }
+    if timelines:
+        proof["timeline_bins"] = expected_timeline["bins"]
+        proof["timeline_bin_bytes"] = bin_bytes
+    return proof

@@ -10,6 +10,12 @@ record), and answers HTTP on a second port:
   exactly :func:`repro.serve.merge.rankings_payload`, i.e. the same
   serialization ``repro report`` produces from a batch analysis.
 * ``GET /summary`` — stream/shard totals.
+* ``GET /timeline?top=K`` — the live heap timeline
+  (:meth:`~repro.obs.timeline.TimelineBuilder.payload`): binned
+  Figure-2 series, per-site drag strips, lifetime histograms, and the
+  deep-GC snapshot markers decoded from SAMPLE frames. Shards maintain
+  the record-derived series; the loop keeps the markers (SAMPLE frames
+  are never routed) and splices them in at serve time.
 * ``GET /healthz`` — liveness + drain state.
 * ``GET /metrics`` — Prometheus text from the PR 5
   :class:`~repro.obs.metrics.MetricsRegistry`.
@@ -41,10 +47,12 @@ from repro.serve.protocol import (
     read_hello,
 )
 from repro.serve.shard import InlineShard, make_shards, site_shard
+from repro.obs.timeline import DEFAULT_BIN_BYTES
 from repro.stream.codec import (
     FRAME_RECORD,
     FRAME_SAMPLE,
     FrameParser,
+    _read_uvarint,
     peek_record_size,
     peek_site_label,
     record_weight,
@@ -73,6 +81,7 @@ class ServeConfig:
         sample_bytes: Optional[int] = None,
         seed: int = 0,
         snapshot_file: Optional[str] = None,
+        timeline_bin_bytes: Optional[int] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -95,6 +104,12 @@ class ServeConfig:
         # summary. The file is parsed lazily and re-read when it grows,
         # so a profiler can stream snapshots into it mid-run.
         self.snapshot_file = snapshot_file
+        # Heap-timeline bin width for GET /timeline. Defaults on (the
+        # builder is O(bins + sites) and adds only dict arithmetic per
+        # record); 0 disables the timeline entirely.
+        self.timeline_bin_bytes = (
+            DEFAULT_BIN_BYTES if timeline_bin_bytes is None else timeline_bin_bytes
+        )
 
 
 class StreamInfo:
@@ -145,7 +160,14 @@ class DragServer:
     ) -> None:
         self.config = config or ServeConfig()
         self.registry = registry or MetricsRegistry()
-        self.shards = make_shards(self.config.workers, inline=self.config.inline)
+        self.shards = make_shards(
+            self.config.workers,
+            inline=self.config.inline,
+            timeline_bin_bytes=self.config.timeline_bin_bytes or None,
+        )
+        # Deep-GC snapshot markers for /timeline: SAMPLE frames are not
+        # routed to shards, so the accept loop decodes and keeps them.
+        self._timeline_samples: List[List[int]] = []
         self.streams: Dict[int, StreamInfo] = {}
         self.final_analysis = None
         self.started_at: Optional[float] = None
@@ -214,6 +236,19 @@ class DragServer:
             "repro_serve_effective_sample_rate",
             "Observed record bytes / weight-estimated bytes (1 = full rate)")
         self._m_rate.set(1.0)
+        self._m_timeline_requests = reg.counter(
+            "repro_timeline_requests_total", "GET /timeline requests served")
+        self._m_timeline_markers = reg.counter(
+            "repro_timeline_markers_total",
+            "Deep-GC snapshot markers recorded for the timeline")
+        self._m_timeline_bins = reg.gauge(
+            "repro_timeline_bins", "Bins in the last merged timeline payload")
+        self._m_timeline_sites = reg.gauge(
+            "repro_timeline_sites", "Sites in the last merged timeline")
+        self._m_timeline_bin_bytes = reg.gauge(
+            "repro_timeline_bin_bytes",
+            "Configured timeline bin width (0 = timeline disabled)")
+        self._m_timeline_bin_bytes.set(self.config.timeline_bin_bytes or 0)
         self._observed_record_bytes = 0
         self._weighted_record_bytes = 0
         # Pre-create one series per shard so /metrics shows zeros early.
@@ -292,6 +327,15 @@ class DragServer:
             elif frame_type == FRAME_SAMPLE:
                 info.samples += 1
                 self._m_samples.inc()
+                if self.config.timeline_bin_bytes:
+                    # SAMPLE payload: time, reachable bytes, object
+                    # count as uvarints — kept loop-side as timeline
+                    # snapshot markers.
+                    sample_time, pos = _read_uvarint(payload, 0)
+                    reachable, pos = _read_uvarint(payload, pos)
+                    count, _ = _read_uvarint(payload, pos)
+                    self._timeline_samples.append([sample_time, reachable, count])
+                    self._m_timeline_markers.inc()
         info.frames += len(frames)
         info.records += records
         self._m_frames.inc(len(frames))
@@ -499,6 +543,34 @@ class DragServer:
                     ],
                 }).encode("utf-8")
                 writer.write(self._http_response("200 OK", body, "application/json"))
+            elif path == "/timeline":
+                if not self.config.timeline_bin_bytes:
+                    body = json.dumps({
+                        "error": "timeline disabled (--timeline-bin-bytes 0)",
+                    }).encode("utf-8")
+                    writer.write(self._http_response(
+                        "404 Not Found", body, "application/json"))
+                else:
+                    raw_top = query.get("top", [str(self.config.top_k)])[0]
+                    top = None if raw_top in ("0", "all") else int(raw_top)
+                    analysis, _ = await self.merged()
+                    timeline = getattr(analysis, "timeline", None)
+                    if timeline is None:
+                        # No records routed yet: an empty builder keeps
+                        # the payload shape stable for early pollers.
+                        from repro.obs.timeline import TimelineBuilder
+
+                        timeline = TimelineBuilder(
+                            bin_bytes=self.config.timeline_bin_bytes
+                        )
+                    payload = timeline.payload(top=top, include_samples=False)
+                    payload["samples"] = sorted(self._timeline_samples)
+                    self._m_timeline_requests.inc()
+                    self._m_timeline_bins.set(payload["bins"])
+                    self._m_timeline_sites.set(payload["site_count"])
+                    body = json.dumps(payload).encode("utf-8")
+                    writer.write(self._http_response(
+                        "200 OK", body, "application/json"))
             elif path == "/metrics":
                 body = self.registry.exposition().encode("utf-8")
                 writer.write(self._http_response(

@@ -57,8 +57,15 @@ def partition_records(records: Sequence, nshards: int) -> List[List]:
 class _ShardState:
     """The aggregation state shared by both shard flavours."""
 
-    def __init__(self) -> None:
+    def __init__(self, timeline_bin_bytes: Optional[int] = None) -> None:
         self.analysis = StreamingDragAnalysis()
+        if timeline_bin_bytes:
+            from repro.obs.timeline import TimelineBuilder
+
+            # Rides along on the analysis so snapshot pickling and the
+            # merge (StreamingDragAnalysis.merge adopts timelines) need
+            # no extra plumbing.
+            self.analysis.timeline = TimelineBuilder(bin_bytes=timeline_bin_bytes)
         self.tables: Dict[int, List[str]] = {}
         self.records_seen = 0
 
@@ -79,14 +86,16 @@ class _ShardState:
                 self.analysis.end_time = end_time
             else:
                 self.analysis.end_time = max(self.analysis.end_time, end_time)
+            if self.analysis.timeline is not None:
+                self.analysis.timeline.note_end(end_time)
 
     def snapshot(self) -> Tuple[StreamingDragAnalysis, int]:
         return self.analysis, self.records_seen
 
 
-def _shard_main(index: int, conn) -> None:
+def _shard_main(index: int, conn, timeline_bin_bytes: Optional[int] = None) -> None:
     """Worker process body: a plain command loop over the pipe."""
-    state = _ShardState()
+    state = _ShardState(timeline_bin_bytes=timeline_bin_bytes)
     while True:
         try:
             msg = conn.recv()
@@ -110,9 +119,9 @@ def _shard_main(index: int, conn) -> None:
 class InlineShard:
     """In-process shard: the same interface, no pipe, no pickling."""
 
-    def __init__(self, index: int) -> None:
+    def __init__(self, index: int, timeline_bin_bytes: Optional[int] = None) -> None:
         self.index = index
-        self._state = _ShardState()
+        self._state = _ShardState(timeline_bin_bytes=timeline_bin_bytes)
 
     def feed_strings(self, stream_id: int, strings: Sequence[str]) -> None:
         self._state.add_strings(stream_id, list(strings))
@@ -140,7 +149,12 @@ class ProcessShard:
     that blocking *is* the backpressure contract.
     """
 
-    def __init__(self, index: int, mp_context=None) -> None:
+    def __init__(
+        self,
+        index: int,
+        mp_context=None,
+        timeline_bin_bytes: Optional[int] = None,
+    ) -> None:
         import multiprocessing
 
         ctx = mp_context or multiprocessing.get_context()
@@ -149,7 +163,7 @@ class ProcessShard:
         self._lock = threading.Lock()
         self._proc = ctx.Process(
             target=_shard_main,
-            args=(index, child),
+            args=(index, child, timeline_bin_bytes),
             name=f"repro-serve-shard-{index}",
             daemon=True,
         )
@@ -197,8 +211,15 @@ class ProcessShard:
         return self._proc is not None and self._proc.is_alive()
 
 
-def make_shards(n: int, inline: bool = False) -> List:
+def make_shards(
+    n: int,
+    inline: bool = False,
+    timeline_bin_bytes: Optional[int] = None,
+) -> List:
     """N shards of the requested flavour (inline when n == 0 too)."""
     if inline or n <= 0:
-        return [InlineShard(i) for i in range(max(1, n))]
-    return [ProcessShard(i) for i in range(n)]
+        return [
+            InlineShard(i, timeline_bin_bytes=timeline_bin_bytes)
+            for i in range(max(1, n))
+        ]
+    return [ProcessShard(i, timeline_bin_bytes=timeline_bin_bytes) for i in range(n)]

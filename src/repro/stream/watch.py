@@ -251,12 +251,24 @@ def watch_log(
 
 
 def render_follow_summary(
-    hostport: str, summary: dict, rankings: dict, top: int
+    hostport: str,
+    summary: dict,
+    rankings: dict,
+    top: int,
+    timeline: Optional[dict] = None,
 ) -> str:
-    """One refresh of the ``--follow`` display (server-side state)."""
+    """One refresh of the ``--follow`` display (server-side state).
+
+    When the daemon serves ``/timeline``, its payload adds a live drag
+    sparkline + effective-sample-rate gauge row, and the banner states
+    the bin width so readers know the x-resolution at a glance."""
     draining = summary.get("draining")
     active = summary.get("active_clients", 0)
     state = "draining" if draining else (f"{active} live client(s)" if active else "idle")
+    if timeline and timeline.get("bin_bytes"):
+        from repro.obs.timeline import format_bytes
+
+        state += f"; timeline bin {format_bytes(timeline['bin_bytes'])}"
     lines = [f"=== repro watch {hostport} ({state}) ==="]
     streams = summary.get("streams", [])
     truncated = sum(1 for s in streams if s.get("truncated"))
@@ -279,6 +291,16 @@ def render_follow_summary(
         lines.append(
             f"shards {len(shard_counts)}: records/shard "
             + "/".join(str(c) for c in shard_counts)
+        )
+    if timeline and timeline.get("bins"):
+        from repro.obs.timeline import payload_series, sparkline
+
+        bin_bytes = timeline["bin_bytes"]
+        drag = [v / bin_bytes for v in payload_series(timeline, "drag")]
+        lines.append(
+            f"drag {sparkline(drag, width=min(40, max(1, len(drag))))}"
+            f"   rate {timeline.get('effective_sample_rate', 1.0):.6f}"
+            f"   bins {timeline['bins']}"
         )
     sites = rankings.get("sites", [])
     if sites:
@@ -335,7 +357,17 @@ def follow_server(
                 print(f"(server {hostport} gone: {exc})", file=out)
                 return summary
             raise ProfileError(f"cannot reach serve daemon at {hostport}: {exc}")
-        print(render_follow_summary(hostport, summary, rankings, top), file=out)
+        try:
+            # Tolerant: older daemons and --timeline-bin-bytes 0 both
+            # 404 here; the follow display just omits the gauge row.
+            timeline = fetch_json(addr, "/timeline?top=1")
+        except (OSError, ValueError):
+            timeline = None
+        print(
+            render_follow_summary(hostport, summary, rankings, top,
+                                  timeline=timeline),
+            file=out,
+        )
         finished = bool(summary.get("draining")) or (
             bool(summary.get("streams")) and summary.get("active_clients", 0) == 0
         )

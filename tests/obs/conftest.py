@@ -1,0 +1,41 @@
+"""Shared live-timeline profiles for the observability tests.
+
+Each benchmark is profiled ONCE per session with a
+:class:`~repro.obs.timeline.TimelineSink` teed into a streaming v2 log
+writer — the exact ``repro profile --timeline --log x.dlog2 --sink
+stream`` wiring.  Tests then get three views of the same run: the
+buffered records, the on-disk log, and the incrementally-built
+timeline, which is what the streaming-equals-post-hoc claims compare.
+"""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.benchmarks.runner import compile_benchmark
+from repro.core.profiler import profile_program
+
+TIMELINE_BENCHES = ("db", "euler")
+
+
+@pytest.fixture(scope="session")
+def timeline_profiles(tmp_path_factory):
+    from repro.obs.timeline import TimelineSink
+    from repro.stream import LogWriterSink, TeeSink, open_log_writer
+
+    root = tmp_path_factory.mktemp("timeline-logs")
+    out = {}
+    for name in TIMELINE_BENCHES:
+        bench = get_benchmark(name)
+        program = compile_benchmark(bench, revised=False)
+        path = root / f"{name}.dlog2"
+        live = TimelineSink()
+        sink = TeeSink(LogWriterSink(open_log_writer(path)), live)
+        result = profile_program(
+            program,
+            bench.args_for("primary"),
+            interval_bytes=bench.interval_bytes,
+            sink=sink,
+            buffered=True,
+        )
+        out[name] = (result, path, live.builder)
+    return out

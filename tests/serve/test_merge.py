@@ -25,11 +25,19 @@ from tests.serve.conftest import BENCHMARK_NAMES
 @pytest.mark.parametrize("name", BENCHMARK_NAMES)
 def test_merge_equals_batch_for_every_benchmark(all_profiles, name):
     records = all_profiles[name].records
-    proof = prove_merge_equals_batch(records, shard_counts=(1, 2, 4, 8))
+    # timelines=True extends the claim to the full /timeline payload:
+    # every bin of every series, site strip, and histogram bucket.
+    proof = prove_merge_equals_batch(
+        records,
+        shard_counts=(1, 2, 4, 8),
+        timelines=True,
+        end_time=all_profiles[name].end_time,
+    )
     assert proof["records"] == len(records)
     # site-hash split + random split, for each of the four K values
     assert proof["splits_checked"] == 8
     assert proof["sites"] > 0
+    assert proof["timeline_bins"] > 0
 
 
 def test_merge_detects_inequality():
